@@ -1,0 +1,55 @@
+//===- bench/BenchUtil.h - Shared benchmark harness helpers -----*- C++ -*-===//
+//
+// Part of the PMAF reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Timing and table-printing helpers shared by the per-table benchmark
+/// binaries. Timing follows §6.2: each analysis is run 5 times and the 20%
+/// trimmed mean is reported (drop min and max, average the middle three).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PMAF_BENCH_BENCHUTIL_H
+#define PMAF_BENCH_BENCHUTIL_H
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace pmaf {
+namespace bench {
+
+/// Runs \p Fn \p Runs times; returns the 20% trimmed mean in seconds.
+template <typename F> double timedTrimmedMean(F &&Fn, int Runs = 5) {
+  std::vector<double> Samples;
+  for (int I = 0; I != Runs; ++I) {
+    auto Start = std::chrono::steady_clock::now();
+    Fn();
+    auto End = std::chrono::steady_clock::now();
+    Samples.push_back(std::chrono::duration<double>(End - Start).count());
+  }
+  std::sort(Samples.begin(), Samples.end());
+  double Sum = 0.0;
+  int Kept = 0;
+  for (int I = 1; I + 1 < static_cast<int>(Samples.size()); ++I) {
+    Sum += Samples[I];
+    ++Kept;
+  }
+  return Kept ? Sum / Kept : Samples.front();
+}
+
+/// Prints a horizontal rule of width \p Width.
+inline void printRule(int Width) {
+  for (int I = 0; I != Width; ++I)
+    std::fputc('-', stdout);
+  std::fputc('\n', stdout);
+}
+
+} // namespace bench
+} // namespace pmaf
+
+#endif // PMAF_BENCH_BENCHUTIL_H

@@ -1,0 +1,118 @@
+//===- examples/custom_domain.cpp - Instantiating PMAF yourself -----------===//
+//
+// The main advantage the paper claims for PMAF: "instead of starting from
+// scratch to create a new analysis, you only need to instantiate PMAF with
+// the implementation of a new pre-Markov algebra." This example builds a
+// complete new analysis in ~60 lines: a *termination-probability* domain
+// that computes, for every procedure, a lower bound on the probability of
+// reaching the exit under a demonic scheduler. The framework supplies
+// everything else — hyper-graph lowering, the interprocedural solver,
+// widening bookkeeping, and summaries.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfg/HyperGraph.h"
+#include "core/Domain.h"
+#include "core/Solver.h"
+#include "lang/Parser.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+using namespace pmaf;
+
+namespace {
+
+/// A pre-Markov algebra over [0, 1]: the value at a node is a lower bound
+/// on the probability of reaching the procedure exit from it, minimized
+/// over nondeterministic choices (demonic) and over the unknown outcome
+/// of conditional branches.
+class TerminationDomain {
+public:
+  using Value = double;
+
+  Value bottom() const { return 0.0; }
+  Value one() const { return 1.0; }
+
+  /// Sequencing multiplies reach probabilities (reversal of composition).
+  Value extend(const Value &A, const Value &B) const { return A * B; }
+
+  /// Conditions are not tracked: assume the worst branch.
+  Value condChoice(const lang::Cond &, const Value &A,
+                   const Value &B) const {
+    return std::min(A, B);
+  }
+
+  Value probChoice(const Rational &P, const Value &A, const Value &B) const {
+    double Prob = P.toDouble();
+    return Prob * A + (1.0 - Prob) * B;
+  }
+
+  /// Demonic nondeterminism: the adversary diverges when it can.
+  Value ndetChoice(const Value &A, const Value &B) const {
+    return std::min(A, B);
+  }
+
+  /// Data actions always make one step of progress — except observe,
+  /// which may reject the run (conditioning counts as non-termination
+  /// here, the conservative reading).
+  Value interpret(const lang::Stmt *Act) const {
+    if (Act && Act->kind() == lang::Stmt::Kind::Observe)
+      return 0.0;
+    return 1.0;
+  }
+
+  bool leq(const Value &A, const Value &B) const { return A <= B + 1e-12; }
+  bool equal(const Value &A, const Value &B) const {
+    return std::fabs(A - B) <= 1e-12;
+  }
+
+  /// Lower bounds iterated from 0 need no widening: every iterate is
+  /// already sound (same argument as for Bayesian inference, §5.1).
+  Value widenCond(const Value &, const Value &New) const { return New; }
+  Value widenProb(const Value &, const Value &New) const { return New; }
+  Value widenNdet(const Value &, const Value &New) const { return New; }
+  Value widenCall(const Value &, const Value &New) const { return New; }
+
+  std::string toString(const Value &A) const { return std::to_string(A); }
+};
+
+static_assert(core::PreMarkovAlgebra<TerminationDomain>,
+              "the new domain plugs into the framework unchanged");
+
+} // namespace
+
+int main() {
+  struct Case {
+    const char *Title;
+    const char *Source;
+  } Cases[] = {
+      {"almost-sure geometric loop", R"(
+        proc main() { while prob(1/2) { skip; } }
+      )"},
+      {"transient branching process (lfp 1/2)", R"(
+        proc main() { if prob(2/3) { main(); main(); } }
+      )"},
+      {"demonic adversary may diverge", R"(
+        proc main() { if star { while (true) { skip; } } else { skip; } }
+      )"},
+      {"two sequential risky calls (1/2 * 1/2)", R"(
+        proc risky() { if prob(1/2) { while (true) { skip; } } }
+        proc main() { risky(); risky(); }
+      )"},
+  };
+  std::printf("custom termination-probability analysis (new PMA, solved by "
+              "the framework):\n\n");
+  for (const Case &C : Cases) {
+    auto Prog = lang::parseProgramOrDie(C.Source);
+    cfg::ProgramGraph Graph = cfg::ProgramGraph::build(*Prog);
+    TerminationDomain Dom;
+    auto Result = core::solve(Graph, Dom);
+    unsigned Entry = Graph.proc(Prog->findProc("main")).Entry;
+    std::printf("  %-42s P[terminate] >= %.6f\n", C.Title,
+                Result.Values[Entry]);
+  }
+  return 0;
+}

@@ -1,0 +1,96 @@
+//===- examples/quickstart.cpp - Five-minute tour of PMAF -----------------===//
+//
+// Parse a probabilistic program, lower it to control-flow hyper-graphs,
+// run the linear expectation-invariant analysis (LEIA, §5.3), and print
+// the procedure summaries. Pass a file path to analyze your own program,
+// or run without arguments to analyze Ex 3.4's truncated geometric
+// distribution.
+//
+//   Usage: quickstart [program.pp] [--dot]
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfg/HyperGraph.h"
+#include "core/Solver.h"
+#include "domains/LeiaDomain.h"
+#include "lang/Parser.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace pmaf;
+
+static const char *DefaultProgram = R"(
+// A geometric distribution (cf. Ex 3.4 of the paper, without the
+// truncation): the expected number of rounds is 0.9 / 0.1 = 9, and the
+// analysis derives E[n'] == n + 9 for the loop and E[n'] == 9 for main.
+real n;
+proc geometric() {
+  while prob(0.9) {
+    n := n + 1;
+  }
+}
+proc main() {
+  n := 0;
+  geometric();
+}
+)";
+
+int main(int argc, char **argv) {
+  // 1. Get a program: from a file, or the built-in example.
+  std::string Source = DefaultProgram;
+  bool EmitDot = false;
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "--dot") {
+      EmitDot = true;
+      continue;
+    }
+    std::ifstream In(Arg);
+    if (!In) {
+      std::fprintf(stderr, "error: cannot open %s\n", Arg.c_str());
+      return 1;
+    }
+    std::ostringstream Buffer;
+    Buffer << In.rdbuf();
+    Source = Buffer.str();
+  }
+
+  // 2. Parse (with diagnostics) and lower to hyper-graphs (Defn 3.2).
+  lang::ParseResult Parsed = lang::parseProgram(Source);
+  if (!Parsed) {
+    std::fprintf(stderr, "parse error: %s\n", Parsed.Error.c_str());
+    return 1;
+  }
+  const lang::Program &Prog = *Parsed.Prog;
+  cfg::ProgramGraph Graph = cfg::ProgramGraph::build(Prog);
+  std::printf("program: %zu procedure(s), %u hyper-graph nodes\n",
+              Prog.Procs.size(), Graph.numNodes());
+  if (EmitDot)
+    std::printf("%s", Graph.toDot().c_str());
+
+  // 3. Pick an interpretation — here LEIA — and solve the interprocedural
+  //    equation system of §4.3.
+  domains::LeiaDomain Dom(Prog);
+  core::SolverOptions Opts;
+  Opts.WideningDelay = 2;
+  auto Result = core::solve(Graph, Dom, Opts);
+  std::printf("solver: %llu node updates, %llu widenings, converged=%s\n\n",
+              static_cast<unsigned long long>(Result.Stats.NodeUpdates),
+              static_cast<unsigned long long>(
+                  Result.Stats.WideningApplications),
+              Result.Stats.Converged ? "yes" : "NO");
+
+  // 4. Read off the procedure summaries: the value at each entry node is
+  //    the transformer from entry to exit (§2.3).
+  for (unsigned P = 0; P != Graph.numProcs(); ++P) {
+    std::printf("summary of %s():\n", Prog.Procs[P].Name.c_str());
+    const domains::LeiaValue &Summary =
+        Result.Values[Graph.proc(P).Entry];
+    for (const std::string &Inv : Dom.describeInvariants(Summary))
+      std::printf("  %s\n", Inv.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,228 @@
+//===- add/Add.cpp - Algebraic decision diagrams ---------------------------===//
+
+#include "add/Add.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstring>
+
+using namespace pmaf;
+using namespace pmaf::add;
+
+AddManager::AddManager() {
+  Zero = terminal(0.0);
+  One = terminal(1.0);
+}
+
+NodeRef AddManager::terminal(double Value) {
+  uint64_t Bits;
+  static_assert(sizeof(Bits) == sizeof(Value));
+  std::memcpy(&Bits, &Value, sizeof(Bits));
+  auto [It, Inserted] = Terminals.try_emplace(Bits, 0);
+  if (Inserted) {
+    Node N;
+    N.Level = TerminalLevel;
+    N.Lo = N.Hi = 0;
+    N.Value = Value;
+    Nodes.push_back(N);
+    It->second = static_cast<NodeRef>(Nodes.size() - 1);
+  }
+  return It->second;
+}
+
+double AddManager::terminalValue(NodeRef N) const {
+  assert(isTerminal(N) && "not a terminal");
+  return Nodes[N].Value;
+}
+
+NodeRef AddManager::makeNode(unsigned Level, NodeRef Lo, NodeRef Hi) {
+  if (Lo == Hi)
+    return Lo; // Reduction rule.
+  assert(Level < levelOf(Lo) && Level < levelOf(Hi) &&
+         "children must test strictly lower (later) levels");
+  auto [It, Inserted] = Unique.try_emplace(NodeKey{Level, Lo, Hi}, 0);
+  if (Inserted) {
+    Node N;
+    N.Level = Level;
+    N.Lo = Lo;
+    N.Hi = Hi;
+    N.Value = 0.0;
+    Nodes.push_back(N);
+    It->second = static_cast<NodeRef>(Nodes.size() - 1);
+  }
+  return It->second;
+}
+
+double AddManager::combine(Op TheOp, double A, double B) {
+  switch (TheOp) {
+  case Op::Add:
+    return A + B;
+  case Op::Sub:
+    return A - B;
+  case Op::Mul:
+    return A * B;
+  case Op::Min:
+    return A < B ? A : B;
+  case Op::Max:
+    return A > B ? A : B;
+  }
+  assert(false && "unknown op");
+  return 0.0;
+}
+
+NodeRef AddManager::applyRec(
+    Op TheOp, NodeRef A, NodeRef B,
+    std::unordered_map<ApplyKey, NodeRef, ApplyKeyHash> &Cache) {
+  if (isTerminal(A) && isTerminal(B))
+    return terminal(combine(TheOp, Nodes[A].Value, Nodes[B].Value));
+  // Short circuits for multiplication by constant 0.
+  if (TheOp == Op::Mul && (A == Zero || B == Zero))
+    return Zero;
+  ApplyKey Key{TheOp, A, B};
+  auto It = Cache.find(Key);
+  if (It != Cache.end())
+    return It->second;
+  unsigned LevelA = levelOf(A), LevelB = levelOf(B);
+  unsigned Level = std::min(LevelA, LevelB);
+  NodeRef ALo = LevelA == Level ? lo(A) : A;
+  NodeRef AHi = LevelA == Level ? hi(A) : A;
+  NodeRef BLo = LevelB == Level ? lo(B) : B;
+  NodeRef BHi = LevelB == Level ? hi(B) : B;
+  NodeRef Result = makeNode(Level, applyRec(TheOp, ALo, BLo, Cache),
+                            applyRec(TheOp, AHi, BHi, Cache));
+  Cache.emplace(Key, Result);
+  return Result;
+}
+
+NodeRef AddManager::apply(Op TheOp, NodeRef A, NodeRef B) {
+  return applyRec(TheOp, A, B, ApplyCache);
+}
+
+NodeRef AddManager::scale(NodeRef A, double Factor) {
+  return affine(A, Factor, 0.0);
+}
+
+NodeRef AddManager::affine(NodeRef A, double Factor, double Offset) {
+  // Expressed through apply for memoization: Factor * A + Offset.
+  NodeRef Scaled = apply(Op::Mul, A, terminal(Factor));
+  if (Offset == 0.0)
+    return Scaled;
+  return apply(Op::Add, Scaled, terminal(Offset));
+}
+
+NodeRef AddManager::sumOutRec(NodeRef A,
+                              const std::vector<unsigned> &Levels,
+                              size_t Index,
+                              std::unordered_map<uint64_t, NodeRef> &Cache) {
+  if (Index == Levels.size())
+    return A;
+  uint64_t Key = (static_cast<uint64_t>(Index) << 32) | A;
+  auto It = Cache.find(Key);
+  if (It != Cache.end())
+    return It->second;
+  unsigned Target = Levels[Index];
+  unsigned Level = levelOf(A);
+  NodeRef Result;
+  if (Level < Target) {
+    Result = makeNode(Level, sumOutRec(lo(A), Levels, Index, Cache),
+                      sumOutRec(hi(A), Levels, Index, Cache));
+  } else if (Level == Target) {
+    Result = apply(Op::Add, sumOutRec(lo(A), Levels, Index + 1, Cache),
+                   sumOutRec(hi(A), Levels, Index + 1, Cache));
+  } else {
+    // Independent of the summed variable: both assignments contribute.
+    Result = scale(sumOutRec(A, Levels, Index + 1, Cache), 2.0);
+  }
+  Cache.emplace(Key, Result);
+  return Result;
+}
+
+NodeRef AddManager::sumOut(NodeRef A, const std::vector<unsigned> &Levels) {
+  assert(std::is_sorted(Levels.begin(), Levels.end()) &&
+         "levels must be sorted");
+  std::unordered_map<uint64_t, NodeRef> Cache;
+  return sumOutRec(A, Levels, 0, Cache);
+}
+
+NodeRef AddManager::rename(NodeRef A,
+                           const std::function<unsigned(unsigned)> &Map) {
+  std::unordered_map<NodeRef, NodeRef> Cache;
+  auto Rec = [&](const auto &Self, NodeRef N) -> NodeRef {
+    if (isTerminal(N))
+      return N;
+    auto It = Cache.find(N);
+    if (It != Cache.end())
+      return It->second;
+    NodeRef Result =
+        makeNode(Map(levelOf(N)), Self(Self, lo(N)), Self(Self, hi(N)));
+    Cache.emplace(N, Result);
+    return Result;
+  };
+  return Rec(Rec, A);
+}
+
+namespace {
+
+/// DAG traversal (visited-set, so shared subgraphs are walked once)
+/// folding the terminal values with \p Fold.
+template <typename F>
+double foldTerminals(const AddManager &Mgr, NodeRef Root, double Init,
+                     F &&Fold) {
+  std::vector<NodeRef> Stack = {Root};
+  std::unordered_map<NodeRef, bool> Seen;
+  double Acc = Init;
+  while (!Stack.empty()) {
+    NodeRef N = Stack.back();
+    Stack.pop_back();
+    bool &Visited = Seen[N];
+    if (Visited)
+      continue;
+    Visited = true;
+    if (Mgr.isTerminal(N)) {
+      Acc = Fold(Acc, Mgr.terminalValue(N));
+    } else {
+      Stack.push_back(Mgr.lo(N));
+      Stack.push_back(Mgr.hi(N));
+    }
+  }
+  return Acc;
+}
+
+} // namespace
+
+double AddManager::maxTerminal(NodeRef A) const {
+  return foldTerminals(*this, A, -HUGE_VAL,
+                       [](double X, double Y) { return X > Y ? X : Y; });
+}
+
+double AddManager::minTerminal(NodeRef A) const {
+  return foldTerminals(*this, A, HUGE_VAL,
+                       [](double X, double Y) { return X < Y ? X : Y; });
+}
+
+double AddManager::evaluate(
+    NodeRef A, const std::function<bool(unsigned)> &Assignment) const {
+  while (!isTerminal(A))
+    A = Assignment(levelOf(A)) ? hi(A) : lo(A);
+  return Nodes[A].Value;
+}
+
+size_t AddManager::nodeCount(NodeRef A) const {
+  std::vector<NodeRef> Stack = {A};
+  std::unordered_map<NodeRef, bool> Seen;
+  size_t Count = 0;
+  while (!Stack.empty()) {
+    NodeRef N = Stack.back();
+    Stack.pop_back();
+    if (Seen[N])
+      continue;
+    Seen[N] = true;
+    ++Count;
+    if (!isTerminal(N)) {
+      Stack.push_back(lo(N));
+      Stack.push_back(hi(N));
+    }
+  }
+  return Count;
+}

@@ -1,0 +1,165 @@
+//===- baselines/ClaretForward.cpp - Forward Bayesian inference -----------===//
+
+#include "baselines/ClaretForward.h"
+
+#include <cassert>
+
+using namespace pmaf;
+using namespace pmaf::baselines;
+using namespace pmaf::domains;
+using namespace pmaf::lang;
+
+namespace {
+
+double totalMass(const std::vector<double> &Mu) {
+  double Sum = 0.0;
+  for (double M : Mu)
+    Sum += M;
+  return Sum;
+}
+
+} // namespace
+
+std::vector<double> ClaretForward::post(const std::vector<double> &Mu,
+                                        const Stmt &S,
+                                        unsigned Depth) const {
+  assert(Depth < 256 && "recursion is out of scope for the forward "
+                        "intraprocedural algorithm");
+  size_t N = Space->numStates();
+  switch (S.kind()) {
+  case Stmt::Kind::Skip:
+  case Stmt::Kind::Reward:
+  case Stmt::Kind::Return: // Only allowed in tail position here.
+    return Mu;
+  case Stmt::Kind::Assign: {
+    std::vector<double> Nu(N, 0.0);
+    for (size_t State = 0; State != N; ++State)
+      Nu[Space->set(State, S.varIndex(),
+                    Space->evalExpr(S.value(), State))] += Mu[State];
+    return Nu;
+  }
+  case Stmt::Kind::Sample: {
+    const Dist &D = S.dist();
+    std::vector<double> Nu(N, 0.0);
+    switch (D.TheKind) {
+    case Dist::Kind::Bernoulli: {
+      assert(D.Params[0]->kind() == Expr::Kind::Number &&
+             "Bernoulli parameter must be constant");
+      double P = D.Params[0]->number().toDouble();
+      for (size_t State = 0; State != N; ++State) {
+        Nu[Space->set(State, S.varIndex(), true)] += P * Mu[State];
+        Nu[Space->set(State, S.varIndex(), false)] += (1 - P) * Mu[State];
+      }
+      return Nu;
+    }
+    case Dist::Kind::Discrete: {
+      for (size_t State = 0; State != N; ++State)
+        for (size_t I = 0; I != D.Params.size(); ++I) {
+          bool V = !D.Params[I]->number().isZero();
+          Nu[Space->set(State, S.varIndex(), V)] +=
+              D.Weights[I].toDouble() * Mu[State];
+        }
+      return Nu;
+    }
+    default:
+      assert(false && "continuous distribution in a Boolean program");
+      return Mu;
+    }
+  }
+  case Stmt::Kind::Observe: {
+    std::vector<double> Nu(N, 0.0);
+    for (size_t State = 0; State != N; ++State)
+      if (Space->evalCond(S.observed(), State))
+        Nu[State] = Mu[State];
+    return Nu;
+  }
+  case Stmt::Kind::Block: {
+    std::vector<double> Cur = Mu;
+    for (const Stmt::Ptr &Child : S.stmts())
+      Cur = post(Cur, *Child, Depth);
+    return Cur;
+  }
+  case Stmt::Kind::If: {
+    const Guard &G = S.guard();
+    std::vector<double> ThenMu(N, 0.0), ElseMu(N, 0.0);
+    switch (G.TheKind) {
+    case Guard::Kind::Cond:
+      for (size_t State = 0; State != N; ++State)
+        (Space->evalCond(*G.Phi, State) ? ThenMu : ElseMu)[State] =
+            Mu[State];
+      break;
+    case Guard::Kind::Prob: {
+      double P = G.Prob.toDouble();
+      for (size_t State = 0; State != N; ++State) {
+        ThenMu[State] = P * Mu[State];
+        ElseMu[State] = (1 - P) * Mu[State];
+      }
+      break;
+    }
+    case Guard::Kind::Ndet:
+      assert(false && "the forward algorithm does not support "
+                      "nondeterminism (see §5.1)");
+      break;
+    }
+    std::vector<double> ThenOut = post(ThenMu, S.thenStmt(), Depth);
+    std::vector<double> ElseOut =
+        S.elseStmt() ? post(ElseMu, *S.elseStmt(), Depth) : ElseMu;
+    for (size_t State = 0; State != N; ++State)
+      ThenOut[State] += ElseOut[State];
+    return ThenOut;
+  }
+  case Stmt::Kind::While: {
+    const Guard &G = S.guard();
+    std::vector<double> Inside = Mu;
+    std::vector<double> Out(N, 0.0);
+    // Iterate the loop, accumulating the exiting mass, until the mass
+    // still inside is negligible (Alg. 2 of Claret et al., with the
+    // float-chain convergence of §6.1).
+    for (unsigned Iter = 0; Iter != 100000; ++Iter) {
+      if (totalMass(Inside) <= Tolerance)
+        break;
+      std::vector<double> Continue(N, 0.0);
+      switch (G.TheKind) {
+      case Guard::Kind::Cond:
+        for (size_t State = 0; State != N; ++State)
+          (Space->evalCond(*G.Phi, State) ? Continue : Out)[State] +=
+              Inside[State];
+        break;
+      case Guard::Kind::Prob: {
+        double P = G.Prob.toDouble();
+        for (size_t State = 0; State != N; ++State) {
+          Continue[State] += P * Inside[State];
+          Out[State] += (1 - P) * Inside[State];
+        }
+        break;
+      }
+      case Guard::Kind::Ndet:
+        assert(false && "the forward algorithm does not support "
+                        "nondeterminism (see §5.1)");
+        break;
+      }
+      Inside = post(Continue, S.body(), Depth);
+    }
+    return Out;
+  }
+  case Stmt::Kind::Call:
+    // Inline the callee (intraprocedural algorithm); recursion overflows
+    // the depth guard above, which is the point of the comparison.
+    return post(Mu, *Space->program().Procs[S.calleeIndex()].Body,
+                Depth + 1);
+  case Stmt::Kind::Break:
+  case Stmt::Kind::Continue:
+    assert(false && "unstructured control flow is out of scope for the "
+                    "structural forward algorithm");
+    return Mu;
+  }
+  assert(false && "unknown statement kind");
+  return Mu;
+}
+
+std::vector<double>
+ClaretForward::posterior(unsigned ProcIndex,
+                         const std::vector<double> &Prior) const {
+  assert(Prior.size() == Space->numStates() && "prior dimension mismatch");
+  return post(Prior, *Space->program().Procs[ProcIndex].Body, 0);
+}

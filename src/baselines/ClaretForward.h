@@ -1,0 +1,61 @@
+//===- baselines/ClaretForward.h - Forward Bayesian inference ---*- C++ -*-===//
+//
+// Part of the PMAF reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The original *intraprocedural, forward* Bayesian-inference algorithm of
+/// Claret et al. [FSE'13], which §5.1 of the paper reformulates inside
+/// PMAF: dataflow facts are one-vocabulary distributions over Boolean
+/// states, propagated forward through the structured AST (their Alg. 2),
+/// with loops iterated to a fixpoint over the terminating mass.
+///
+/// The implementation serves two roles: (i) a baseline against which the
+/// PMAF reformulation is validated (the backward two-vocabulary summary
+/// applied to a prior must match the forward posterior), and (ii) the
+/// contrast object for interprocedurality — it inlines calls and therefore
+/// rejects recursive programs, exactly the limitation the paper's
+/// reformulation lifts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PMAF_BASELINES_CLARETFORWARD_H
+#define PMAF_BASELINES_CLARETFORWARD_H
+
+#include "domains/BoolStateSpace.h"
+#include "lang/Ast.h"
+
+#include <vector>
+
+namespace pmaf {
+namespace baselines {
+
+/// Forward distribution-propagation Bayesian inference.
+class ClaretForward {
+public:
+  /// \param Space Boolean state space (the program must be all-Boolean,
+  /// single-vocabulary, without nondeterministic choice).
+  /// \param Tolerance loop-mass fixpoint tolerance.
+  explicit ClaretForward(const domains::BoolStateSpace &Space,
+                         double Tolerance = 1e-12)
+      : Space(&Space), Tolerance(Tolerance) {}
+
+  /// Computes the (sub-probability) posterior of running procedure
+  /// \p ProcIndex on \p Prior. Rejects nondeterminism and recursion by
+  /// assertion — the limitations the PMAF reformulation removes.
+  std::vector<double> posterior(unsigned ProcIndex,
+                                const std::vector<double> &Prior) const;
+
+private:
+  std::vector<double> post(const std::vector<double> &Mu,
+                           const lang::Stmt &S, unsigned Depth) const;
+
+  const domains::BoolStateSpace *Space;
+  double Tolerance;
+};
+
+} // namespace baselines
+} // namespace pmaf
+
+#endif // PMAF_BASELINES_CLARETFORWARD_H

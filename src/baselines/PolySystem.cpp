@@ -1,0 +1,312 @@
+//===- baselines/PolySystem.cpp - Monotone polynomial equation systems ----===//
+
+#include "baselines/PolySystem.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace pmaf;
+using namespace pmaf::baselines;
+
+//===----------------------------------------------------------------------===//
+// Arena construction
+//===----------------------------------------------------------------------===//
+
+PolySystem::ExprRef PolySystem::constant(double Value) {
+  assert(Value >= 0.0 && "monotone systems need nonnegative constants");
+  Node N;
+  N.TheKind = Node::Kind::Const;
+  N.Value = Value;
+  Arena.push_back(N);
+  return static_cast<ExprRef>(Arena.size() - 1);
+}
+
+PolySystem::ExprRef PolySystem::variable(unsigned EquationIndex) {
+  Node N;
+  N.TheKind = Node::Kind::Var;
+  N.Var = EquationIndex;
+  Arena.push_back(N);
+  return static_cast<ExprRef>(Arena.size() - 1);
+}
+
+static PolySystem::ExprRef pushBinary(std::vector<PolySystem::Node> &Arena,
+                                      PolySystem::Node::Kind Kind, int Lhs,
+                                      int Rhs) {
+  PolySystem::Node N;
+  N.TheKind = Kind;
+  N.Lhs = Lhs;
+  N.Rhs = Rhs;
+  Arena.push_back(N);
+  return static_cast<PolySystem::ExprRef>(Arena.size() - 1);
+}
+
+PolySystem::ExprRef PolySystem::add(ExprRef Lhs, ExprRef Rhs) {
+  return pushBinary(Arena, Node::Kind::Add, Lhs, Rhs);
+}
+PolySystem::ExprRef PolySystem::mul(ExprRef Lhs, ExprRef Rhs) {
+  return pushBinary(Arena, Node::Kind::Mul, Lhs, Rhs);
+}
+PolySystem::ExprRef PolySystem::max(ExprRef Lhs, ExprRef Rhs) {
+  return pushBinary(Arena, Node::Kind::Max, Lhs, Rhs);
+}
+PolySystem::ExprRef PolySystem::min(ExprRef Lhs, ExprRef Rhs) {
+  return pushBinary(Arena, Node::Kind::Min, Lhs, Rhs);
+}
+
+unsigned PolySystem::addEquation(ExprRef Rhs) {
+  Equations.push_back(Rhs);
+  return static_cast<unsigned>(Equations.size() - 1);
+}
+
+bool PolySystem::isPolynomial() const {
+  for (const Node &N : Arena)
+    if (N.TheKind == Node::Kind::Max || N.TheKind == Node::Kind::Min)
+      return false;
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Evaluation
+//===----------------------------------------------------------------------===//
+
+double PolySystem::eval(ExprRef Ref, const std::vector<double> &X) const {
+  const Node &N = Arena[Ref];
+  switch (N.TheKind) {
+  case Node::Kind::Const:
+    return N.Value;
+  case Node::Kind::Var:
+    return X[N.Var];
+  case Node::Kind::Add:
+    return eval(N.Lhs, X) + eval(N.Rhs, X);
+  case Node::Kind::Mul:
+    return eval(N.Lhs, X) * eval(N.Rhs, X);
+  case Node::Kind::Max:
+    return std::max(eval(N.Lhs, X), eval(N.Rhs, X));
+  case Node::Kind::Min:
+    return std::min(eval(N.Lhs, X), eval(N.Rhs, X));
+  }
+  assert(false && "unknown node kind");
+  return 0.0;
+}
+
+double PolySystem::evalDerivative(ExprRef Ref, unsigned Var,
+                                  const std::vector<double> &X) const {
+  const Node &N = Arena[Ref];
+  switch (N.TheKind) {
+  case Node::Kind::Const:
+    return 0.0;
+  case Node::Kind::Var:
+    return N.Var == Var ? 1.0 : 0.0;
+  case Node::Kind::Add:
+    return evalDerivative(N.Lhs, Var, X) + evalDerivative(N.Rhs, Var, X);
+  case Node::Kind::Mul:
+    return evalDerivative(N.Lhs, Var, X) * eval(N.Rhs, X) +
+           eval(N.Lhs, X) * evalDerivative(N.Rhs, Var, X);
+  case Node::Kind::Max:
+  case Node::Kind::Min:
+    assert(false && "derivative of a non-polynomial system");
+    return 0.0;
+  }
+  assert(false && "unknown node kind");
+  return 0.0;
+}
+
+std::vector<double> PolySystem::apply(const std::vector<double> &X) const {
+  std::vector<double> Result(Equations.size());
+  for (size_t I = 0; I != Equations.size(); ++I)
+    Result[I] = eval(Equations[I], X);
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Solvers
+//===----------------------------------------------------------------------===//
+
+std::vector<double> PolySystem::solveKleene(double Tolerance,
+                                            unsigned MaxIterations,
+                                            Stats *StatsOut) const {
+  std::vector<double> X(Equations.size(), 0.0);
+  Stats S;
+  for (; S.Iterations != MaxIterations; ++S.Iterations) {
+    std::vector<double> Next = apply(X);
+    double Delta = 0.0;
+    for (size_t I = 0; I != X.size(); ++I)
+      Delta = std::max(Delta, std::fabs(Next[I] - X[I]));
+    X = std::move(Next);
+    if (Delta <= Tolerance) {
+      S.Converged = true;
+      ++S.Iterations;
+      break;
+    }
+  }
+  if (StatsOut)
+    *StatsOut = S;
+  return X;
+}
+
+namespace {
+
+/// Solves A y = b by Gaussian elimination with partial pivoting; returns
+/// false if A is (numerically) singular.
+bool solveLinear(std::vector<std::vector<double>> A, std::vector<double> B,
+                 std::vector<double> &Y) {
+  size_t N = B.size();
+  for (size_t Col = 0; Col != N; ++Col) {
+    size_t Pivot = Col;
+    for (size_t Row = Col + 1; Row != N; ++Row)
+      if (std::fabs(A[Row][Col]) > std::fabs(A[Pivot][Col]))
+        Pivot = Row;
+    if (std::fabs(A[Pivot][Col]) < 1e-14)
+      return false;
+    std::swap(A[Col], A[Pivot]);
+    std::swap(B[Col], B[Pivot]);
+    for (size_t Row = Col + 1; Row != N; ++Row) {
+      double Factor = A[Row][Col] / A[Col][Col];
+      if (Factor == 0.0)
+        continue;
+      for (size_t K = Col; K != N; ++K)
+        A[Row][K] -= Factor * A[Col][K];
+      B[Row] -= Factor * B[Col];
+    }
+  }
+  Y.assign(N, 0.0);
+  for (size_t Row = N; Row-- > 0;) {
+    double Sum = B[Row];
+    for (size_t K = Row + 1; K != N; ++K)
+      Sum -= A[Row][K] * Y[K];
+    Y[Row] = Sum / A[Row][Row];
+  }
+  return true;
+}
+
+} // namespace
+
+std::vector<double> PolySystem::solveNewton(double Tolerance,
+                                            unsigned MaxIterations,
+                                            Stats *StatsOut) const {
+  assert(isPolynomial() && "Newton requires a min/max-free system");
+  size_t N = Equations.size();
+  std::vector<double> X(N, 0.0);
+  Stats S;
+  for (; S.Iterations != MaxIterations; ++S.Iterations) {
+    std::vector<double> FX = apply(X);
+    double Residual = 0.0;
+    for (size_t I = 0; I != N; ++I)
+      Residual = std::max(Residual, std::fabs(FX[I] - X[I]));
+    if (Residual <= Tolerance) {
+      S.Converged = true;
+      break;
+    }
+    // Solve (I - J_f(X)) d = f(X) - X and step X += d.
+    std::vector<std::vector<double>> A(N, std::vector<double>(N, 0.0));
+    std::vector<double> B(N);
+    for (size_t I = 0; I != N; ++I) {
+      for (size_t J = 0; J != N; ++J) {
+        A[I][J] = -evalDerivative(Equations[I], static_cast<unsigned>(J), X);
+        if (I == J)
+          A[I][J] += 1.0;
+      }
+      B[I] = FX[I] - X[I];
+    }
+    std::vector<double> D;
+    if (!solveLinear(std::move(A), std::move(B), D)) {
+      // Singular at the fixed point boundary; fall back to a Kleene step.
+      X = std::move(FX);
+      continue;
+    }
+    bool Progressed = false;
+    for (size_t I = 0; I != N; ++I) {
+      // Clamp to stay monotone from below (damped Newton).
+      double Step = D[I];
+      if (Step < 0.0)
+        Step = FX[I] - X[I];
+      if (Step > 0.0)
+        Progressed = true;
+      X[I] += Step;
+    }
+    if (!Progressed)
+      X = std::move(FX);
+  }
+  if (StatsOut)
+    *StatsOut = S;
+  return X;
+}
+
+//===----------------------------------------------------------------------===//
+// Builders from hyper-graph programs
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+enum class SystemKind { Termination, Reward };
+
+PolySystem buildSystem(const cfg::ProgramGraph &Graph, NdetResolution Ndet,
+                       SystemKind Kind) {
+  PolySystem Sys;
+  unsigned NumNodes = Graph.numNodes();
+  // One equation per node, in node order; build the right-hand sides
+  // after reserving all variables (addEquation assigns indices in order,
+  // so first create placeholder refs).
+  std::vector<PolySystem::ExprRef> Rhs(NumNodes, -1);
+  for (unsigned V = 0; V != NumNodes; ++V) {
+    const cfg::HyperEdge *E = Graph.outgoing(V);
+    if (!E) {
+      Rhs[V] = Sys.constant(Kind == SystemKind::Termination ? 1.0 : 0.0);
+      continue;
+    }
+    switch (E->Ctrl.TheKind) {
+    case cfg::ControlAction::Kind::Seq: {
+      PolySystem::ExprRef Succ = Sys.variable(E->Dsts[0]);
+      const lang::Stmt *Act = E->Ctrl.DataAction;
+      if (Kind == SystemKind::Reward && Act &&
+          Act->kind() == lang::Stmt::Kind::Reward)
+        Rhs[V] = Sys.add(Sys.constant(Act->reward().toDouble()), Succ);
+      else
+        Rhs[V] = Succ;
+      break;
+    }
+    case cfg::ControlAction::Kind::Call: {
+      PolySystem::ExprRef Entry =
+          Sys.variable(Graph.proc(E->Ctrl.Callee).Entry);
+      PolySystem::ExprRef Succ = Sys.variable(E->Dsts[0]);
+      Rhs[V] = Kind == SystemKind::Termination ? Sys.mul(Entry, Succ)
+                                               : Sys.add(Entry, Succ);
+      break;
+    }
+    case cfg::ControlAction::Kind::Prob: {
+      double P = E->Ctrl.Prob.toDouble();
+      Rhs[V] = Sys.add(
+          Sys.mul(Sys.constant(P), Sys.variable(E->Dsts[0])),
+          Sys.mul(Sys.constant(1.0 - P), Sys.variable(E->Dsts[1])));
+      break;
+    }
+    case cfg::ControlAction::Kind::Ndet: {
+      PolySystem::ExprRef L = Sys.variable(E->Dsts[0]);
+      PolySystem::ExprRef R = Sys.variable(E->Dsts[1]);
+      Rhs[V] = Ndet == NdetResolution::Max ? Sys.max(L, R) : Sys.min(L, R);
+      break;
+    }
+    case cfg::ControlAction::Kind::Cond:
+      assert(false &&
+             "recursive Markov chains/MDPs have no conditional-choice");
+      Rhs[V] = Sys.constant(0.0);
+      break;
+    }
+  }
+  for (unsigned V = 0; V != NumNodes; ++V)
+    Sys.addEquation(Rhs[V]);
+  return Sys;
+}
+
+} // namespace
+
+PolySystem baselines::terminationSystem(const cfg::ProgramGraph &Graph,
+                                        NdetResolution Ndet) {
+  return buildSystem(Graph, Ndet, SystemKind::Termination);
+}
+
+PolySystem baselines::rewardSystem(const cfg::ProgramGraph &Graph,
+                                   NdetResolution Ndet) {
+  return buildSystem(Graph, Ndet, SystemKind::Reward);
+}

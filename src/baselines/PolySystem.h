@@ -1,0 +1,122 @@
+//===- baselines/PolySystem.h - Monotone polynomial equation systems ------===//
+//
+// Part of the PMAF reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A PReMo-style analyzer for recursive Markov chains and recursive Markov
+/// decision processes (Wojtczak & Etessami; Etessami & Yannakakis): systems
+/// of monotone equations x = f(x) over [0, ∞], where each f_i is built from
+/// nonnegative constants, variables, +, *, and (for MDPs) min/max. §6.2 of
+/// the paper validates PMAF by checking that it "computed the same answer
+/// as PReMo"; this module reproduces that comparison, and the
+/// Newton-vs-Kleene bench reproduces the classic convergence-speed contrast
+/// on which PReMo is built.
+///
+/// Solvers:
+///  * Kleene iteration from 0 (always applicable; linear convergence).
+///  * Newton's method (decomposition-free dense variant; polynomial
+///    systems only, i.e. no min/max), which converges quadratically near
+///    the least fixed point.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PMAF_BASELINES_POLYSYSTEM_H
+#define PMAF_BASELINES_POLYSYSTEM_H
+
+#include "cfg/HyperGraph.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace pmaf {
+namespace baselines {
+
+/// A system of monotone equations x_i = f_i(x).
+class PolySystem {
+public:
+  /// Expression node in a flat arena.
+  struct Node {
+    enum class Kind { Const, Var, Add, Mul, Max, Min };
+    Kind TheKind = Kind::Const;
+    double Value = 0.0; ///< Kind::Const.
+    unsigned Var = 0;   ///< Kind::Var (equation index).
+    int Lhs = -1, Rhs = -1;
+  };
+
+  /// Handle to an expression (index into the arena).
+  using ExprRef = int;
+
+  ExprRef constant(double Value);
+  ExprRef variable(unsigned EquationIndex);
+  ExprRef add(ExprRef Lhs, ExprRef Rhs);
+  ExprRef mul(ExprRef Lhs, ExprRef Rhs);
+  ExprRef max(ExprRef Lhs, ExprRef Rhs);
+  ExprRef min(ExprRef Lhs, ExprRef Rhs);
+
+  /// Defines x_i = Rhs for the next i; returns i.
+  unsigned addEquation(ExprRef Rhs);
+
+  unsigned numEquations() const {
+    return static_cast<unsigned>(Equations.size());
+  }
+
+  /// \returns true if no equation uses min or max.
+  bool isPolynomial() const;
+
+  /// Solver telemetry.
+  struct Stats {
+    unsigned Iterations = 0;
+    bool Converged = false;
+  };
+
+  /// Kleene iteration from 0 until the step is below \p Tolerance.
+  std::vector<double> solveKleene(double Tolerance = 1e-12,
+                                  unsigned MaxIterations = 1000000,
+                                  Stats *StatsOut = nullptr) const;
+
+  /// Newton's method from 0 (monotone for such systems); requires
+  /// isPolynomial().
+  std::vector<double> solveNewton(double Tolerance = 1e-12,
+                                  unsigned MaxIterations = 200,
+                                  Stats *StatsOut = nullptr) const;
+
+  /// Evaluates f at \p X.
+  std::vector<double> apply(const std::vector<double> &X) const;
+
+private:
+  double eval(ExprRef Ref, const std::vector<double> &X) const;
+  /// d f(Ref) / d x_Var at X.
+  double evalDerivative(ExprRef Ref, unsigned Var,
+                        const std::vector<double> &X) const;
+
+  std::vector<Node> Arena;
+  std::vector<ExprRef> Equations;
+};
+
+/// How a builder resolves nondeterministic choice.
+enum class NdetResolution { Max, Min };
+
+/// Builds the termination-probability system of a (recursive) Markov chain
+/// or MDP given as a hyper-graph program: one variable per node, with
+///   x_v = p x_u1 + (1-p) x_u2        (prob)
+///   x_v = max/min(x_u1, x_u2)        (ndet)
+///   x_v = x_u1                       (seq; data actions are state-blind)
+///   x_v = x_entry(i) * x_u1          (call — the quadratic RMC case)
+///   x_exit = 1.
+/// Conditional-choice edges are rejected (asserted): the models of Defn 5.3
+/// have none.
+PolySystem terminationSystem(const cfg::ProgramGraph &Graph,
+                             NdetResolution Ndet);
+
+/// Builds the expected-total-reward system: like terminationSystem but
+///   x_v = r + x_u1 for seq[reward(r)] and x_v = x_entry(i) + x_u1 for
+/// calls, with x_exit = 0. (Assumes almost-sure termination, as PReMo does
+/// for reward queries.)
+PolySystem rewardSystem(const cfg::ProgramGraph &Graph, NdetResolution Ndet);
+
+} // namespace baselines
+} // namespace pmaf
+
+#endif // PMAF_BASELINES_POLYSYSTEM_H

@@ -1,0 +1,573 @@
+//===- benchmarks/Programs.cpp - The paper's benchmark programs -----------===//
+
+#include "benchmarks/Programs.h"
+#include "cfg/HyperGraph.h"
+
+#include <cctype>
+
+using namespace pmaf;
+using namespace pmaf::benchmarks;
+
+//===----------------------------------------------------------------------===//
+// Table 1: LEIA benchmarks
+//===----------------------------------------------------------------------===//
+
+const std::vector<BenchProgram> &benchmarks::leiaPrograms() {
+  static const std::vector<BenchProgram> Programs = {
+      // A lazy 2D random walk step: expectation-neutral moves for x, y and
+      // dist, plus a conditionally counted step. Paper: E[x']=x, E[y']=y,
+      // E[dist']=dist, count <= E[count'] <= count + 1.
+      {"2d-walk", R"(
+real x, y, dist, count;
+proc main() {
+  if prob(1/2) {
+    x ~ uniform(x - 1, x + 1);
+  } else {
+    y ~ uniform(y - 1, y + 1);
+  }
+  if prob(1/2) {
+    dist ~ uniform(dist - 1, dist + 1);
+  } else {
+    skip;
+  }
+  if (x == y) {
+    count := count + 1;
+  } else {
+    skip;
+  }
+}
+)"},
+      // Aggregate of random variables: a fair-coin increment aggregated
+      // against a deterministic counter. Paper: E[2x'-i'] = 2x-i,
+      // x <= E[x'] <= x + 1/2.
+      {"aggregate-rv", R"(
+real x, i;
+proc main() {
+  if prob(1/2) {
+    x := x + 1;
+  } else {
+    skip;
+  }
+  i := i + 1;
+}
+)"},
+      // Simulating a biased coin with a fair one; the branch on the
+      // sampled value makes only interval invariants derivable.
+      // Paper: x - 1/2 <= E[x'] <= x + 1/2.
+      {"biased-coin", R"(
+real x, y;
+proc main() {
+  y ~ bernoulli(1/2);
+  if (y >= 1) {
+    x := x + 1/2;
+  } else {
+    if (x >= 1/2) {
+      x := x - 1/2;
+    } else {
+      skip;
+    }
+  }
+}
+)"},
+      // Binomial update with p = 1/4. Paper: E[4x'-n'] = 4x-n,
+      // x <= E[x'] <= x + 1/4.
+      {"binom-update", R"(
+real x, n;
+proc main() {
+  if prob(1/4) {
+    x := x + 1;
+  } else {
+    skip;
+  }
+  n := n + 1;
+}
+)"},
+      // Coupon collector with 5 coupons: five stages, each a geometric
+      // number of draws until an unseen coupon appears (stage k repeats a
+      // draw with probability (k-1)/5). Paper lists one expectation
+      // equality per stage relating count and i.
+      {"coupon5", R"(
+real count, i;
+proc main() {
+  count := count + 1;
+  i := 1;
+  count := count + 1;
+  while prob(1/5) {
+    count := count + 1;
+  }
+  i := 2;
+  count := count + 1;
+  while prob(2/5) {
+    count := count + 1;
+  }
+  i := 3;
+  count := count + 1;
+  while prob(3/5) {
+    count := count + 1;
+  }
+  i := 4;
+  count := count + 1;
+  while prob(4/5) {
+    count := count + 1;
+  }
+  i := 5;
+}
+)"},
+      // Probabilistic mixture: z becomes x or y with equal probability.
+      // Paper: E[x']=x, E[y']=y, E[z'] = x/2 + y/2.
+      {"dist", R"(
+real x, y, z;
+proc main() {
+  if prob(1/2) {
+    z := x;
+  } else {
+    z := y;
+  }
+}
+)"},
+      // The running example, Fig 1(b): the round-based two-player game.
+      // Paper: E[x'+y'] = x+y+3, E[z'] = z/4 + 3/4, x <= E[x'] <= x+3.
+      {"eg", R"(
+real x, y, z;
+proc main() {
+  while prob(3/4) {
+    z ~ uniform(0, 2);
+    if star { x := x + z; } else { y := y + z; }
+  }
+}
+)"},
+      // Fig 1(b) rewritten with tail recursion. Paper derives only lower
+      // bounds here (E[z'] >= z/4, E[x'+y'] >= x+y+3/4, ...).
+      {"eg-tail", R"(
+real x, y, z;
+proc main() {
+  if prob(3/4) {
+    z ~ uniform(0, 2);
+    if star { x := x + z; } else { y := y + z; }
+    main();
+  } else {
+    skip;
+  }
+}
+)"},
+      // Hare and turtle: the turtle always steps once; the hare sleeps
+      // with probability 1/2 or jumps uniformly up to 5.
+      // Paper: E[2h'-5t'] = 2h-5t, h <= E[h'] <= h + 5/2.
+      {"hare-turtle", R"(
+real h, t;
+proc main() {
+  if prob(1/2) {
+    h ~ uniform(h, h + 5);
+  } else {
+    skip;
+  }
+  t := t + 1;
+}
+)"},
+      // Hawk-dove round: either both players split the payoff or a fair
+      // fight gives one player everything; either way each expects +1.
+      // Paper: E[p1b'-count'] = p1b-count, E[p2b'-count'] = p2b-count,
+      // p1b <= E[p1b'] <= p1b + 1.
+      {"hawk-dove", R"(
+real p1b, p2b, count;
+proc main() {
+  count := count + 1;
+  if star {
+    p1b := p1b + 1;
+    p2b := p2b + 1;
+  } else {
+    if prob(1/2) {
+      p1b := p1b + 2;
+    } else {
+      p2b := p2b + 2;
+    }
+  }
+}
+)"},
+      // The motivating example of Chakarov-Sankaranarayanan [14].
+      // Paper: E[2x'-y'] = 2x-y, E[4x'-3count'] = 4x-3count,
+      // x <= E[x'] <= x + 3/4.
+      {"mot-ex", R"(
+real x, y, count;
+proc main() {
+  if prob(3/4) {
+    x := x + 1;
+  } else {
+    skip;
+  }
+  y := y + 3/2;
+  count := count + 1;
+}
+)"},
+      // General recursion with two recursive calls; the summary must be
+      // computed interprocedurally. Paper: E[x'] = x + 9.
+      {"recursive", R"(
+real x;
+proc main() {
+  if prob(1/3) {
+    x := x + 3;
+    main();
+    main();
+  } else {
+    x := x + 3;
+  }
+}
+)"},
+      // One step of a uniform-random-number generator: the doubling is
+      // nondeterministically skipped, so only intervals are derivable.
+      // Paper: n <= E[n'] <= 2n, g <= E[g'] <= 2g + 1/2.
+      {"uniform-dist", R"(
+real n, g;
+proc main() {
+  if star {
+    skip;
+  } else {
+    n := 2 * n;
+    if prob(1/2) {
+      g := 2 * g + 1;
+    } else {
+      g := 2 * g;
+    }
+  }
+}
+)"},
+  };
+  return Programs;
+}
+
+//===----------------------------------------------------------------------===//
+// Table 2 (top): Bayesian-inference benchmarks
+//===----------------------------------------------------------------------===//
+
+const std::vector<BenchProgram> &benchmarks::biPrograms() {
+  static const std::vector<BenchProgram> Programs = {
+      // Bitwise comparison of two uniform 2-bit numbers:
+      // P[less] = P[A < B] = 3/8.
+      {"compare", R"(
+bool a0, a1, b0, b1, less;
+proc main() {
+  a0 ~ bernoulli(0.5);
+  a1 ~ bernoulli(0.5);
+  b0 ~ bernoulli(0.5);
+  b1 ~ bernoulli(0.5);
+  if (a1 == b1) {
+    if (!a0 && b0) { less := true; } else { less := false; }
+  } else {
+    if (!a1 && b1) { less := true; } else { less := false; }
+  }
+}
+)"},
+      // Knuth-Yao-style die from fair coins: reject 000 and 111, keeping a
+      // uniform distribution over the six remaining outcomes.
+      {"dice", R"(
+bool c0, c1, c2;
+proc main() {
+  c0 ~ bernoulli(0.5);
+  c1 ~ bernoulli(0.5);
+  c2 ~ bernoulli(0.5);
+  while ((c0 && c1 && c2) || (!c0 && !c1 && !c2)) {
+    c0 ~ bernoulli(0.5);
+    c1 ~ bernoulli(0.5);
+    c2 ~ bernoulli(0.5);
+  }
+}
+)"},
+      // Fig 1(a): resample two fair coins until one shows true; posterior
+      // is 1/3 on each of the three surviving valuations.
+      {"eg1", R"(
+bool b1, b2;
+proc main() {
+  b1 ~ bernoulli(0.5);
+  b2 ~ bernoulli(0.5);
+  while (!b1 && !b2) {
+    b1 ~ bernoulli(0.5);
+    b2 ~ bernoulli(0.5);
+  }
+}
+)"},
+      // Fig 1(a) with the loop as a tail-recursive procedure (the
+      // interprocedural capability the paper adds to Claret et al.).
+      {"eg1-tail", R"(
+bool b1, b2;
+proc resample() {
+  if (!b1 && !b2) {
+    b1 ~ bernoulli(0.5);
+    b2 ~ bernoulli(0.5);
+    resample();
+  }
+}
+proc main() {
+  b1 ~ bernoulli(0.5);
+  b2 ~ bernoulli(0.5);
+  resample();
+}
+)"},
+      // Conditioning with a correlated copy: posterior mass 5/8 spread
+      // 3/8, 1/8, 1/8 over (T,T), (T,F), (F,T).
+      {"eg2", R"(
+bool b1, b2;
+proc main() {
+  b1 ~ bernoulli(0.5);
+  if prob(0.5) {
+    b2 := b1;
+  } else {
+    b2 ~ bernoulli(0.5);
+  }
+  observe(b1 || b2);
+}
+)"},
+      // eg2 with the conditioning step in a tail-recursive retry loop:
+      // resample until the observation holds (rejection sampling).
+      {"eg2-tail", R"(
+bool b1, b2;
+proc retry() {
+  if (!b1 && !b2) {
+    b1 ~ bernoulli(0.5);
+    if prob(0.5) {
+      b2 := b1;
+    } else {
+      b2 ~ bernoulli(0.5);
+    }
+    retry();
+  }
+}
+proc main() {
+  b1 ~ bernoulli(0.5);
+  if prob(0.5) {
+    b2 := b1;
+  } else {
+    b2 ~ bernoulli(0.5);
+  }
+  retry();
+}
+)"},
+      // General (non-tail) recursion: flip until false; terminates almost
+      // surely with b = false.
+      {"recursive", R"(
+bool b;
+proc main() {
+  b ~ bernoulli(0.5);
+  if (b) {
+    main();
+    b := false;
+  }
+}
+)"},
+  };
+  return Programs;
+}
+
+//===----------------------------------------------------------------------===//
+// Table 2 (bottom): MDP-with-rewards benchmarks
+//===----------------------------------------------------------------------===//
+
+const std::vector<BenchProgram> &benchmarks::mdpPrograms() {
+  static const std::vector<BenchProgram> Programs = {
+      // Randomized binary search on an array of size 10 (from [84]):
+      // bs<n> probes once; with probability 1/n it hits, otherwise it
+      // recurses into the left or right part. Expected comparisons for
+      // n = 10: 2.9 (Theta(log n)).
+      {"binary10", R"(
+proc bs1() { reward(1); }
+proc bs2() {
+  reward(1);
+  if prob(1/2) { skip; } else { bs1(); }
+}
+proc bs3() {
+  reward(1);
+  if prob(1/3) { skip; } else { bs1(); }
+}
+proc bs4() {
+  reward(1);
+  if prob(1/4) { skip; } else {
+    if prob(1/3) { bs1(); } else { bs2(); }
+  }
+}
+proc bs5() {
+  reward(1);
+  if prob(1/5) { skip; } else { bs2(); }
+}
+proc bs6() {
+  reward(1);
+  if prob(1/6) { skip; } else {
+    if prob(2/5) { bs2(); } else { bs3(); }
+  }
+}
+proc bs7() {
+  reward(1);
+  if prob(1/7) { skip; } else { bs3(); }
+}
+proc bs8() {
+  reward(1);
+  if prob(1/8) { skip; } else {
+    if prob(3/7) { bs3(); } else { bs4(); }
+  }
+}
+proc bs9() {
+  reward(1);
+  if prob(1/9) { skip; } else { bs4(); }
+}
+proc bs10() {
+  reward(1);
+  if prob(1/10) { skip; } else {
+    if prob(4/9) { bs4(); } else { bs5(); }
+  }
+}
+proc main() { bs10(); }
+)"},
+      // A geometric reward loop: E = 1 per round, half chance to repeat.
+      {"loop", R"(
+proc main() {
+  while prob(1/2) {
+    reward(1);
+  }
+}
+)"},
+      // Randomized quicksort on 7 elements (from [84]): qs<n> draws a
+      // uniform pivot, pays n-1 comparisons, and recurses on the two
+      // parts. Expected comparisons for n = 7: ~13.486
+      // (Theta(n log n) worst-case expected).
+      {"quicksort7", R"(
+proc qs2() { reward(1); }
+proc qs3() {
+  reward(2);
+  if prob(1/3) { skip; } else { qs2(); }
+}
+proc qs4() {
+  reward(3);
+  if prob(1/4) { qs3(); } else {
+    if prob(1/3) { qs2(); } else {
+      if prob(1/2) { qs2(); } else { qs3(); }
+    }
+  }
+}
+proc qs5() {
+  reward(4);
+  if prob(1/5) { qs4(); } else {
+    if prob(1/4) { qs3(); } else {
+      if prob(1/3) { qs2(); qs2(); } else {
+        if prob(1/2) { qs3(); } else { qs4(); }
+      }
+    }
+  }
+}
+proc qs6() {
+  reward(5);
+  if prob(1/6) { qs5(); } else {
+    if prob(1/5) { qs4(); } else {
+      if prob(1/4) { qs2(); qs3(); } else {
+        if prob(1/3) { qs3(); qs2(); } else {
+          if prob(1/2) { qs4(); } else { qs5(); }
+        }
+      }
+    }
+  }
+}
+proc qs7() {
+  reward(6);
+  if prob(1/7) { qs6(); } else {
+    if prob(1/6) { qs5(); } else {
+      if prob(1/5) { qs2(); qs4(); } else {
+        if prob(1/4) { qs3(); qs3(); } else {
+          if prob(1/3) { qs4(); qs2(); } else {
+            if prob(1/2) { qs5(); } else { qs6(); }
+          }
+        }
+      }
+    }
+  }
+}
+proc main() { qs7(); }
+)"},
+      // Tail-recursive geometric reward: E = 1 / (1 - 2/3) = 3.
+      {"recursive", R"(
+proc main() {
+  reward(1);
+  if prob(2/3) {
+    main();
+  }
+}
+)"},
+      // A student's week as a recursive MDP (nondeterministic study/slack
+      // choices, probabilistic pub detours); the analysis computes the
+      // greatest expected reward over schedulers.
+      {"student", R"(
+proc class1() {
+  if star { class2(); } else { facebook(); }
+}
+proc facebook() {
+  if star { class1(); } else { skip; }
+}
+proc class2() {
+  reward(2);
+  if star { class3(); } else { skip; }
+}
+proc class3() {
+  reward(10);
+  if prob(3/5) { skip; } else { pub(); }
+}
+proc pub() {
+  reward(1);
+  if prob(1/5) { class1(); } else {
+    if prob(1/2) { class2(); } else { class3(); }
+  }
+}
+proc main() { class1(); }
+)"},
+  };
+  return Programs;
+}
+
+//===----------------------------------------------------------------------===//
+// Table helpers
+//===----------------------------------------------------------------------===//
+
+unsigned benchmarks::countLoc(const char *Source) {
+  unsigned Lines = 0;
+  bool NonBlank = false;
+  for (const char *P = Source; *P; ++P) {
+    if (*P == '\n') {
+      Lines += NonBlank;
+      NonBlank = false;
+    } else if (!std::isspace(static_cast<unsigned char>(*P))) {
+      NonBlank = true;
+    }
+  }
+  return Lines + NonBlank;
+}
+
+char benchmarks::recursionKind(const lang::Program &Prog) {
+  cfg::ProgramGraph Graph = cfg::ProgramGraph::build(Prog);
+  // Call graph over procedures, plus tail-ness of each call site (a call
+  // is tail when control continues directly at the procedure exit).
+  unsigned NumProcs = Graph.numProcs();
+  std::vector<std::vector<unsigned>> Callees(NumProcs);
+  bool AllCallsTail = true;
+  for (const cfg::HyperEdge &E : Graph.edges()) {
+    if (E.Ctrl.TheKind != cfg::ControlAction::Kind::Call)
+      continue;
+    unsigned Caller = Graph.procOf(E.Src);
+    Callees[Caller].push_back(E.Ctrl.Callee);
+    if (E.Dsts[0] != Graph.proc(Caller).Exit)
+      AllCallsTail = false;
+  }
+  // Detect a cycle in the call graph by DFS.
+  std::vector<int> State(NumProcs, 0); // 0 unvisited, 1 on stack, 2 done
+  bool Recursive = false;
+  auto Dfs = [&](const auto &Self, unsigned P) -> void {
+    State[P] = 1;
+    for (unsigned Q : Callees[P]) {
+      if (State[Q] == 1)
+        Recursive = true;
+      else if (State[Q] == 0)
+        Self(Self, Q);
+    }
+    State[P] = 2;
+  };
+  for (unsigned P = 0; P != NumProcs; ++P)
+    if (State[P] == 0)
+      Dfs(Dfs, P);
+  if (!Recursive)
+    return 'n';
+  return AllCallsTail ? 't' : 'r';
+}

@@ -1,0 +1,151 @@
+//===- cfg/HyperGraph.h - Control-flow hyper-graphs -------------*- C++ -*-===//
+//
+// Part of the PMAF reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Control-flow hyper-graphs (Defn 3.1) and the hyper-graph program model
+/// (Defn 3.2): a program is a set of procedures, each a single-entry /
+/// single-exit hyper-graph in which every node except the exit has exactly
+/// one outgoing hyper-edge, and each hyper-edge carries a control-flow
+/// action
+///
+///   Ctrl ::= seq[act] | call[i] | cond[phi] | prob[p] | ndet
+///
+/// with one destination for seq/call and two for the choice actions
+/// (destination 0 is the then/true/weight-p branch).
+///
+/// Nodes are numbered globally across the whole program so that the
+/// interprocedural equation system of §4.3 is a single vector of values.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PMAF_CFG_HYPERGRAPH_H
+#define PMAF_CFG_HYPERGRAPH_H
+
+#include "lang/Ast.h"
+#include "support/Rational.h"
+
+#include <string>
+#include <vector>
+
+namespace pmaf {
+namespace cfg {
+
+/// The control-flow action attached to a hyper-edge (Defn 3.2).
+struct ControlAction {
+  enum class Kind { Seq, Call, Cond, Prob, Ndet };
+
+  Kind TheKind = Kind::Seq;
+
+  /// Kind::Seq: the data action (Assign/Sample/Observe/Reward statement),
+  /// or nullptr for the trivial action skip.
+  const lang::Stmt *DataAction = nullptr;
+
+  /// Kind::Call: callee procedure index.
+  unsigned Callee = 0;
+
+  /// Kind::Cond: the branch condition (true-branch is destination 0).
+  const lang::Cond *Phi = nullptr;
+
+  /// Kind::Prob: probability of destination 0.
+  Rational Prob;
+
+  static ControlAction seq(const lang::Stmt *Action) {
+    ControlAction A;
+    A.TheKind = Kind::Seq;
+    A.DataAction = Action;
+    return A;
+  }
+  static ControlAction call(unsigned Callee) {
+    ControlAction A;
+    A.TheKind = Kind::Call;
+    A.Callee = Callee;
+    return A;
+  }
+  static ControlAction cond(const lang::Cond *Phi) {
+    ControlAction A;
+    A.TheKind = Kind::Cond;
+    A.Phi = Phi;
+    return A;
+  }
+  static ControlAction prob(Rational P) {
+    ControlAction A;
+    A.TheKind = Kind::Prob;
+    A.Prob = std::move(P);
+    return A;
+  }
+  static ControlAction ndet() {
+    ControlAction A;
+    A.TheKind = Kind::Ndet;
+    return A;
+  }
+};
+
+/// A hyper-edge <Src, Dsts> with its control action; |Dsts| is 1 for
+/// seq/call and 2 for cond/prob/ndet.
+struct HyperEdge {
+  unsigned Src = 0;
+  std::vector<unsigned> Dsts;
+  ControlAction Ctrl;
+};
+
+/// A whole program as a family of control-flow hyper-graphs, plus the
+/// queries the analysis framework needs. Holds non-owning pointers into
+/// the lang::Program it was built from, which must outlive it.
+class ProgramGraph {
+public:
+  struct ProcNodes {
+    unsigned Entry = 0;
+    unsigned Exit = 0;
+  };
+
+  /// Lowers \p Prog to hyper-graphs. Requires a semantically checked
+  /// program (calls resolved).
+  static ProgramGraph build(const lang::Program &Prog);
+
+  const lang::Program &program() const { return *Prog; }
+
+  unsigned numNodes() const { return static_cast<unsigned>(OutEdge.size()); }
+  unsigned numProcs() const { return static_cast<unsigned>(Procs.size()); }
+
+  const ProcNodes &proc(unsigned Index) const { return Procs[Index]; }
+
+  /// \returns the unique outgoing hyper-edge of \p Node, or nullptr when
+  /// \p Node is a procedure exit.
+  const HyperEdge *outgoing(unsigned Node) const {
+    int Index = OutEdge[Node];
+    return Index < 0 ? nullptr : &Edges[Index];
+  }
+
+  const std::vector<HyperEdge> &edges() const { return Edges; }
+
+  /// \returns the procedure containing \p Node.
+  unsigned procOf(unsigned Node) const { return ProcOfNode[Node]; }
+
+  /// The dependence graph of Eqn 2, as successor lists: an arc u -> v means
+  /// the value of v is computed from the value of u (v = src of a
+  /// hyper-edge with u among its destinations, or v is a call site of the
+  /// procedure whose entry is u).
+  std::vector<std::vector<unsigned>> dependenceSuccessors() const;
+
+  /// Graphviz rendering of all procedures (hyper-edges are drawn through a
+  /// small point node when they have two destinations, as in Fig 2).
+  std::string toDot() const;
+
+private:
+  friend class GraphBuilder;
+
+  const lang::Program *Prog = nullptr;
+  /// Outgoing hyper-edge index per node; -1 for procedure exits.
+  std::vector<int> OutEdge;
+  std::vector<unsigned> ProcOfNode;
+  std::vector<HyperEdge> Edges;
+  std::vector<ProcNodes> Procs;
+};
+
+} // namespace cfg
+} // namespace pmaf
+
+#endif // PMAF_CFG_HYPERGRAPH_H

@@ -1,0 +1,56 @@
+//===- cfg/Wto.h - Bourdoncle weak topological order ------------*- C++ -*-===//
+//
+// Part of the PMAF reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bourdoncle's weak topological order (WTO) and widening-point
+/// computation ("Efficient chaotic iteration strategies with widenings",
+/// 1993, Fig 4), applied — as §4.4 of the paper prescribes — to the
+/// dependence graph obtained from the hyper-graph by Eqn 2, so that every
+/// cycle, including cycles through procedure calls, is cut by a widening
+/// point.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PMAF_CFG_WTO_H
+#define PMAF_CFG_WTO_H
+
+#include <string>
+#include <vector>
+
+namespace pmaf {
+namespace cfg {
+
+/// One element of a weak topological order: either a plain vertex
+/// (Body empty, IsComponent false) or a component with head Node and
+/// nested body.
+struct WtoElement {
+  unsigned Node = 0;
+  bool IsComponent = false;
+  std::vector<WtoElement> Body;
+};
+
+/// A weak topological order of a directed graph.
+struct Wto {
+  /// Top-level elements, in iteration order (dependencies first).
+  std::vector<WtoElement> Elements;
+
+  /// WideningPoint[v] is true iff v heads some component.
+  std::vector<bool> WideningPoint;
+
+  /// Computes the WTO of the graph given by successor lists. \p Roots are
+  /// visited first (in order); any vertex unreachable from them is then
+  /// used as an additional root so the order covers the whole graph.
+  static Wto compute(const std::vector<std::vector<unsigned>> &Successors,
+                     const std::vector<unsigned> &Roots);
+
+  /// Renders e.g. "0 1 (2 3 (4 5)) 6" with components parenthesized.
+  std::string toString() const;
+};
+
+} // namespace cfg
+} // namespace pmaf
+
+#endif // PMAF_CFG_WTO_H

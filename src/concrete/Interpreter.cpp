@@ -1,0 +1,229 @@
+//===- concrete/Interpreter.cpp - Monte-Carlo program execution -----------===//
+
+#include "concrete/Interpreter.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace pmaf;
+using namespace pmaf::concrete;
+using namespace pmaf::lang;
+
+Interpreter::Interpreter(const Program &Prog, uint64_t Seed)
+    : Prog(Prog), TheRng(Seed) {}
+
+double Interpreter::evalExpr(const Expr &E,
+                             const std::vector<double> &State) const {
+  switch (E.kind()) {
+  case Expr::Kind::Var:
+    return State[E.varIndex()];
+  case Expr::Kind::Number:
+    return E.number().toDouble();
+  case Expr::Kind::BoolLit:
+    return E.boolValue() ? 1.0 : 0.0;
+  case Expr::Kind::Add:
+    return evalExpr(E.lhs(), State) + evalExpr(E.rhs(), State);
+  case Expr::Kind::Sub:
+    return evalExpr(E.lhs(), State) - evalExpr(E.rhs(), State);
+  case Expr::Kind::Mul:
+    return evalExpr(E.lhs(), State) * evalExpr(E.rhs(), State);
+  case Expr::Kind::Div:
+    return evalExpr(E.lhs(), State) / evalExpr(E.rhs(), State);
+  }
+  assert(false && "unknown expression kind");
+  return 0.0;
+}
+
+bool Interpreter::evalCond(const Cond &C,
+                           const std::vector<double> &State) const {
+  switch (C.kind()) {
+  case Cond::Kind::True:
+    return true;
+  case Cond::Kind::False:
+    return false;
+  case Cond::Kind::BoolVar:
+    return State[C.varIndex()] != 0.0;
+  case Cond::Kind::Cmp: {
+    double L = evalExpr(C.cmpLhs(), State);
+    double R = evalExpr(C.cmpRhs(), State);
+    switch (C.cmpOp()) {
+    case CmpOp::Eq:
+      return L == R;
+    case CmpOp::Ne:
+      return L != R;
+    case CmpOp::Le:
+      return L <= R;
+    case CmpOp::Ge:
+      return L >= R;
+    case CmpOp::Lt:
+      return L < R;
+    case CmpOp::Gt:
+      return L > R;
+    }
+    assert(false && "unknown comparison");
+    return false;
+  }
+  case Cond::Kind::Not:
+    return !evalCond(C.operand(), State);
+  case Cond::Kind::And:
+    return evalCond(C.lhs(), State) && evalCond(C.rhs(), State);
+  case Cond::Kind::Or:
+    return evalCond(C.lhs(), State) || evalCond(C.rhs(), State);
+  }
+  assert(false && "unknown condition kind");
+  return false;
+}
+
+double Interpreter::sample(const Dist &D, const std::vector<double> &State) {
+  switch (D.TheKind) {
+  case Dist::Kind::Bernoulli:
+    return TheRng.bernoulli(evalExpr(*D.Params[0], State)) ? 1.0 : 0.0;
+  case Dist::Kind::Uniform: {
+    double Lo = evalExpr(*D.Params[0], State);
+    double Hi = evalExpr(*D.Params[1], State);
+    return TheRng.uniform(Lo, Hi);
+  }
+  case Dist::Kind::Gaussian: {
+    double Mean = evalExpr(*D.Params[0], State);
+    double Std = evalExpr(*D.Params[1], State);
+    return Mean + Std * TheRng.gaussian();
+  }
+  case Dist::Kind::UniformInt: {
+    double Lo = evalExpr(*D.Params[0], State);
+    double Hi = evalExpr(*D.Params[1], State);
+    uint64_t Span = static_cast<uint64_t>(Hi - Lo) + 1;
+    return Lo + static_cast<double>(TheRng.below(Span));
+  }
+  case Dist::Kind::Discrete: {
+    double U = TheRng.uniform();
+    double Acc = 0.0;
+    for (size_t I = 0; I != D.Params.size(); ++I) {
+      Acc += D.Weights[I].toDouble();
+      if (U < Acc)
+        return evalExpr(*D.Params[I], State);
+    }
+    // Sub-probability mass: the paper's distributions may sum to < 1; the
+    // residual mass behaves like the last value for execution purposes.
+    return evalExpr(*D.Params.back(), State);
+  }
+  }
+  assert(false && "unknown distribution kind");
+  return 0.0;
+}
+
+Interpreter::Flow Interpreter::exec(const Stmt &S, ExecResult &Result,
+                                    unsigned MaxSteps,
+                                    const NdetPolicy &Policy) {
+  if (Rejected || Exhausted)
+    return Flow::Return;
+  if (++Result.Steps > MaxSteps) {
+    Exhausted = true;
+    return Flow::Return;
+  }
+  switch (S.kind()) {
+  case Stmt::Kind::Skip:
+    return Flow::Normal;
+  case Stmt::Kind::Assign:
+    Result.State[S.varIndex()] = evalExpr(S.value(), Result.State);
+    return Flow::Normal;
+  case Stmt::Kind::Sample:
+    Result.State[S.varIndex()] = sample(S.dist(), Result.State);
+    return Flow::Normal;
+  case Stmt::Kind::Observe:
+    if (!evalCond(S.observed(), Result.State))
+      Rejected = true;
+    return Rejected ? Flow::Return : Flow::Normal;
+  case Stmt::Kind::Reward:
+    Result.Reward += S.reward().toDouble();
+    return Flow::Normal;
+  case Stmt::Kind::Block:
+    for (const Stmt::Ptr &Child : S.stmts()) {
+      Flow F = exec(*Child, Result, MaxSteps, Policy);
+      if (F != Flow::Normal)
+        return F;
+    }
+    return Flow::Normal;
+  case Stmt::Kind::If: {
+    bool TakeThen = false;
+    const Guard &G = S.guard();
+    switch (G.TheKind) {
+    case Guard::Kind::Cond:
+      TakeThen = evalCond(*G.Phi, Result.State);
+      break;
+    case Guard::Kind::Prob:
+      TakeThen = TheRng.bernoulli(G.Prob.toDouble());
+      break;
+    case Guard::Kind::Ndet:
+      TakeThen = Policy ? Policy(Result.State) : TheRng.bernoulli(0.5);
+      break;
+    }
+    if (TakeThen)
+      return exec(S.thenStmt(), Result, MaxSteps, Policy);
+    if (const Stmt *Else = S.elseStmt())
+      return exec(*Else, Result, MaxSteps, Policy);
+    return Flow::Normal;
+  }
+  case Stmt::Kind::While: {
+    const Guard &G = S.guard();
+    while (true) {
+      if (Rejected || Exhausted)
+        return Flow::Return;
+      if (++Result.Steps > MaxSteps) {
+        Exhausted = true;
+        return Flow::Return;
+      }
+      bool Continue = false;
+      switch (G.TheKind) {
+      case Guard::Kind::Cond:
+        Continue = evalCond(*G.Phi, Result.State);
+        break;
+      case Guard::Kind::Prob:
+        Continue = TheRng.bernoulli(G.Prob.toDouble());
+        break;
+      case Guard::Kind::Ndet:
+        Continue = Policy ? Policy(Result.State) : TheRng.bernoulli(0.5);
+        break;
+      }
+      if (!Continue)
+        return Flow::Normal;
+      Flow F = exec(S.body(), Result, MaxSteps, Policy);
+      if (F == Flow::Break)
+        return Flow::Normal;
+      if (F == Flow::Return)
+        return Flow::Return;
+      // Normal and Continue both re-test the guard.
+    }
+  }
+  case Stmt::Kind::Call:
+    return exec(*Prog.Procs[S.calleeIndex()].Body, Result, MaxSteps, Policy)
+                   == Flow::Return && (Rejected || Exhausted)
+               ? Flow::Return
+               : Flow::Normal;
+  case Stmt::Kind::Break:
+    return Flow::Break;
+  case Stmt::Kind::Continue:
+    return Flow::Continue;
+  case Stmt::Kind::Return:
+    return Flow::Return;
+  }
+  assert(false && "unknown statement kind");
+  return Flow::Normal;
+}
+
+ExecResult Interpreter::run(unsigned ProcIndex, std::vector<double> Initial,
+                            unsigned MaxSteps, NdetPolicy Policy) {
+  assert(ProcIndex < Prog.Procs.size() && "no such procedure");
+  Initial.resize(Prog.Vars.size(), 0.0);
+  ExecResult Result;
+  Result.State = std::move(Initial);
+  Rejected = false;
+  Exhausted = false;
+  exec(*Prog.Procs[ProcIndex].Body, Result, MaxSteps, Policy);
+  if (Rejected)
+    Result.TheStatus = ExecResult::Status::ObserveFailed;
+  else if (Exhausted)
+    Result.TheStatus = ExecResult::Status::OutOfFuel;
+  else
+    Result.TheStatus = ExecResult::Status::Terminated;
+  return Result;
+}

@@ -1,0 +1,95 @@
+//===- concrete/Interpreter.h - Monte-Carlo program execution ---*- C++ -*-===//
+//
+// Part of the PMAF reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A reference interpreter that executes probabilistic programs forward by
+/// sampling, realizing the operational reading of the kernel semantics of
+/// §3.3. It is used by the test suite to validate analysis results
+/// statistically: posterior probabilities (§5.1), expected rewards (§5.2),
+/// and expectation invariants (§5.3) are estimated over many runs and
+/// compared against the static results.
+///
+/// Nondeterministic choices are resolved by a caller-supplied policy, which
+/// lets tests range over schedulers (the semantics resolves nondeterminism
+/// on the outside, §1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PMAF_CONCRETE_INTERPRETER_H
+#define PMAF_CONCRETE_INTERPRETER_H
+
+#include "lang/Ast.h"
+#include "support/Rng.h"
+
+#include <functional>
+#include <vector>
+
+namespace pmaf {
+namespace concrete {
+
+/// The outcome of one sampled execution.
+struct ExecResult {
+  enum class Status {
+    Terminated,    ///< Reached the exit of the entry procedure.
+    ObserveFailed, ///< An observe(phi) rejected the run (conditioning).
+    OutOfFuel      ///< Step budget exhausted (treated as divergence).
+  };
+
+  Status TheStatus = Status::OutOfFuel;
+  /// Final variable valuation (Booleans as 0/1).
+  std::vector<double> State;
+  /// Total reward accumulated by `reward(r)` statements.
+  double Reward = 0.0;
+  /// Number of executed statements.
+  unsigned Steps = 0;
+
+  bool terminated() const { return TheStatus == Status::Terminated; }
+};
+
+/// Resolves an ndet choice; receives the current state and returns true to
+/// take the then/first branch.
+using NdetPolicy =
+    std::function<bool(const std::vector<double> &State)>;
+
+/// Samples executions of a program.
+class Interpreter {
+public:
+  /// \param Prog program to execute (must outlive the interpreter).
+  /// \param Seed RNG seed; every run draws from the same deterministic
+  ///        stream, so whole experiments are reproducible.
+  Interpreter(const lang::Program &Prog, uint64_t Seed);
+
+  /// Runs procedure \p ProcIndex from \p Initial with at most \p MaxSteps
+  /// statement executions. \p Policy resolves ndet choices (defaults to a
+  /// fair coin, i.e. a uniformly random scheduler).
+  ExecResult run(unsigned ProcIndex, std::vector<double> Initial,
+                 unsigned MaxSteps = 100000, NdetPolicy Policy = nullptr);
+
+  /// Evaluates an arithmetic expression in \p State.
+  double evalExpr(const lang::Expr &E,
+                  const std::vector<double> &State) const;
+
+  /// Evaluates a logical condition in \p State.
+  bool evalCond(const lang::Cond &C, const std::vector<double> &State) const;
+
+private:
+  enum class Flow { Normal, Break, Continue, Return };
+
+  Flow exec(const lang::Stmt &S, ExecResult &Result, unsigned MaxSteps,
+            const NdetPolicy &Policy);
+
+  double sample(const lang::Dist &D, const std::vector<double> &State);
+
+  const lang::Program &Prog;
+  Rng TheRng;
+  bool Rejected = false;
+  bool Exhausted = false;
+};
+
+} // namespace concrete
+} // namespace pmaf
+
+#endif // PMAF_CONCRETE_INTERPRETER_H

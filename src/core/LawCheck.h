@@ -1,0 +1,229 @@
+//===- core/LawCheck.h - Property checker for the PMA laws ------*- C++ -*-===//
+//
+// Part of the PMAF reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A generic property checker for the pre-Markov algebra laws of Defn 4.2.
+/// Given a domain, a set of sample values, sample conditions, and sample
+/// probabilities, it checks every law on all combinations and reports the
+/// violations as human-readable strings (empty result = all laws hold).
+///
+/// Orientation: the laws are stated in the paper for domains whose
+/// nondeterministic choice is an upper bound in the approximation order
+/// (the angelic/Hoare-style reading; e.g. the MDP and LEIA instantiations,
+/// where ⋓ is max/join). Under-abstraction domains like Bayesian inference
+/// use a demonic ⋓ (pointwise min), for which the choice-comparison laws
+/// hold with the mirrored orientation; callers select the orientation via
+/// LawCheckOptions::ChoiceIsUpperBound. Remark 4.3 notes the laws are not
+/// needed for the framework's soundness — this checker is how "you have to
+/// establish some well-defined algebraic properties" becomes executable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PMAF_CORE_LAWCHECK_H
+#define PMAF_CORE_LAWCHECK_H
+
+#include "core/Domain.h"
+
+#include <string>
+#include <vector>
+
+namespace pmaf {
+namespace core {
+
+/// Inputs to the law checker.
+template <typename D> struct LawCheckInput {
+  std::vector<typename D::Value> Samples;
+  /// Condition samples (the checker forms negations and disjunctions).
+  std::vector<const lang::Cond *> Conds;
+  std::vector<Rational> Probs;
+};
+
+struct LawCheckOptions {
+  /// True when ⋓ is an upper bound of its operands in ⊑ (angelic);
+  /// false mirrors the choice-comparison laws (demonic under-abstraction).
+  bool ChoiceIsUpperBound = true;
+  /// The two associativity-style laws only hold up to abstraction in
+  /// domains whose conditional-choice over-approximates the guard (LEIA's
+  /// polyhedral hulls, §5.3); Remark 4.3 notes the laws are design aids,
+  /// not soundness requirements.
+  bool CheckProbAssociativity = true;
+  bool CheckCondAssociativity = true;
+};
+
+/// Checks the Defn 4.2 laws; returns one message per violation.
+template <PreMarkovAlgebra D>
+std::vector<std::string> checkPmaLaws(D &Dom, const LawCheckInput<D> &In,
+                                      const LawCheckOptions &Opts = {}) {
+  using Value = typename D::Value;
+  std::vector<std::string> Violations;
+  auto Report = [&Violations](const std::string &Law, size_t I, size_t J,
+                              size_t K) {
+    Violations.push_back(Law + " violated at samples (" +
+                         std::to_string(I) + ", " + std::to_string(J) +
+                         ", " + std::to_string(K) + ")");
+  };
+
+  const std::vector<Value> &S = In.Samples;
+  Value One = Dom.one();
+  Value Bottom = Dom.bottom();
+
+  // ⊥ is least.
+  for (size_t I = 0; I != S.size(); ++I)
+    if (!Dom.leq(Bottom, S[I]))
+      Report("bottom-least", I, 0, 0);
+
+  // Monoid laws for ⊗ with unit 1.
+  for (size_t I = 0; I != S.size(); ++I) {
+    if (!Dom.equal(Dom.extend(S[I], One), S[I]))
+      Report("right-unit (a (x) 1 = a)", I, 0, 0);
+    if (!Dom.equal(Dom.extend(One, S[I]), S[I]))
+      Report("left-unit (1 (x) a = a)", I, 0, 0);
+    for (size_t J = 0; J != S.size(); ++J)
+      for (size_t K = 0; K != S.size(); ++K)
+        if (!Dom.equal(Dom.extend(Dom.extend(S[I], S[J]), S[K]),
+                       Dom.extend(S[I], Dom.extend(S[J], S[K]))))
+          Report("(x)-associativity", I, J, K);
+  }
+
+  // ⋓ is idempotent, commutative, associative.
+  for (size_t I = 0; I != S.size(); ++I) {
+    if (!Dom.equal(Dom.ndetChoice(S[I], S[I]), S[I]))
+      Report("ndet-idempotence", I, 0, 0);
+    for (size_t J = 0; J != S.size(); ++J) {
+      if (!Dom.equal(Dom.ndetChoice(S[I], S[J]),
+                     Dom.ndetChoice(S[J], S[I])))
+        Report("ndet-commutativity", I, J, 0);
+      for (size_t K = 0; K != S.size(); ++K)
+        if (!Dom.equal(
+                Dom.ndetChoice(Dom.ndetChoice(S[I], S[J]), S[K]),
+                Dom.ndetChoice(S[I], Dom.ndetChoice(S[J], S[K]))))
+          Report("ndet-associativity", I, J, K);
+    }
+  }
+
+  // Choice-comparison laws: a phi^ b ⊑ a ⋓ b, a p(+) b ⊑ a ⋓ b
+  // (mirrored for demonic domains), and the self/unit choice laws.
+  auto InOrder = [&](const Value &A, const Value &B) {
+    return Opts.ChoiceIsUpperBound ? Dom.leq(A, B) : Dom.leq(B, A);
+  };
+  for (size_t I = 0; I != S.size(); ++I)
+    for (size_t J = 0; J != S.size(); ++J) {
+      Value Ndet = Dom.ndetChoice(S[I], S[J]);
+      for (const lang::Cond *Phi : In.Conds)
+        if (!InOrder(Dom.condChoice(*Phi, S[I], S[J]), Ndet))
+          Report("cond-below-ndet", I, J, 0);
+      for (const Rational &P : In.Probs)
+        if (!InOrder(Dom.probChoice(P, S[I], S[J]), Ndet))
+          Report("prob-below-ndet", I, J, 0);
+    }
+  for (size_t I = 0; I != S.size(); ++I) {
+    for (const lang::Cond *Phi : In.Conds)
+      if (!InOrder(S[I], Dom.condChoice(*Phi, S[I], S[I])))
+        Report("a ⊑ a phi^ a", I, 0, 0);
+    for (const Rational &P : In.Probs)
+      if (!InOrder(S[I], Dom.probChoice(P, S[I], S[I])))
+        Report("a ⊑ a p(+) a", I, 0, 0);
+    for (size_t J = 0; J != S.size(); ++J) {
+      lang::Cond::Ptr True = lang::Cond::makeTrue();
+      if (!InOrder(S[I], Dom.condChoice(*True, S[I], S[J])))
+        Report("a ⊑ a true^ b", I, J, 0);
+      if (!InOrder(S[I], Dom.probChoice(Rational(1), S[I], S[J])))
+        Report("a ⊑ a 1(+) b", I, J, 0);
+    }
+  }
+
+  // Commutation: a phi^ b = b ¬phi^ a and a p(+) b = b (1-p)(+) a.
+  for (size_t I = 0; I != S.size(); ++I)
+    for (size_t J = 0; J != S.size(); ++J) {
+      for (const lang::Cond *Phi : In.Conds) {
+        lang::Cond::Ptr NotPhi = lang::Cond::makeNot(Phi->clone());
+        if (!Dom.equal(Dom.condChoice(*Phi, S[I], S[J]),
+                       Dom.condChoice(*NotPhi, S[J], S[I])))
+          Report("cond-commutation", I, J, 0);
+      }
+      for (const Rational &P : In.Probs)
+        if (!Dom.equal(Dom.probChoice(P, S[I], S[J]),
+                       Dom.probChoice(Rational(1) - P, S[J], S[I])))
+          Report("prob-commutation", I, J, 0);
+    }
+
+  // Associativity-style laws:
+  //   a phi^ (b psi^ c) = (a phi'^ b) psi'^ c with phi' = phi,
+  //   psi' = phi ∨ psi (a solution of Defn 4.2's side conditions), and
+  //   a p(+) (b q(+) c) = (a p'(+) b) q'(+) c with q' = 1-(1-p)(1-q),
+  //   p' = p/q'.
+  for (size_t I = 0; I != S.size(); ++I)
+    for (size_t J = 0; J != S.size(); ++J)
+      for (size_t K = 0; K != S.size(); ++K) {
+        for (const lang::Cond *Phi :
+             Opts.CheckCondAssociativity
+                 ? In.Conds
+                 : std::vector<const lang::Cond *>())
+          for (const lang::Cond *Psi : In.Conds) {
+            lang::Cond::Ptr Or =
+                lang::Cond::makeOr(Phi->clone(), Psi->clone());
+            if (!Dom.equal(
+                    Dom.condChoice(*Phi, S[I],
+                                   Dom.condChoice(*Psi, S[J], S[K])),
+                    Dom.condChoice(*Or,
+                                   Dom.condChoice(*Phi, S[I], S[J]),
+                                   S[K])))
+              Report("cond-associativity", I, J, K);
+          }
+        if (Opts.CheckProbAssociativity)
+          for (const Rational &P : In.Probs)
+            for (const Rational &Q : In.Probs) {
+              Rational QPrime =
+                  Rational(1) - (Rational(1) - P) * (Rational(1) - Q);
+              if (QPrime.isZero())
+                continue;
+              Rational PPrime = P / QPrime;
+              if (!Dom.equal(
+                      Dom.probChoice(P, S[I],
+                                     Dom.probChoice(Q, S[J], S[K])),
+                      Dom.probChoice(
+                          QPrime, Dom.probChoice(PPrime, S[I], S[J]),
+                          S[K])))
+                Report("prob-associativity", I, J, K);
+            }
+      }
+
+  // Monotonicity of all operators (pre-ω-continuity implies monotone;
+  // comparable pairs are manufactured with ⋓ / the mirrored direction).
+  for (size_t I = 0; I != S.size(); ++I)
+    for (size_t J = 0; J != S.size(); ++J) {
+      Value Low = S[I];
+      Value High = Dom.ndetChoice(S[I], S[J]);
+      if (!Opts.ChoiceIsUpperBound)
+        std::swap(Low, High);
+      if (!Dom.leq(Low, High))
+        continue; // ⋓ not comparable in this domain; skip the pair.
+      for (size_t K = 0; K != S.size(); ++K) {
+        if (!Dom.leq(Dom.extend(Low, S[K]), Dom.extend(High, S[K])))
+          Report("(x)-monotone-left", I, J, K);
+        if (!Dom.leq(Dom.extend(S[K], Low), Dom.extend(S[K], High)))
+          Report("(x)-monotone-right", I, J, K);
+        if (!Dom.leq(Dom.ndetChoice(Low, S[K]),
+                     Dom.ndetChoice(High, S[K])))
+          Report("ndet-monotone", I, J, K);
+        for (const Rational &P : In.Probs)
+          if (!Dom.leq(Dom.probChoice(P, Low, S[K]),
+                       Dom.probChoice(P, High, S[K])))
+            Report("prob-monotone", I, J, K);
+        for (const lang::Cond *Phi : In.Conds)
+          if (!Dom.leq(Dom.condChoice(*Phi, Low, S[K]),
+                       Dom.condChoice(*Phi, High, S[K])))
+            Report("cond-monotone", I, J, K);
+      }
+    }
+
+  return Violations;
+}
+
+} // namespace core
+} // namespace pmaf
+
+#endif // PMAF_CORE_LAWCHECK_H

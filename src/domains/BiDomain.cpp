@@ -1,0 +1,88 @@
+//===- domains/BiDomain.cpp - Interprocedural Bayesian inference ----------===//
+
+#include "domains/BiDomain.h"
+
+#include <cassert>
+#include <optional>
+
+using namespace pmaf;
+using namespace pmaf::domains;
+using namespace pmaf::lang;
+
+Matrix BiDomain::condChoice(const Cond &Phi, const Matrix &A,
+                            const Matrix &B) const {
+  size_t N = Space->numStates();
+  Matrix Result(N, N);
+  for (size_t S = 0; S != N; ++S) {
+    const Matrix &Source = Space->evalCond(Phi, S) ? A : B;
+    for (size_t T = 0; T != N; ++T)
+      Result.at(S, T) = Source.at(S, T);
+  }
+  return Result;
+}
+
+/// Extracts a constant probability from a Bernoulli parameter expression.
+static double bernoulliParam(const Expr &E) {
+  assert(E.kind() == Expr::Kind::Number &&
+         "Bernoulli parameter must be a constant in Boolean programs");
+  return E.number().toDouble();
+}
+
+Matrix BiDomain::interpret(const Stmt *Action) const {
+  size_t N = Space->numStates();
+  if (!Action)
+    return Matrix::identity(N);
+  switch (Action->kind()) {
+  case Stmt::Kind::Skip:
+  case Stmt::Kind::Reward:
+    return Matrix::identity(N);
+  case Stmt::Kind::Assign: {
+    // ⟦x := E⟧(s, t) = [ s[x <- E(s)] = t ]
+    Matrix Result(N, N);
+    unsigned X = Action->varIndex();
+    for (size_t S = 0; S != N; ++S)
+      Result.at(S, Space->set(S, X, Space->evalExpr(Action->value(), S))) =
+          1.0;
+    return Result;
+  }
+  case Stmt::Kind::Sample: {
+    const Dist &D = Action->dist();
+    unsigned X = Action->varIndex();
+    Matrix Result(N, N);
+    switch (D.TheKind) {
+    case Dist::Kind::Bernoulli: {
+      // ⟦x ~ Bernoulli(p)⟧(s, t) = p[s[x<-T]=t] + (1-p)[s[x<-F]=t]
+      double P = bernoulliParam(*D.Params[0]);
+      for (size_t S = 0; S != N; ++S) {
+        Result.at(S, Space->set(S, X, true)) += P;
+        Result.at(S, Space->set(S, X, false)) += 1.0 - P;
+      }
+      return Result;
+    }
+    case Dist::Kind::Discrete: {
+      // Values are interpreted as Booleans (0 = false, nonzero = true).
+      for (size_t S = 0; S != N; ++S)
+        for (size_t I = 0; I != D.Params.size(); ++I) {
+          bool V = !D.Params[I]->number().isZero();
+          Result.at(S, Space->set(S, X, V)) += D.Weights[I].toDouble();
+        }
+      return Result;
+    }
+    default:
+      assert(false && "continuous distribution in a Boolean program");
+      return Matrix::identity(N);
+    }
+  }
+  case Stmt::Kind::Observe: {
+    // ⟦observe(phi)⟧(s, t) = phi(s) · [s = t]
+    Matrix Result(N, N);
+    for (size_t S = 0; S != N; ++S)
+      if (Space->evalCond(Action->observed(), S))
+        Result.at(S, S) = 1.0;
+    return Result;
+  }
+  default:
+    assert(false && "not a data action");
+    return Matrix::identity(N);
+  }
+}

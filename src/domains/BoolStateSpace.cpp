@@ -1,0 +1,73 @@
+//===- domains/BoolStateSpace.cpp - Boolean-program state spaces ----------===//
+
+#include "domains/BoolStateSpace.h"
+
+using namespace pmaf;
+using namespace pmaf::domains;
+using namespace pmaf::lang;
+
+BoolStateSpace::BoolStateSpace(const lang::Program &Prog) : Prog(&Prog) {
+  for ([[maybe_unused]] const VarInfo &Var : Prog.Vars)
+    assert(!Var.IsReal &&
+           "Boolean state spaces require an all-Boolean program");
+  NumVars = static_cast<unsigned>(Prog.Vars.size());
+  assert(NumVars <= MaxVars && "Boolean state space too large");
+}
+
+bool BoolStateSpace::evalExpr(const Expr &E, size_t State) const {
+  switch (E.kind()) {
+  case Expr::Kind::BoolLit:
+    return E.boolValue();
+  case Expr::Kind::Var:
+    return get(State, E.varIndex());
+  case Expr::Kind::Number:
+    // Accept 0/1 as Boolean constants for convenience.
+    return !E.number().isZero();
+  default:
+    assert(false && "arithmetic expression in a Boolean program");
+    return false;
+  }
+}
+
+bool BoolStateSpace::evalCond(const Cond &C, size_t State) const {
+  switch (C.kind()) {
+  case Cond::Kind::True:
+    return true;
+  case Cond::Kind::False:
+    return false;
+  case Cond::Kind::BoolVar:
+    return get(State, C.varIndex());
+  case Cond::Kind::Cmp: {
+    bool Lhs = evalExpr(C.cmpLhs(), State);
+    bool Rhs = evalExpr(C.cmpRhs(), State);
+    switch (C.cmpOp()) {
+    case CmpOp::Eq:
+      return Lhs == Rhs;
+    case CmpOp::Ne:
+      return Lhs != Rhs;
+    default:
+      assert(false && "ordered comparison in a Boolean program");
+      return false;
+    }
+  }
+  case Cond::Kind::Not:
+    return !evalCond(C.operand(), State);
+  case Cond::Kind::And:
+    return evalCond(C.lhs(), State) && evalCond(C.rhs(), State);
+  case Cond::Kind::Or:
+    return evalCond(C.lhs(), State) || evalCond(C.rhs(), State);
+  }
+  assert(false && "unknown condition kind");
+  return false;
+}
+
+std::string BoolStateSpace::stateToString(size_t State) const {
+  std::string Out = "{";
+  for (unsigned I = 0; I != NumVars; ++I) {
+    if (I)
+      Out += ", ";
+    Out += Prog->Vars[I].Name;
+    Out += get(State, I) ? "=T" : "=F";
+  }
+  return Out + "}";
+}

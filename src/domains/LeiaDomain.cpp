@@ -1,0 +1,584 @@
+//===- domains/LeiaDomain.cpp - Linear expectation-invariant analysis -----===//
+
+#include "domains/LeiaDomain.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+using namespace pmaf;
+using namespace pmaf::domains;
+using namespace pmaf::lang;
+using namespace pmaf::poly;
+
+LeiaDomain::LeiaDomain(const Program &Prog, double Tolerance)
+    : Prog(&Prog), NumVars(static_cast<unsigned>(Prog.Vars.size())),
+      Tolerance(Tolerance) {
+  for ([[maybe_unused]] const VarInfo &Var : Prog.Vars)
+    assert(Var.IsReal && "LEIA analyzes real-valued (nonnegative) programs");
+}
+
+//===----------------------------------------------------------------------===//
+// Basic polyhedra
+//===----------------------------------------------------------------------===//
+
+Polyhedron LeiaDomain::nonnegUniverse() const {
+  unsigned D = 2 * NumVars;
+  std::vector<Constraint> Cons;
+  for (unsigned I = 0; I != D; ++I)
+    Cons.push_back(Constraint::ge(LinearExpr::variable(D, I),
+                                  LinearExpr::constant(D, Rational(0))));
+  return Polyhedron::fromConstraints(D, Cons);
+}
+
+Polyhedron LeiaDomain::zeroExpectation() const {
+  unsigned D = 2 * NumVars;
+  std::vector<Constraint> Cons;
+  for (unsigned I = 0; I != NumVars; ++I) {
+    Cons.push_back(Constraint::ge(LinearExpr::variable(D, I),
+                                  LinearExpr::constant(D, Rational(0))));
+    Cons.push_back(Constraint::eq(LinearExpr::variable(D, NumVars + I),
+                                  LinearExpr::constant(D, Rational(0))));
+  }
+  return Polyhedron::fromConstraints(D, Cons);
+}
+
+Polyhedron
+LeiaDomain::rebuildFromSupport(const Polyhedron &P) const {
+  // 0 ⊔ P[E[x']/x']; the renaming is the identity under our layout.
+  return zeroExpectation().join(P);
+}
+
+LeiaValue LeiaDomain::canonicalize(Polyhedron P, Polyhedron EP) const {
+  if (P.isEmpty())
+    return bottom();
+  if (EP.isEmpty())
+    EP = rebuildFromSupport(P); // Cannot happen semantically.
+  Polyhedron ECone = zeroExpectation().join(EP);
+  return LeiaValue{std::move(P), std::move(EP), std::move(ECone)};
+}
+
+LeiaValue LeiaDomain::bottom() const {
+  Polyhedron Zero = zeroExpectation();
+  return LeiaValue{Polyhedron::empty(2 * NumVars), Zero, Zero};
+}
+
+LeiaValue LeiaDomain::one() const {
+  unsigned D = 2 * NumVars;
+  std::vector<Constraint> Cons;
+  for (unsigned I = 0; I != NumVars; ++I) {
+    Cons.push_back(Constraint::ge(LinearExpr::variable(D, I),
+                                  LinearExpr::constant(D, Rational(0))));
+    Cons.push_back(Constraint::eq(LinearExpr::variable(D, NumVars + I),
+                                  LinearExpr::variable(D, I)));
+  }
+  Polyhedron Id = Polyhedron::fromConstraints(D, Cons);
+  Polyhedron ECone = zeroExpectation().join(Id);
+  return LeiaValue{Id, Id, std::move(ECone)};
+}
+
+//===----------------------------------------------------------------------===//
+// Expression / condition translation
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Recursively folds an expression to a rational constant if possible.
+std::optional<Rational> foldConstant(const Expr &E) {
+  switch (E.kind()) {
+  case Expr::Kind::Number:
+    return E.number();
+  case Expr::Kind::Var:
+  case Expr::Kind::BoolLit:
+    return std::nullopt;
+  default:
+    break;
+  }
+  auto L = foldConstant(E.lhs()), R = foldConstant(E.rhs());
+  if (!L || !R)
+    return std::nullopt;
+  switch (E.kind()) {
+  case Expr::Kind::Add:
+    return *L + *R;
+  case Expr::Kind::Sub:
+    return *L - *R;
+  case Expr::Kind::Mul:
+    return *L * *R;
+  case Expr::Kind::Div:
+    if (R->isZero())
+      return std::nullopt;
+    return *L / *R;
+  default:
+    return std::nullopt;
+  }
+}
+
+} // namespace
+
+std::optional<LinearExpr> LeiaDomain::exprToLinear(const Expr &E) const {
+  unsigned D = 2 * NumVars;
+  switch (E.kind()) {
+  case Expr::Kind::Var:
+    return LinearExpr::variable(D, E.varIndex());
+  case Expr::Kind::Number:
+    return LinearExpr::constant(D, E.number());
+  case Expr::Kind::BoolLit:
+    return std::nullopt;
+  case Expr::Kind::Add: {
+    auto L = exprToLinear(E.lhs()), R = exprToLinear(E.rhs());
+    if (!L || !R)
+      return std::nullopt;
+    return *L + *R;
+  }
+  case Expr::Kind::Sub: {
+    auto L = exprToLinear(E.lhs()), R = exprToLinear(E.rhs());
+    if (!L || !R)
+      return std::nullopt;
+    return *L - *R;
+  }
+  case Expr::Kind::Mul: {
+    if (auto C = foldConstant(E.lhs())) {
+      auto R = exprToLinear(E.rhs());
+      if (!R)
+        return std::nullopt;
+      return R->scaled(*C);
+    }
+    if (auto C = foldConstant(E.rhs())) {
+      auto L = exprToLinear(E.lhs());
+      if (!L)
+        return std::nullopt;
+      return L->scaled(*C);
+    }
+    return std::nullopt;
+  }
+  case Expr::Kind::Div: {
+    auto C = foldConstant(E.rhs());
+    if (!C || C->isZero())
+      return std::nullopt;
+    auto L = exprToLinear(E.lhs());
+    if (!L)
+      return std::nullopt;
+    return L->scaled(Rational(1) / *C);
+  }
+  }
+  assert(false && "unknown expression kind");
+  return std::nullopt;
+}
+
+Polyhedron LeiaDomain::meetCond(const Polyhedron &P, const Cond &Phi,
+                                bool Negated) const {
+  switch (Phi.kind()) {
+  case Cond::Kind::True:
+    return Negated ? Polyhedron::empty(P.dim()) : P;
+  case Cond::Kind::False:
+    return Negated ? P : Polyhedron::empty(P.dim());
+  case Cond::Kind::BoolVar:
+    return P; // Not representable over reals; over-approximate.
+  case Cond::Kind::Cmp: {
+    auto L = exprToLinear(Phi.cmpLhs());
+    auto R = exprToLinear(Phi.cmpRhs());
+    if (!L || !R)
+      return P;
+    CmpOp Op = Phi.cmpOp();
+    if (Negated) {
+      switch (Op) {
+      case CmpOp::Le:
+        Op = CmpOp::Gt;
+        break;
+      case CmpOp::Ge:
+        Op = CmpOp::Lt;
+        break;
+      case CmpOp::Lt:
+        Op = CmpOp::Ge;
+        break;
+      case CmpOp::Gt:
+        Op = CmpOp::Le;
+        break;
+      case CmpOp::Eq:
+        Op = CmpOp::Ne;
+        break;
+      case CmpOp::Ne:
+        Op = CmpOp::Eq;
+        break;
+      }
+    }
+    switch (Op) {
+    case CmpOp::Le:
+    case CmpOp::Lt: // Closed over-approximation of the strict inequality.
+      return P.meet(Constraint::le(*L, *R));
+    case CmpOp::Ge:
+    case CmpOp::Gt:
+      return P.meet(Constraint::ge(*L, *R));
+    case CmpOp::Eq:
+      return P.meet(Constraint::eq(*L, *R));
+    case CmpOp::Ne:
+      return P; // Not convex; over-approximate.
+    }
+    return P;
+  }
+  case Cond::Kind::Not:
+    return meetCond(P, Phi.operand(), !Negated);
+  case Cond::Kind::And:
+    if (Negated) // ¬(a ∧ b) = ¬a ∨ ¬b
+      return meetCond(P, Phi.lhs(), true).join(meetCond(P, Phi.rhs(), true));
+    return meetCond(meetCond(P, Phi.lhs(), false), Phi.rhs(), false);
+  case Cond::Kind::Or:
+    if (Negated) // ¬(a ∨ b) = ¬a ∧ ¬b
+      return meetCond(meetCond(P, Phi.lhs(), true), Phi.rhs(), true);
+    return meetCond(P, Phi.lhs(), false).join(meetCond(P, Phi.rhs(), false));
+  }
+  assert(false && "unknown condition kind");
+  return P;
+}
+
+//===----------------------------------------------------------------------===//
+// Composition (the tower property, §5.3)
+//===----------------------------------------------------------------------===//
+
+Polyhedron LeiaDomain::composeRelations(const Polyhedron &A,
+                                        const Polyhedron &B) const {
+  unsigned N = NumVars;
+  // Work in 3n dims: [x, y, t]. A relates x to t, B relates t to y.
+  std::vector<unsigned> PermA(3 * N), PermB(3 * N);
+  for (unsigned I = 0; I != N; ++I) {
+    PermA[I] = I;             // pre stays
+    PermA[N + I] = 2 * N + I; // A's post goes to the middle vocabulary
+    PermA[2 * N + I] = N + I; // fresh dims take the post slot
+    PermB[I] = 2 * N + I;     // B's pre goes to the middle vocabulary
+    PermB[N + I] = N + I;     // post stays
+    PermB[2 * N + I] = I;     // fresh dims take the pre slot
+  }
+  Polyhedron LiftedA = A.extend(N).permute(PermA);
+  Polyhedron LiftedB = B.extend(N).permute(PermB);
+  return LiftedA.meet(LiftedB).dropTrailing(N);
+}
+
+LeiaValue LeiaDomain::extend(const Value &A, const Value &B) const {
+  if (A.P.isEmpty() || B.P.isEmpty())
+    return bottom();
+  return canonicalize(composeRelations(A.P, B.P),
+                      composeRelations(A.EP, B.EP));
+}
+
+//===----------------------------------------------------------------------===//
+// Choice operators
+//===----------------------------------------------------------------------===//
+
+LeiaValue LeiaDomain::condChoice(const Cond &Phi, const Value &A,
+                                 const Value &B) const {
+  Polyhedron P =
+      meetCond(A.P, Phi, false).join(meetCond(B.P, Phi, true));
+  // Conditioning can split the probability space arbitrarily (§5.3), so
+  // the branch expectations only survive joined and clipped to the
+  // support cone: EP = (EP1 ⊔ EP2) ⊓ (0 ⊔ P[E[x']/x']).
+  Polyhedron EP = A.EP.join(B.EP).meet(rebuildFromSupport(P));
+  return canonicalize(std::move(P), std::move(EP));
+}
+
+LeiaValue LeiaDomain::probChoice(const Rational &Prob, const Value &A,
+                                 const Value &B) const {
+  if (A.P.isEmpty() && B.P.isEmpty())
+    return bottom();
+  unsigned N = NumVars;
+  unsigned D4 = 4 * N;
+  Polyhedron P = A.P.join(B.P);
+
+  // EP: introduce vocabularies x'' and x''' (§5.3); layout [x, E, t1, t2].
+  std::vector<unsigned> PermA(D4), PermB(D4);
+  for (unsigned I = 0; I != D4; ++I)
+    PermA[I] = PermB[I] = I;
+  for (unsigned I = 0; I != N; ++I) {
+    PermA[N + I] = 2 * N + I; // A's E-vocabulary becomes t1
+    PermA[2 * N + I] = N + I;
+    PermB[N + I] = 3 * N + I; // B's E-vocabulary becomes t2
+    PermB[3 * N + I] = N + I;
+  }
+  Polyhedron LiftedA = A.EP.extend(2 * N).permute(PermA);
+  Polyhedron LiftedB = B.EP.extend(2 * N).permute(PermB);
+  Polyhedron M = LiftedA.meet(LiftedB);
+  for (unsigned I = 0; I != N; ++I) {
+    LinearExpr Combo = LinearExpr::variable(D4, 2 * N + I).scaled(Prob) +
+                       LinearExpr::variable(D4, 3 * N + I)
+                           .scaled(Rational(1) - Prob);
+    M = M.meet(Constraint::eq(LinearExpr::variable(D4, N + I), Combo));
+  }
+  Polyhedron EP = M.dropTrailing(2 * N);
+  return canonicalize(std::move(P), std::move(EP));
+}
+
+LeiaValue LeiaDomain::ndetChoice(const Value &A, const Value &B) const {
+  return canonicalize(A.P.join(B.P), A.EP.join(B.EP));
+}
+
+//===----------------------------------------------------------------------===//
+// Semantic function
+//===----------------------------------------------------------------------===//
+
+LeiaValue LeiaDomain::interpret(const Stmt *Action) const {
+  unsigned N = NumVars;
+  unsigned D = 2 * N;
+  if (!Action)
+    return one();
+  switch (Action->kind()) {
+  case Stmt::Kind::Skip:
+  case Stmt::Kind::Reward:
+    return one();
+  case Stmt::Kind::Assign: {
+    unsigned X = Action->varIndex();
+    std::optional<LinearExpr> Rhs = exprToLinear(Action->value());
+    Polyhedron P = nonnegUniverse();
+    for (unsigned J = 0; J != N; ++J) {
+      if (J == X)
+        continue;
+      P = P.meet(Constraint::eq(LinearExpr::variable(D, N + J),
+                                LinearExpr::variable(D, J)));
+    }
+    if (Rhs) // Nonlinear right-hand sides leave x' unconstrained.
+      P = P.meet(Constraint::eq(LinearExpr::variable(D, N + X), *Rhs));
+    return canonicalize(P, P);
+  }
+  case Stmt::Kind::Sample: {
+    unsigned X = Action->varIndex();
+    const Dist &Di = Action->dist();
+    std::optional<LinearExpr> Min, Max, Mean;
+    switch (Di.TheKind) {
+    case Dist::Kind::Bernoulli:
+      Min = LinearExpr::constant(D, Rational(0));
+      Max = LinearExpr::constant(D, Rational(1));
+      Mean = exprToLinear(*Di.Params[0]);
+      break;
+    case Dist::Kind::Uniform:
+    case Dist::Kind::UniformInt:
+      Min = exprToLinear(*Di.Params[0]);
+      Max = exprToLinear(*Di.Params[1]);
+      if (Min && Max)
+        Mean = (*Min + *Max).scaled(Rational(1, 2));
+      break;
+    case Dist::Kind::Gaussian:
+      // Unbounded support; only the mean is linear.
+      Mean = exprToLinear(*Di.Params[0]);
+      break;
+    case Dist::Kind::Discrete: {
+      Rational Lo, Hi, Avg;
+      bool First = true;
+      for (size_t I = 0; I != Di.Params.size(); ++I) {
+        Rational V = Di.Params[I]->number();
+        if (First || V < Lo)
+          Lo = V;
+        if (First || V > Hi)
+          Hi = V;
+        Avg += V * Di.Weights[I];
+        First = false;
+      }
+      Min = LinearExpr::constant(D, Lo);
+      Max = LinearExpr::constant(D, Hi);
+      Mean = LinearExpr::constant(D, Avg);
+      break;
+    }
+    }
+    Polyhedron Frame = nonnegUniverse();
+    for (unsigned J = 0; J != N; ++J) {
+      if (J == X)
+        continue;
+      Frame = Frame.meet(Constraint::eq(LinearExpr::variable(D, N + J),
+                                        LinearExpr::variable(D, J)));
+    }
+    Polyhedron P = Frame;
+    if (Min)
+      P = P.meet(Constraint::ge(LinearExpr::variable(D, N + X), *Min));
+    if (Max)
+      P = P.meet(Constraint::le(LinearExpr::variable(D, N + X), *Max));
+    Polyhedron EP = Frame;
+    if (Mean)
+      EP = EP.meet(Constraint::eq(LinearExpr::variable(D, N + X), *Mean));
+    return canonicalize(std::move(P), std::move(EP));
+  }
+  case Stmt::Kind::Observe: {
+    const LeiaValue Id = one();
+    Polyhedron P = meetCond(Id.P, Action->observed(), false);
+    // Conditioning rescales mass arbitrarily; rebuild EP pessimistically.
+    return canonicalize(P, rebuildFromSupport(P));
+  }
+  default:
+    assert(false && "not a data action");
+    return one();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Order, widening
+//===----------------------------------------------------------------------===//
+
+bool LeiaDomain::leq(const Value &A, const Value &B) const {
+  if (A.P.isEmpty())
+    return true; // Bottom is least: its EP is 0, and 0 ⊔ EP_B ⊇ 0 always.
+  if (!B.P.contains(A.P))
+    return false;
+  return B.ECone.contains(A.ECone);
+}
+
+bool LeiaDomain::equal(const Value &A, const Value &B) const {
+  if (A.P.isEmpty() || B.P.isEmpty())
+    return A.P.isEmpty() == B.P.isEmpty();
+  // Approximate mutual inclusion (§6.1-style convergence): expectation
+  // chains of probabilistic loops converge geometrically and are cut off
+  // once successive iterates agree to the configured tolerance.
+  return A.P.containsApprox(B.P, Tolerance) &&
+         B.P.containsApprox(A.P, Tolerance) &&
+         A.ECone.containsApprox(B.ECone, Tolerance) &&
+         B.ECone.containsApprox(A.ECone, Tolerance);
+}
+
+LeiaValue LeiaDomain::widenCond(const Value &Old, const Value &New) const {
+  Polyhedron P = Old.P.widen(New.P);
+  return canonicalize(P, rebuildFromSupport(New.P));
+}
+
+LeiaValue LeiaDomain::widenProb(const Value &Old, const Value &New) const {
+  Polyhedron P = Old.P.widen(New.P);
+  // No EP extrapolation (§5.3). Convergence of the geometric expectation
+  // chain comes from the tolerance-based fixpoint test (§6.1 analogue);
+  // rounding the coefficients once per widening application — the single
+  // point every loop iterate flows through — keeps the exact-rational
+  // coefficients bounded without perturbing downstream operations
+  // inconsistently. The 2^-40 grid is far below the 1e-9 stop tolerance.
+  return canonicalize(std::move(P), New.EP.roundedCoefficients(40));
+}
+
+LeiaValue LeiaDomain::widenNdet(const Value &Old, const Value &New) const {
+  return widenCond(Old, New);
+}
+
+LeiaValue LeiaDomain::widenCall(const Value &Old, const Value &New) const {
+  Polyhedron P = Old.P.widen(New.P);
+  return canonicalize(std::move(P), New.EP.roundedCoefficients(40));
+}
+
+//===----------------------------------------------------------------------===//
+// Reporting
+//===----------------------------------------------------------------------===//
+
+std::string LeiaDomain::toString(const Value &A) const {
+  std::vector<std::string> Names;
+  for (const VarInfo &Var : Prog->Vars)
+    Names.push_back(Var.Name);
+  for (const VarInfo &Var : Prog->Vars)
+    Names.push_back(Var.Name + "'");
+  std::vector<std::string> ENames;
+  for (const VarInfo &Var : Prog->Vars)
+    ENames.push_back(Var.Name);
+  for (const VarInfo &Var : Prog->Vars)
+    ENames.push_back("E[" + Var.Name + "']");
+  return "P = " + A.P.toString(Names) + ", EP = " + A.EP.toString(ENames);
+}
+
+namespace {
+
+/// Renders sum(Coeffs[i] * Names[i]) + Constant with %.6g coefficients,
+/// dropping terms below 1e-9 (iteration residue of the ε-converged
+/// chains).
+std::string formatAffine(const std::vector<double> &Coeffs, double Constant,
+                         const std::vector<std::string> &Names) {
+  auto FormatMag = [](double V) {
+    char Buffer[32];
+    std::snprintf(Buffer, sizeof(Buffer), "%.6g", V);
+    return std::string(Buffer);
+  };
+  std::string Out;
+  for (size_t I = 0; I != Coeffs.size(); ++I) {
+    double C = Coeffs[I];
+    if (C > -1e-9 && C < 1e-9)
+      continue;
+    double Abs = C < 0 ? -C : C;
+    bool One = Abs > 1.0 - 1e-6 && Abs < 1.0 + 1e-6;
+    if (Out.empty())
+      Out += (C < 0 ? "-" : "") +
+             (One ? Names[I] : FormatMag(Abs) + "*" + Names[I]);
+    else
+      Out += std::string(C < 0 ? " - " : " + ") +
+             (One ? Names[I] : FormatMag(Abs) + "*" + Names[I]);
+  }
+  if (Constant > 1e-9 || Constant < -1e-9) {
+    if (Out.empty())
+      Out = FormatMag(Constant);
+    else
+      Out += std::string(Constant < 0 ? " - " : " + ") +
+             FormatMag(Constant < 0 ? -Constant : Constant);
+  }
+  return Out.empty() ? "0" : Out;
+}
+
+} // namespace
+
+std::vector<std::string>
+LeiaDomain::describeInvariants(const Value &A) const {
+  std::vector<std::string> Result;
+  if (A.P.isEmpty()) {
+    Result.push_back("false");
+    return Result;
+  }
+  unsigned N = NumVars;
+  std::vector<std::string> PrimeNames, PreNames;
+  for (const VarInfo &Var : Prog->Vars)
+    PrimeNames.push_back(Var.Name + "'");
+  for (const VarInfo &Var : Prog->Vars)
+    PreNames.push_back(Var.Name);
+  for (const Constraint &Con : A.EP.constraintList()) {
+    // Normalize by the leading expectation coefficient and split into the
+    // E-part (left) and the pre-state part (right).
+    Rational Lead;
+    for (unsigned I = 0; I != N && Lead.isZero(); ++I)
+      Lead = Con.Expr.coeff(N + I);
+    if (Lead.isZero())
+      continue; // Support-only row; not an expectation invariant.
+    bool Flipped = Lead.sign() < 0;
+    double Scale = 1.0 / Lead.abs().toDouble() * (Flipped ? -1.0 : 1.0);
+    std::vector<double> ECoeffs(N), PreCoeffs(N);
+    for (unsigned I = 0; I != N; ++I) {
+      ECoeffs[I] = Con.Expr.coeff(N + I).toDouble() * Scale;
+      PreCoeffs[I] = -Con.Expr.coeff(I).toDouble() * Scale;
+    }
+    double PreConst = -Con.Expr.constantTerm().toDouble() * Scale;
+    bool IsEq = Con.TheKind == Constraint::Kind::Eq;
+    // Suppress reporting noise: bounds with astronomically large constants
+    // are vacuous artifacts of the coefficient-rounding grid, and
+    // ">= 0"-shaped rows just restate nonnegativity of the state space.
+    if (!IsEq) {
+      if (PreConst > 1e9 || PreConst < -1e9)
+        continue;
+      bool RhsIsZero = PreConst > -1e-9 && PreConst < 1e-9;
+      for (double C : PreCoeffs)
+        RhsIsZero &= C > -1e-9 && C < 1e-9;
+      bool AllNonneg = !Flipped;
+      for (double C : ECoeffs)
+        AllNonneg &= C > -1e-9;
+      if (RhsIsZero && AllNonneg)
+        continue;
+    }
+    const char *Rel = IsEq ? " == " : (Flipped ? " <= " : " >= ");
+    Result.push_back("E[" + formatAffine(ECoeffs, 0.0, PrimeNames) + "]" +
+                     Rel + formatAffine(PreCoeffs, PreConst, PreNames));
+  }
+  return Result;
+}
+
+std::pair<std::optional<Rational>, std::optional<Rational>>
+LeiaDomain::expectationBounds(const Value &A,
+                              const std::vector<Rational> &Objective,
+                              const std::vector<Rational> &PreState) const {
+  assert(Objective.size() == NumVars && PreState.size() == NumVars);
+  assert(!A.P.isEmpty() && "expectation bounds of bottom");
+  unsigned D = 2 * NumVars;
+  // Clip to the subprobability cone of the support at query time (the
+  // domain invariant 0 ⊔ P[E[x']/x'] ⊒ EP is enforced lazily).
+  Polyhedron Slice = A.EP.meet(rebuildFromSupport(A.P));
+  for (unsigned I = 0; I != NumVars; ++I)
+    Slice = Slice.meet(
+        Constraint::eq(LinearExpr::variable(D, I),
+                       LinearExpr::constant(D, PreState[I])));
+  assert(!Slice.isEmpty() && "pre-state outside the analyzed support");
+  LinearExpr Obj(D);
+  for (unsigned I = 0; I != NumVars; ++I)
+    Obj.coeff(NumVars + I) = Objective[I];
+  return {Slice.minimize(Obj), Slice.maximize(Obj)};
+}

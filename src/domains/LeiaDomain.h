@@ -1,0 +1,155 @@
+//===- domains/LeiaDomain.h - Linear expectation-invariant analysis -------===//
+//
+// Part of the PMAF reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The PMA I of §5.3: linear expectation-invariant analysis (LEIA), the
+/// paper's new instantiation. A value is a pair (P, EP) of two-vocabulary
+/// polyhedra over nonnegative program variables:
+///
+///  * P  ⊆ R^{2n}_{>=0} over (x, x') — ordinary relational invariants
+///    between the state at a node and the state at the procedure exit;
+///  * EP ⊆ R^{2n}_{>=0} over (x, E[x']) — *expectation* invariants relating
+///    the pre-state to the expected exit state,
+///
+/// maintained with the invariant 0 ⊔ P[E[x']/x'] ⊒ EP (the expected value
+/// always lies in the subprobability cone of the support, footnote 5).
+///
+/// Operators follow §5.3 exactly: composition uses the tower property
+/// (identical rename/meet/project steps for both components);
+/// conditional-choice meets the branches with phi / ¬phi on the P side and
+/// rebuilds a pessimistic EP; probabilistic-choice forms the affine
+/// combination E = p·x'' + (1-p)·x''' through two fresh vocabularies;
+/// nondeterministic-choice joins. Widening is per §5.3: conditional and
+/// nondeterministic loops rebuild EP from the widened P; probabilistic
+/// loops do no EP extrapolation, relying on the finite-precision
+/// convergence mechanism of §6.1 (Polyhedron::roundedCoefficients here).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PMAF_DOMAINS_LEIADOMAIN_H
+#define PMAF_DOMAINS_LEIADOMAIN_H
+
+#include "core/Domain.h"
+#include "poly/Polyhedron.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pmaf {
+namespace domains {
+
+/// A LEIA value: the product of an ordinary and an expectation polyhedron,
+/// both of dimension 2n with vocabulary order (x_0..x_{n-1}, out_0..out_{n-1})
+/// where `out` is x' in P and E[x'] in EP.
+struct LeiaValue {
+  poly::Polyhedron P;
+  poly::Polyhedron EP;
+  /// Cached 0 ⊔ EP (the comparison cone of §5.3); maintained by the
+  /// domain's canonicalization so the frequent order tests need no joins.
+  poly::Polyhedron ECone;
+};
+
+/// The LEIA interpretation I = <I, ⟦·⟧_I> (§5.3).
+class LeiaDomain {
+public:
+  using Value = LeiaValue;
+
+  /// \param Prog program under analysis (all variables must be real-valued
+  /// and are assumed nonnegative, after the paper's positive-negative
+  /// decomposition).
+  /// \param Tolerance relative tolerance of the fixpoint-detection
+  /// comparison: the analogue of §6.1's reliance on ascending float chains
+  /// stabilizing. Arithmetic stays exact; only `equal` is approximate, so
+  /// geometrically-converging expectation chains (probabilistic loops and
+  /// recursion) stop once successive iterates agree to this tolerance.
+  explicit LeiaDomain(const lang::Program &Prog, double Tolerance = 1e-9);
+
+  unsigned numVars() const { return NumVars; }
+
+  Value bottom() const;
+  Value one() const;
+
+  Value extend(const Value &A, const Value &B) const;
+  Value condChoice(const lang::Cond &Phi, const Value &A,
+                   const Value &B) const;
+  Value probChoice(const Rational &P, const Value &A, const Value &B) const;
+  Value ndetChoice(const Value &A, const Value &B) const;
+
+  Value interpret(const lang::Stmt *Action) const;
+
+  bool leq(const Value &A, const Value &B) const;
+  bool equal(const Value &A, const Value &B) const;
+
+  /// (P1, EP1) widenCond (P2, EP2) = (P1 widen P2, 0 ⊔ P2[E[x']/x'])
+  /// — pessimistic, per Obs 5.7 (a loop invariant of the body need not
+  /// hold on exit of a conditional loop).
+  Value widenCond(const Value &Old, const Value &New) const;
+  /// No EP extrapolation (§5.3: "does no extrapolation in the EP
+  /// component").
+  Value widenProb(const Value &Old, const Value &New) const;
+  Value widenNdet(const Value &Old, const Value &New) const;
+  /// Recursion cuts (seq/call-headed widening points): widen P, keep the
+  /// new EP — rebuilding as for ndet loops would erase the expectation
+  /// part of every recursive summary; stabilization of the EP chain comes
+  /// from the §6.1 finite-precision mechanism, and any stabilized value is
+  /// a sound prefixed point (Thm 4.6).
+  Value widenCall(const Value &Old, const Value &New) const;
+
+  std::string toString(const Value &A) const;
+
+  /// Human-readable expectation invariants of a summary, e.g.
+  /// "E[x' + y'] == x + y + 3".
+  std::vector<std::string> describeInvariants(const Value &A) const;
+
+  /// Bounds of E[Objective'] (a linear combination of post-vocabulary
+  /// expectations with rational coefficients, one per variable) as a
+  /// function evaluated at the concrete pre-state \p PreState. Returns
+  /// {min, max} with nullopt for unbounded sides.
+  std::pair<std::optional<Rational>, std::optional<Rational>>
+  expectationBounds(const Value &A, const std::vector<Rational> &Objective,
+                    const std::vector<Rational> &PreState) const;
+
+private:
+  /// Meets \p P with the over-approximation of condition \p Phi on the
+  /// pre-vocabulary ((negated ? ¬phi : phi)).
+  poly::Polyhedron meetCond(const poly::Polyhedron &P,
+                            const lang::Cond &Phi, bool Negated) const;
+
+  /// Translates an arithmetic expression over the pre-vocabulary into a
+  /// linear expression over 2n dims; nullopt if nonlinear.
+  std::optional<poly::LinearExpr> exprToLinear(const lang::Expr &E) const;
+
+  /// The "0" element: E[x'] = 0 with x unconstrained (footnote 5).
+  poly::Polyhedron zeroExpectation() const;
+
+  /// 0 ⊔ P[E[x']/x'] (the renaming is the identity in our layout).
+  poly::Polyhedron rebuildFromSupport(const poly::Polyhedron &P) const;
+
+  /// Restores the domain invariant and applies precision limiting; every
+  /// public operation funnels its result through here.
+  Value canonicalize(poly::Polyhedron P, poly::Polyhedron EP) const;
+
+  /// Relational composition of two 2n-dim two-vocabulary polyhedra by
+  /// rename/meet/project through a fresh middle vocabulary.
+  poly::Polyhedron composeRelations(const poly::Polyhedron &A,
+                                    const poly::Polyhedron &B) const;
+
+  /// Universe with nonnegativity on all 2n dimensions.
+  poly::Polyhedron nonnegUniverse() const;
+
+  const lang::Program *Prog;
+  unsigned NumVars;
+  double Tolerance;
+};
+
+static_assert(core::PreMarkovAlgebra<LeiaDomain>,
+              "LeiaDomain must satisfy the PMA interface");
+
+} // namespace domains
+} // namespace pmaf
+
+#endif // PMAF_DOMAINS_LEIADOMAIN_H

@@ -1,0 +1,457 @@
+//===- lang/Ast.cpp - AST factories, cloning, and pretty-printing ---------===//
+
+#include "lang/Ast.h"
+
+using namespace pmaf;
+using namespace pmaf::lang;
+
+//===----------------------------------------------------------------------===//
+// Expr
+//===----------------------------------------------------------------------===//
+
+Expr::Ptr Expr::makeVar(unsigned VarIndex) {
+  Ptr E(new Expr());
+  E->TheKind = Kind::Var;
+  E->VarIndex = VarIndex;
+  return E;
+}
+
+Expr::Ptr Expr::makeNumber(Rational Value) {
+  Ptr E(new Expr());
+  E->TheKind = Kind::Number;
+  E->Value = std::move(Value);
+  return E;
+}
+
+Expr::Ptr Expr::makeBool(bool Value) {
+  Ptr E(new Expr());
+  E->TheKind = Kind::BoolLit;
+  E->BoolValue = Value;
+  return E;
+}
+
+Expr::Ptr Expr::makeBinary(Kind Op, Ptr Lhs, Ptr Rhs) {
+  assert(Op >= Kind::Add && "not a binary operator kind");
+  Ptr E(new Expr());
+  E->TheKind = Op;
+  E->Lhs = std::move(Lhs);
+  E->Rhs = std::move(Rhs);
+  return E;
+}
+
+Expr::Ptr Expr::clone() const {
+  switch (TheKind) {
+  case Kind::Var:
+    return makeVar(VarIndex);
+  case Kind::Number:
+    return makeNumber(Value);
+  case Kind::BoolLit:
+    return makeBool(BoolValue);
+  case Kind::Add:
+  case Kind::Sub:
+  case Kind::Mul:
+  case Kind::Div:
+    return makeBinary(TheKind, Lhs->clone(), Rhs->clone());
+  }
+  assert(false && "unknown expression kind");
+  return nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Cond
+//===----------------------------------------------------------------------===//
+
+Cond::Ptr Cond::makeTrue() {
+  Ptr C(new Cond());
+  C->TheKind = Kind::True;
+  return C;
+}
+
+Cond::Ptr Cond::makeFalse() {
+  Ptr C(new Cond());
+  C->TheKind = Kind::False;
+  return C;
+}
+
+Cond::Ptr Cond::makeBoolVar(unsigned VarIndex) {
+  Ptr C(new Cond());
+  C->TheKind = Kind::BoolVar;
+  C->VarIndex = VarIndex;
+  return C;
+}
+
+Cond::Ptr Cond::makeCmp(CmpOp Op, Expr::Ptr Lhs, Expr::Ptr Rhs) {
+  Ptr C(new Cond());
+  C->TheKind = Kind::Cmp;
+  C->Op = Op;
+  C->CmpLhs = std::move(Lhs);
+  C->CmpRhs = std::move(Rhs);
+  return C;
+}
+
+Cond::Ptr Cond::makeNot(Ptr Operand) {
+  Ptr C(new Cond());
+  C->TheKind = Kind::Not;
+  C->Lhs = std::move(Operand);
+  return C;
+}
+
+Cond::Ptr Cond::makeAnd(Ptr Lhs, Ptr Rhs) {
+  Ptr C(new Cond());
+  C->TheKind = Kind::And;
+  C->Lhs = std::move(Lhs);
+  C->Rhs = std::move(Rhs);
+  return C;
+}
+
+Cond::Ptr Cond::makeOr(Ptr Lhs, Ptr Rhs) {
+  Ptr C(new Cond());
+  C->TheKind = Kind::Or;
+  C->Lhs = std::move(Lhs);
+  C->Rhs = std::move(Rhs);
+  return C;
+}
+
+Cond::Ptr Cond::clone() const {
+  switch (TheKind) {
+  case Kind::True:
+    return makeTrue();
+  case Kind::False:
+    return makeFalse();
+  case Kind::BoolVar:
+    return makeBoolVar(VarIndex);
+  case Kind::Cmp:
+    return makeCmp(Op, CmpLhs->clone(), CmpRhs->clone());
+  case Kind::Not:
+    return makeNot(Lhs->clone());
+  case Kind::And:
+    return makeAnd(Lhs->clone(), Rhs->clone());
+  case Kind::Or:
+    return makeOr(Lhs->clone(), Rhs->clone());
+  }
+  assert(false && "unknown condition kind");
+  return nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Dist / Guard
+//===----------------------------------------------------------------------===//
+
+Dist Dist::clone() const {
+  Dist Result;
+  Result.TheKind = TheKind;
+  Result.Params.reserve(Params.size());
+  for (const Expr::Ptr &Param : Params)
+    Result.Params.push_back(Param->clone());
+  Result.Weights = Weights;
+  return Result;
+}
+
+Guard Guard::clone() const {
+  Guard Result;
+  Result.TheKind = TheKind;
+  if (Phi)
+    Result.Phi = Phi->clone();
+  Result.Prob = Prob;
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Stmt
+//===----------------------------------------------------------------------===//
+
+Stmt::Ptr Stmt::makeSkip() { return Ptr(new Stmt()); }
+
+Stmt::Ptr Stmt::makeAssign(unsigned VarIndex, Expr::Ptr Value) {
+  Ptr S(new Stmt());
+  S->TheKind = Kind::Assign;
+  S->VarIndex = VarIndex;
+  S->Value = std::move(Value);
+  return S;
+}
+
+Stmt::Ptr Stmt::makeSample(unsigned VarIndex, Dist D) {
+  Ptr S(new Stmt());
+  S->TheKind = Kind::Sample;
+  S->VarIndex = VarIndex;
+  S->TheDist = std::move(D);
+  return S;
+}
+
+Stmt::Ptr Stmt::makeObserve(Cond::Ptr Phi) {
+  Ptr S(new Stmt());
+  S->TheKind = Kind::Observe;
+  S->Phi = std::move(Phi);
+  return S;
+}
+
+Stmt::Ptr Stmt::makeReward(Rational Amount) {
+  Ptr S(new Stmt());
+  S->TheKind = Kind::Reward;
+  S->Amount = std::move(Amount);
+  return S;
+}
+
+Stmt::Ptr Stmt::makeBlock(std::vector<Ptr> Stmts) {
+  Ptr S(new Stmt());
+  S->TheKind = Kind::Block;
+  S->Stmts = std::move(Stmts);
+  return S;
+}
+
+Stmt::Ptr Stmt::makeIf(Guard G, Ptr Then, Ptr Else) {
+  Ptr S(new Stmt());
+  S->TheKind = Kind::If;
+  S->TheGuard = std::move(G);
+  S->Then = std::move(Then);
+  S->Else = std::move(Else);
+  return S;
+}
+
+Stmt::Ptr Stmt::makeWhile(Guard G, Ptr Body) {
+  Ptr S(new Stmt());
+  S->TheKind = Kind::While;
+  S->TheGuard = std::move(G);
+  S->Then = std::move(Body);
+  return S;
+}
+
+Stmt::Ptr Stmt::makeCall(std::string Callee) {
+  Ptr S(new Stmt());
+  S->TheKind = Kind::Call;
+  S->Callee = std::move(Callee);
+  return S;
+}
+
+Stmt::Ptr Stmt::makeBreak() {
+  Ptr S(new Stmt());
+  S->TheKind = Kind::Break;
+  return S;
+}
+
+Stmt::Ptr Stmt::makeContinue() {
+  Ptr S(new Stmt());
+  S->TheKind = Kind::Continue;
+  return S;
+}
+
+Stmt::Ptr Stmt::makeReturn() {
+  Ptr S(new Stmt());
+  S->TheKind = Kind::Return;
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Program
+//===----------------------------------------------------------------------===//
+
+unsigned Program::findVar(const std::string &Name) const {
+  for (unsigned I = 0; I != Vars.size(); ++I)
+    if (Vars[I].Name == Name)
+      return I;
+  return ~0u;
+}
+
+unsigned Program::findProc(const std::string &Name) const {
+  for (unsigned I = 0; I != Procs.size(); ++I)
+    if (Procs[I].Name == Name)
+      return I;
+  return ~0u;
+}
+
+static unsigned countCallsIn(const Stmt &S) {
+  switch (S.kind()) {
+  case Stmt::Kind::Call:
+    return 1;
+  case Stmt::Kind::Block: {
+    unsigned Count = 0;
+    for (const Stmt::Ptr &Child : S.stmts())
+      Count += countCallsIn(*Child);
+    return Count;
+  }
+  case Stmt::Kind::If: {
+    unsigned Count = countCallsIn(S.thenStmt());
+    if (const Stmt *Else = S.elseStmt())
+      Count += countCallsIn(*Else);
+    return Count;
+  }
+  case Stmt::Kind::While:
+    return countCallsIn(S.body());
+  default:
+    return 0;
+  }
+}
+
+unsigned Program::countCalls() const {
+  unsigned Count = 0;
+  for (const Procedure &Proc : Procs)
+    Count += countCallsIn(*Proc.Body);
+  return Count;
+}
+
+//===----------------------------------------------------------------------===//
+// Pretty-printing
+//===----------------------------------------------------------------------===//
+
+std::string lang::toString(const Expr &E, const Program &P) {
+  switch (E.kind()) {
+  case Expr::Kind::Var:
+    return P.Vars[E.varIndex()].Name;
+  case Expr::Kind::Number:
+    return E.number().toString();
+  case Expr::Kind::BoolLit:
+    return E.boolValue() ? "true" : "false";
+  case Expr::Kind::Add:
+    return "(" + toString(E.lhs(), P) + " + " + toString(E.rhs(), P) + ")";
+  case Expr::Kind::Sub:
+    return "(" + toString(E.lhs(), P) + " - " + toString(E.rhs(), P) + ")";
+  case Expr::Kind::Mul:
+    return "(" + toString(E.lhs(), P) + " * " + toString(E.rhs(), P) + ")";
+  case Expr::Kind::Div:
+    return "(" + toString(E.lhs(), P) + " / " + toString(E.rhs(), P) + ")";
+  }
+  assert(false && "unknown expression kind");
+  return "";
+}
+
+static const char *cmpOpSpelling(CmpOp Op) {
+  switch (Op) {
+  case CmpOp::Eq:
+    return "==";
+  case CmpOp::Ne:
+    return "!=";
+  case CmpOp::Le:
+    return "<=";
+  case CmpOp::Ge:
+    return ">=";
+  case CmpOp::Lt:
+    return "<";
+  case CmpOp::Gt:
+    return ">";
+  }
+  assert(false && "unknown comparison operator");
+  return "";
+}
+
+std::string lang::toString(const Cond &C, const Program &P) {
+  switch (C.kind()) {
+  case Cond::Kind::True:
+    return "true";
+  case Cond::Kind::False:
+    return "false";
+  case Cond::Kind::BoolVar:
+    return P.Vars[C.varIndex()].Name;
+  case Cond::Kind::Cmp:
+    return toString(C.cmpLhs(), P) + " " + cmpOpSpelling(C.cmpOp()) + " " +
+           toString(C.cmpRhs(), P);
+  case Cond::Kind::Not:
+    return "!(" + toString(C.operand(), P) + ")";
+  case Cond::Kind::And:
+    return "(" + toString(C.lhs(), P) + " && " + toString(C.rhs(), P) + ")";
+  case Cond::Kind::Or:
+    return "(" + toString(C.lhs(), P) + " || " + toString(C.rhs(), P) + ")";
+  }
+  assert(false && "unknown condition kind");
+  return "";
+}
+
+std::string lang::toString(const Dist &D, const Program &P) {
+  std::string Name;
+  switch (D.TheKind) {
+  case Dist::Kind::Bernoulli:
+    Name = "bernoulli";
+    break;
+  case Dist::Kind::Uniform:
+    Name = "uniform";
+    break;
+  case Dist::Kind::Gaussian:
+    Name = "gaussian";
+    break;
+  case Dist::Kind::UniformInt:
+    Name = "uniformint";
+    break;
+  case Dist::Kind::Discrete:
+    Name = "discrete";
+    break;
+  }
+  std::string Out = Name + "(";
+  for (size_t I = 0; I != D.Params.size(); ++I) {
+    if (I)
+      Out += ", ";
+    Out += toString(*D.Params[I], P);
+    if (D.TheKind == Dist::Kind::Discrete)
+      Out += ": " + D.Weights[I].toString();
+  }
+  return Out + ")";
+}
+
+static std::string guardToString(const Guard &G, const Program &P) {
+  switch (G.TheKind) {
+  case Guard::Kind::Cond:
+    return "(" + toString(*G.Phi, P) + ")";
+  case Guard::Kind::Prob:
+    return "prob(" + G.Prob.toString() + ")";
+  case Guard::Kind::Ndet:
+    return "star";
+  }
+  assert(false && "unknown guard kind");
+  return "";
+}
+
+std::string lang::toString(const Stmt &S, const Program &P, unsigned Indent) {
+  std::string Pad(Indent * 2, ' ');
+  switch (S.kind()) {
+  case Stmt::Kind::Skip:
+    return Pad + "skip;\n";
+  case Stmt::Kind::Assign:
+    return Pad + P.Vars[S.varIndex()].Name + " := " + toString(S.value(), P) +
+           ";\n";
+  case Stmt::Kind::Sample:
+    return Pad + P.Vars[S.varIndex()].Name + " ~ " + toString(S.dist(), P) +
+           ";\n";
+  case Stmt::Kind::Observe:
+    return Pad + "observe(" + toString(S.observed(), P) + ");\n";
+  case Stmt::Kind::Reward:
+    return Pad + "reward(" + S.reward().toString() + ");\n";
+  case Stmt::Kind::Block: {
+    std::string Out;
+    for (const Stmt::Ptr &Child : S.stmts())
+      Out += toString(*Child, P, Indent);
+    return Out;
+  }
+  case Stmt::Kind::If: {
+    std::string Out =
+        Pad + "if " + guardToString(S.guard(), P) + " {\n" +
+        toString(S.thenStmt(), P, Indent + 1) + Pad + "}";
+    if (const Stmt *Else = S.elseStmt())
+      Out += " else {\n" + toString(*Else, P, Indent + 1) + Pad + "}";
+    return Out + "\n";
+  }
+  case Stmt::Kind::While:
+    return Pad + "while " + guardToString(S.guard(), P) + " {\n" +
+           toString(S.body(), P, Indent + 1) + Pad + "}\n";
+  case Stmt::Kind::Call:
+    return Pad + S.callee() + "();\n";
+  case Stmt::Kind::Break:
+    return Pad + "break;\n";
+  case Stmt::Kind::Continue:
+    return Pad + "continue;\n";
+  case Stmt::Kind::Return:
+    return Pad + "return;\n";
+  }
+  assert(false && "unknown statement kind");
+  return "";
+}
+
+std::string lang::toString(const Program &P) {
+  std::string Out;
+  for (const VarInfo &Var : P.Vars)
+    Out += std::string(Var.IsReal ? "real " : "bool ") + Var.Name + ";\n";
+  if (!P.Vars.empty())
+    Out += "\n";
+  for (const Procedure &Proc : P.Procs) {
+    Out += "proc " + Proc.Name + "() {\n" + toString(*Proc.Body, P, 1) +
+           "}\n\n";
+  }
+  return Out;
+}

@@ -1,0 +1,340 @@
+//===- lang/Ast.h - Probabilistic imperative language AST -------*- C++ -*-===//
+//
+// Part of the PMAF reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Abstract syntax for the paper's prototypical imperative probabilistic
+/// language (§2.1 and Fig 4): data actions (assignment, sampling, skip,
+/// observe, reward), logical conditions, and statements with three kinds of
+/// binary choice — conditional (`if (phi)`), probabilistic (`if prob(p)`),
+/// and nondeterministic (`if star`) — plus loops, procedure calls, and the
+/// unstructured `break` / `continue` / `return` of Ex 3.4.
+///
+/// Variables are global (the paper's kernels act on a single state space
+/// Omega = Var -> values); each is Boolean or real-valued.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PMAF_LANG_AST_H
+#define PMAF_LANG_AST_H
+
+#include "support/Rational.h"
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace pmaf {
+namespace lang {
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+/// An arithmetic or Boolean-literal expression (Exp of Fig 4).
+class Expr {
+public:
+  enum class Kind { Var, Number, BoolLit, Add, Sub, Mul, Div };
+
+  using Ptr = std::unique_ptr<Expr>;
+
+  static Ptr makeVar(unsigned VarIndex);
+  static Ptr makeNumber(Rational Value);
+  static Ptr makeBool(bool Value);
+  static Ptr makeBinary(Kind Op, Ptr Lhs, Ptr Rhs);
+
+  Kind kind() const { return TheKind; }
+  bool isBinary() const { return TheKind >= Kind::Add; }
+
+  unsigned varIndex() const {
+    assert(TheKind == Kind::Var && "not a variable");
+    return VarIndex;
+  }
+  const Rational &number() const {
+    assert(TheKind == Kind::Number && "not a number");
+    return Value;
+  }
+  bool boolValue() const {
+    assert(TheKind == Kind::BoolLit && "not a Boolean literal");
+    return BoolValue;
+  }
+  const Expr &lhs() const {
+    assert(isBinary() && "not a binary expression");
+    return *Lhs;
+  }
+  const Expr &rhs() const {
+    assert(isBinary() && "not a binary expression");
+    return *Rhs;
+  }
+
+  Ptr clone() const;
+
+private:
+  Expr() = default;
+
+  Kind TheKind = Kind::Number;
+  unsigned VarIndex = 0;
+  Rational Value;
+  bool BoolValue = false;
+  Ptr Lhs, Rhs;
+};
+
+//===----------------------------------------------------------------------===//
+// Logical conditions
+//===----------------------------------------------------------------------===//
+
+/// Comparison operators for atomic conditions (Fig 4 allows =, <=, >=; we
+/// additionally accept <, >, and != and let domains over-approximate).
+enum class CmpOp { Eq, Ne, Le, Ge, Lt, Gt };
+
+/// A logical condition (L of Fig 4), closed under negation, conjunction,
+/// and disjunction; atoms are comparisons of expressions, Boolean
+/// variables, and the constants true/false.
+class Cond {
+public:
+  enum class Kind { True, False, BoolVar, Cmp, Not, And, Or };
+
+  using Ptr = std::unique_ptr<Cond>;
+
+  static Ptr makeTrue();
+  static Ptr makeFalse();
+  static Ptr makeBoolVar(unsigned VarIndex);
+  static Ptr makeCmp(CmpOp Op, Expr::Ptr Lhs, Expr::Ptr Rhs);
+  static Ptr makeNot(Ptr Operand);
+  static Ptr makeAnd(Ptr Lhs, Ptr Rhs);
+  static Ptr makeOr(Ptr Lhs, Ptr Rhs);
+
+  Kind kind() const { return TheKind; }
+
+  unsigned varIndex() const {
+    assert(TheKind == Kind::BoolVar && "not a Boolean variable");
+    return VarIndex;
+  }
+  CmpOp cmpOp() const {
+    assert(TheKind == Kind::Cmp && "not a comparison");
+    return Op;
+  }
+  const Expr &cmpLhs() const {
+    assert(TheKind == Kind::Cmp && "not a comparison");
+    return *CmpLhs;
+  }
+  const Expr &cmpRhs() const {
+    assert(TheKind == Kind::Cmp && "not a comparison");
+    return *CmpRhs;
+  }
+  const Cond &operand() const {
+    assert(TheKind == Kind::Not && "not a negation");
+    return *Lhs;
+  }
+  const Cond &lhs() const {
+    assert((TheKind == Kind::And || TheKind == Kind::Or) && "not binary");
+    return *Lhs;
+  }
+  const Cond &rhs() const {
+    assert((TheKind == Kind::And || TheKind == Kind::Or) && "not binary");
+    return *Rhs;
+  }
+
+  Ptr clone() const;
+
+private:
+  Cond() = default;
+
+  Kind TheKind = Kind::True;
+  unsigned VarIndex = 0;
+  CmpOp Op = CmpOp::Eq;
+  Expr::Ptr CmpLhs, CmpRhs;
+  Ptr Lhs, Rhs;
+};
+
+//===----------------------------------------------------------------------===//
+// Distributions
+//===----------------------------------------------------------------------===//
+
+/// A primitive distribution usable on the right of `x ~ D` (Dist of Fig 4).
+/// Parameters are expressions, so e.g. `uniform(x, x + 2)` is allowed.
+struct Dist {
+  enum class Kind { Bernoulli, Uniform, Gaussian, UniformInt, Discrete };
+
+  Kind TheKind = Kind::Bernoulli;
+  /// Bernoulli: {p}; Uniform/UniformInt: {lo, hi}; Gaussian: {mean, stddev};
+  /// Discrete: values (parallel to Weights).
+  std::vector<Expr::Ptr> Params;
+  /// Discrete only: probability of each corresponding entry of Params.
+  std::vector<Rational> Weights;
+
+  Dist clone() const;
+};
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+/// The three guard kinds of a branch or loop (§2.1): conditional-choice
+/// `(phi)`, probabilistic-choice `prob(p)`, and nondeterministic-choice
+/// `star`.
+struct Guard {
+  enum class Kind { Cond, Prob, Ndet };
+
+  Kind TheKind = Kind::Ndet;
+  Cond::Ptr Phi;  ///< Kind::Cond only.
+  Rational Prob;  ///< Kind::Prob only; in [0, 1].
+
+  Guard clone() const;
+};
+
+/// A statement.
+class Stmt {
+public:
+  enum class Kind {
+    Skip,
+    Assign,   ///< x := e
+    Sample,   ///< x ~ D
+    Observe,  ///< observe(phi)
+    Reward,   ///< reward(r)   (Defn 5.3 MDP reward action)
+    Block,    ///< { s1; ...; sn }
+    If,       ///< if <guard> {..} else {..}
+    While,    ///< while <guard> {..}
+    Call,     ///< p()
+    Break,
+    Continue,
+    Return
+  };
+
+  using Ptr = std::unique_ptr<Stmt>;
+
+  static Ptr makeSkip();
+  static Ptr makeAssign(unsigned VarIndex, Expr::Ptr Value);
+  static Ptr makeSample(unsigned VarIndex, Dist D);
+  static Ptr makeObserve(Cond::Ptr Phi);
+  static Ptr makeReward(Rational Amount);
+  static Ptr makeBlock(std::vector<Ptr> Stmts);
+  static Ptr makeIf(Guard G, Ptr Then, Ptr Else);
+  static Ptr makeWhile(Guard G, Ptr Body);
+  static Ptr makeCall(std::string Callee);
+  static Ptr makeBreak();
+  static Ptr makeContinue();
+  static Ptr makeReturn();
+
+  Kind kind() const { return TheKind; }
+
+  unsigned varIndex() const {
+    assert((TheKind == Kind::Assign || TheKind == Kind::Sample) &&
+           "statement has no target variable");
+    return VarIndex;
+  }
+  const Expr &value() const {
+    assert(TheKind == Kind::Assign && "not an assignment");
+    return *Value;
+  }
+  const Dist &dist() const {
+    assert(TheKind == Kind::Sample && "not a sampling statement");
+    return TheDist;
+  }
+  const Cond &observed() const {
+    assert(TheKind == Kind::Observe && "not an observe statement");
+    return *Phi;
+  }
+  const Rational &reward() const {
+    assert(TheKind == Kind::Reward && "not a reward statement");
+    return Amount;
+  }
+  const std::vector<Ptr> &stmts() const {
+    assert(TheKind == Kind::Block && "not a block");
+    return Stmts;
+  }
+  const Guard &guard() const {
+    assert((TheKind == Kind::If || TheKind == Kind::While) && "no guard");
+    return TheGuard;
+  }
+  const Stmt &thenStmt() const {
+    assert(TheKind == Kind::If && "not an if");
+    return *Then;
+  }
+  /// \returns the else branch, or null when absent (implicit skip).
+  const Stmt *elseStmt() const {
+    assert(TheKind == Kind::If && "not an if");
+    return Else.get();
+  }
+  const Stmt &body() const {
+    assert(TheKind == Kind::While && "not a while");
+    return *Then;
+  }
+  const std::string &callee() const {
+    assert(TheKind == Kind::Call && "not a call");
+    return Callee;
+  }
+  /// Index of the callee procedure; resolved by Sema.
+  unsigned calleeIndex() const {
+    assert(TheKind == Kind::Call && "not a call");
+    return CalleeIndex;
+  }
+  void setCalleeIndex(unsigned Index) {
+    assert(TheKind == Kind::Call && "not a call");
+    CalleeIndex = Index;
+  }
+
+private:
+  Stmt() = default;
+
+  Kind TheKind = Kind::Skip;
+  unsigned VarIndex = 0;
+  Expr::Ptr Value;
+  Dist TheDist;
+  Cond::Ptr Phi;
+  Rational Amount;
+  std::vector<Ptr> Stmts;
+  Guard TheGuard;
+  Ptr Then, Else;
+  std::string Callee;
+  unsigned CalleeIndex = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// Programs
+//===----------------------------------------------------------------------===//
+
+/// A program variable: Boolean (BI programs) or nonnegative-real (LEIA/MDP
+/// programs; §5.3 assumes nonnegative variables after the paper's
+/// positive-negative decomposition).
+struct VarInfo {
+  std::string Name;
+  bool IsReal = false;
+};
+
+/// A procedure (no parameters; state is global, as in the paper's model).
+struct Procedure {
+  std::string Name;
+  Stmt::Ptr Body;
+};
+
+/// A whole program: variable declarations plus procedures. The procedure
+/// named "main" (or the first one) is the analysis entry.
+struct Program {
+  std::vector<VarInfo> Vars;
+  std::vector<Procedure> Procs;
+
+  /// \returns the index of variable \p Name, or ~0u when undeclared.
+  unsigned findVar(const std::string &Name) const;
+
+  /// \returns the index of procedure \p Name, or ~0u when undefined.
+  unsigned findProc(const std::string &Name) const;
+
+  /// \returns the number of call statements in the program.
+  unsigned countCalls() const;
+};
+
+/// Pretty-prints back to (parseable) surface syntax.
+std::string toString(const Expr &E, const Program &P);
+std::string toString(const Cond &C, const Program &P);
+std::string toString(const Dist &D, const Program &P);
+std::string toString(const Stmt &S, const Program &P, unsigned Indent = 0);
+std::string toString(const Program &P);
+
+} // namespace lang
+} // namespace pmaf
+
+#endif // PMAF_LANG_AST_H

@@ -1,0 +1,186 @@
+//===- lang/Lexer.cpp - Tokenizer for the surface language ----------------===//
+
+#include "lang/Lexer.h"
+
+#include <cctype>
+
+using namespace pmaf;
+using namespace pmaf::lang;
+
+namespace {
+
+class LexerImpl {
+public:
+  explicit LexerImpl(const std::string &Source) : Source(Source) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> Tokens;
+    while (true) {
+      skipTrivia();
+      Token Tok = next();
+      Tokens.push_back(Tok);
+      if (Tok.TheKind == Token::Kind::Eof || Tok.TheKind == Token::Kind::Error)
+        return Tokens;
+    }
+  }
+
+private:
+  bool atEnd() const { return Pos >= Source.size(); }
+  char peek() const { return atEnd() ? '\0' : Source[Pos]; }
+  char peekAt(size_t Offset) const {
+    return Pos + Offset >= Source.size() ? '\0' : Source[Pos + Offset];
+  }
+
+  char advance() {
+    char C = Source[Pos++];
+    if (C == '\n') {
+      ++Line;
+      Col = 1;
+    } else {
+      ++Col;
+    }
+    return C;
+  }
+
+  void skipTrivia() {
+    while (!atEnd()) {
+      char C = peek();
+      if (std::isspace(static_cast<unsigned char>(C))) {
+        advance();
+      } else if (C == '#' || (C == '/' && peekAt(1) == '/')) {
+        while (!atEnd() && peek() != '\n')
+          advance();
+      } else {
+        return;
+      }
+    }
+  }
+
+  Token make(Token::Kind Kind, std::string Text, unsigned TokLine,
+             unsigned TokCol) {
+    Token Tok;
+    Tok.TheKind = Kind;
+    Tok.Text = std::move(Text);
+    Tok.Line = TokLine;
+    Tok.Col = TokCol;
+    return Tok;
+  }
+
+  Token next() {
+    unsigned TokLine = Line, TokCol = Col;
+    if (atEnd())
+      return make(Token::Kind::Eof, "", TokLine, TokCol);
+    char C = advance();
+    switch (C) {
+    case '(':
+      return make(Token::Kind::LParen, "(", TokLine, TokCol);
+    case ')':
+      return make(Token::Kind::RParen, ")", TokLine, TokCol);
+    case '{':
+      return make(Token::Kind::LBrace, "{", TokLine, TokCol);
+    case '}':
+      return make(Token::Kind::RBrace, "}", TokLine, TokCol);
+    case ';':
+      return make(Token::Kind::Semi, ";", TokLine, TokCol);
+    case ',':
+      return make(Token::Kind::Comma, ",", TokLine, TokCol);
+    case '+':
+      return make(Token::Kind::Plus, "+", TokLine, TokCol);
+    case '-':
+      return make(Token::Kind::Minus, "-", TokLine, TokCol);
+    case '*':
+      return make(Token::Kind::Star, "*", TokLine, TokCol);
+    case '/':
+      return make(Token::Kind::Slash, "/", TokLine, TokCol);
+    case '~':
+      return make(Token::Kind::Tilde, "~", TokLine, TokCol);
+    case ':':
+      if (peek() == '=') {
+        advance();
+        return make(Token::Kind::Assign, ":=", TokLine, TokCol);
+      }
+      return make(Token::Kind::Colon, ":", TokLine, TokCol);
+    case '!':
+      if (peek() == '=') {
+        advance();
+        return make(Token::Kind::NotEq, "!=", TokLine, TokCol);
+      }
+      return make(Token::Kind::Bang, "!", TokLine, TokCol);
+    case '&':
+      if (peek() == '&') {
+        advance();
+        return make(Token::Kind::AndAnd, "&&", TokLine, TokCol);
+      }
+      return make(Token::Kind::Error, "stray '&'", TokLine, TokCol);
+    case '|':
+      if (peek() == '|') {
+        advance();
+        return make(Token::Kind::OrOr, "||", TokLine, TokCol);
+      }
+      return make(Token::Kind::Error, "stray '|'", TokLine, TokCol);
+    case '=':
+      if (peek() == '=') {
+        advance();
+        return make(Token::Kind::EqEq, "==", TokLine, TokCol);
+      }
+      return make(Token::Kind::Error, "stray '=' (use ':=' or '==')", TokLine,
+                  TokCol);
+    case '<':
+      if (peek() == '=') {
+        advance();
+        return make(Token::Kind::LessEq, "<=", TokLine, TokCol);
+      }
+      return make(Token::Kind::Less, "<", TokLine, TokCol);
+    case '>':
+      if (peek() == '=') {
+        advance();
+        return make(Token::Kind::GreaterEq, ">=", TokLine, TokCol);
+      }
+      return make(Token::Kind::Greater, ">", TokLine, TokCol);
+    default:
+      break;
+    }
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      std::string Text(1, C);
+      while (std::isdigit(static_cast<unsigned char>(peek())))
+        Text += advance();
+      if (peek() == '.' &&
+          std::isdigit(static_cast<unsigned char>(peekAt(1)))) {
+        Text += advance();
+        while (std::isdigit(static_cast<unsigned char>(peek())))
+          Text += advance();
+      }
+      if (peek() == 'e' || peek() == 'E') {
+        size_t Skip = (peekAt(1) == '+' || peekAt(1) == '-') ? 2 : 1;
+        if (std::isdigit(static_cast<unsigned char>(peekAt(Skip)))) {
+          for (size_t I = 0; I != Skip; ++I)
+            Text += advance();
+          while (std::isdigit(static_cast<unsigned char>(peek())))
+            Text += advance();
+        }
+      }
+      return make(Token::Kind::Number, Text, TokLine, TokCol);
+    }
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      std::string Text(1, C);
+      while (std::isalnum(static_cast<unsigned char>(peek())) ||
+             peek() == '_')
+        Text += advance();
+      return make(Token::Kind::Ident, Text, TokLine, TokCol);
+    }
+    return make(Token::Kind::Error,
+                std::string("unexpected character '") + C + "'", TokLine,
+                TokCol);
+  }
+
+  const std::string &Source;
+  size_t Pos = 0;
+  unsigned Line = 1;
+  unsigned Col = 1;
+};
+
+} // namespace
+
+std::vector<Token> lang::tokenize(const std::string &Source) {
+  return LexerImpl(Source).run();
+}

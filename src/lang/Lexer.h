@@ -1,0 +1,67 @@
+//===- lang/Lexer.h - Tokenizer for the surface language -------*- C++ -*-===//
+//
+// Part of the PMAF reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for the probabilistic-program surface syntax. Comments are
+/// `// ...` and `# ...` to end of line.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PMAF_LANG_LEXER_H
+#define PMAF_LANG_LEXER_H
+
+#include <string>
+#include <vector>
+
+namespace pmaf {
+namespace lang {
+
+/// A lexical token.
+struct Token {
+  enum class Kind {
+    Eof,
+    Error,
+    Ident,
+    Number,       // 12, 0.75, 1e-3
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    Semi,
+    Comma,
+    Colon,
+    Assign,       // :=
+    Tilde,        // ~
+    Bang,         // !
+    AndAnd,       // &&
+    OrOr,         // ||
+    EqEq,         // ==
+    NotEq,        // !=
+    LessEq,       // <=
+    GreaterEq,    // >=
+    Less,         // <
+    Greater,      // >
+    Plus,
+    Minus,
+    Star,         // '*' (multiplication; the ndet guard keyword is `star`)
+    Slash,
+  };
+
+  Kind TheKind = Kind::Eof;
+  std::string Text;
+  unsigned Line = 0;
+  unsigned Col = 0;
+};
+
+/// Tokenizes \p Source completely. On a lexical error the final token has
+/// kind Error and its Text describes the problem; otherwise the vector ends
+/// with an Eof token.
+std::vector<Token> tokenize(const std::string &Source);
+
+} // namespace lang
+} // namespace pmaf
+
+#endif // PMAF_LANG_LEXER_H

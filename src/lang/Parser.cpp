@@ -1,0 +1,674 @@
+//===- lang/Parser.cpp - Recursive-descent parser --------------------------===//
+
+#include "lang/Parser.h"
+#include "lang/Lexer.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+
+using namespace pmaf;
+using namespace pmaf::lang;
+
+namespace {
+
+/// Constant-folds \p E to a rational; fails on variables and division by
+/// zero. Used for probabilities, rewards, and discrete-distribution tables.
+std::optional<Rational> evalConstant(const Expr &E) {
+  switch (E.kind()) {
+  case Expr::Kind::Number:
+    return E.number();
+  case Expr::Kind::Var:
+  case Expr::Kind::BoolLit:
+    return std::nullopt;
+  default:
+    break;
+  }
+  std::optional<Rational> L = evalConstant(E.lhs());
+  std::optional<Rational> R = evalConstant(E.rhs());
+  if (!L || !R)
+    return std::nullopt;
+  switch (E.kind()) {
+  case Expr::Kind::Add:
+    return *L + *R;
+  case Expr::Kind::Sub:
+    return *L - *R;
+  case Expr::Kind::Mul:
+    return *L * *R;
+  case Expr::Kind::Div:
+    if (R->isZero())
+      return std::nullopt;
+    return *L / *R;
+  default:
+    return std::nullopt;
+  }
+}
+
+class ParserImpl {
+public:
+  explicit ParserImpl(const std::string &Source)
+      : Tokens(tokenize(Source)) {}
+
+  ParseResult run() {
+    ParseResult Result;
+    auto Prog = std::make_unique<Program>();
+    Current = Prog.get();
+    while (!check(Token::Kind::Eof)) {
+      if (checkKeyword("bool") || checkKeyword("real")) {
+        if (!parseVarDecl())
+          break;
+      } else if (checkKeyword("proc")) {
+        if (!parseProcDecl())
+          break;
+      } else {
+        fail("expected 'bool', 'real', or 'proc' at top level");
+        break;
+      }
+    }
+    if (Error.empty())
+      resolveCalls(); // Sets Error on failure.
+    if (Error.empty() && Current->Procs.empty())
+      fail("program has no procedures");
+    if (!Error.empty()) {
+      Result.Error = Error;
+      return Result;
+    }
+    Result.Prog = std::move(Prog);
+    return Result;
+  }
+
+private:
+  //===--------------------------------------------------------------------===//
+  // Token plumbing
+  //===--------------------------------------------------------------------===//
+
+  const Token &peek() const { return Tokens[Pos]; }
+
+  bool check(Token::Kind Kind) const { return peek().TheKind == Kind; }
+
+  bool checkKeyword(const char *Word) const {
+    return check(Token::Kind::Ident) && peek().Text == Word;
+  }
+
+  const Token &advance() { return Tokens[Pos++]; }
+
+  bool match(Token::Kind Kind) {
+    if (!check(Kind))
+      return false;
+    ++Pos;
+    return true;
+  }
+
+  bool matchKeyword(const char *Word) {
+    if (!checkKeyword(Word))
+      return false;
+    ++Pos;
+    return true;
+  }
+
+  bool expect(Token::Kind Kind, const char *What) {
+    if (match(Kind))
+      return true;
+    fail(std::string("expected ") + What);
+    return false;
+  }
+
+  void fail(const std::string &Message) {
+    if (!Error.empty())
+      return;
+    char Buffer[32];
+    std::snprintf(Buffer, sizeof(Buffer), "%u:%u: ", peek().Line, peek().Col);
+    Error = Buffer + Message;
+    if (peek().TheKind == Token::Kind::Error)
+      Error += " (" + peek().Text + ")";
+    else if (!peek().Text.empty())
+      Error += ", got '" + peek().Text + "'";
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Declarations
+  //===--------------------------------------------------------------------===//
+
+  bool parseVarDecl() {
+    bool IsReal = peek().Text == "real";
+    advance();
+    do {
+      if (!check(Token::Kind::Ident)) {
+        fail("expected variable name");
+        return false;
+      }
+      std::string Name = advance().Text;
+      if (Current->findVar(Name) != ~0u) {
+        fail("redeclaration of variable '" + Name + "'");
+        return false;
+      }
+      Current->Vars.push_back(VarInfo{Name, IsReal});
+    } while (match(Token::Kind::Comma));
+    return expect(Token::Kind::Semi, "';' after variable declaration");
+  }
+
+  bool parseProcDecl() {
+    advance(); // 'proc'
+    if (!check(Token::Kind::Ident)) {
+      fail("expected procedure name");
+      return false;
+    }
+    std::string Name = advance().Text;
+    if (Current->findProc(Name) != ~0u) {
+      fail("redefinition of procedure '" + Name + "'");
+      return false;
+    }
+    if (!expect(Token::Kind::LParen, "'('") ||
+        !expect(Token::Kind::RParen, "')'"))
+      return false;
+    Stmt::Ptr Body = parseBlock();
+    if (!Body)
+      return false;
+    Current->Procs.push_back(Procedure{std::move(Name), std::move(Body)});
+    return true;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Statements
+  //===--------------------------------------------------------------------===//
+
+  Stmt::Ptr parseBlock() {
+    if (!expect(Token::Kind::LBrace, "'{'"))
+      return nullptr;
+    std::vector<Stmt::Ptr> Stmts;
+    while (!check(Token::Kind::RBrace) && !check(Token::Kind::Eof)) {
+      Stmt::Ptr S = parseStmt();
+      if (!S)
+        return nullptr;
+      Stmts.push_back(std::move(S));
+    }
+    if (!expect(Token::Kind::RBrace, "'}'"))
+      return nullptr;
+    return Stmt::makeBlock(std::move(Stmts));
+  }
+
+  Stmt::Ptr parseStmt() {
+    if (matchKeyword("skip")) {
+      if (!expect(Token::Kind::Semi, "';'"))
+        return nullptr;
+      return Stmt::makeSkip();
+    }
+    if (matchKeyword("break")) {
+      if (LoopDepth == 0) {
+        fail("'break' outside of a loop");
+        return nullptr;
+      }
+      if (!expect(Token::Kind::Semi, "';'"))
+        return nullptr;
+      return Stmt::makeBreak();
+    }
+    if (matchKeyword("continue")) {
+      if (LoopDepth == 0) {
+        fail("'continue' outside of a loop");
+        return nullptr;
+      }
+      if (!expect(Token::Kind::Semi, "';'"))
+        return nullptr;
+      return Stmt::makeContinue();
+    }
+    if (matchKeyword("return")) {
+      if (!expect(Token::Kind::Semi, "';'"))
+        return nullptr;
+      return Stmt::makeReturn();
+    }
+    if (matchKeyword("observe")) {
+      if (!expect(Token::Kind::LParen, "'('"))
+        return nullptr;
+      Cond::Ptr Phi = parseCond();
+      if (!Phi || !expect(Token::Kind::RParen, "')'") ||
+          !expect(Token::Kind::Semi, "';'"))
+        return nullptr;
+      return Stmt::makeObserve(std::move(Phi));
+    }
+    if (matchKeyword("reward")) {
+      if (!expect(Token::Kind::LParen, "'('"))
+        return nullptr;
+      std::optional<Rational> Amount = parseConstant();
+      if (!Amount || !expect(Token::Kind::RParen, "')'") ||
+          !expect(Token::Kind::Semi, "';'"))
+        return nullptr;
+      if (Amount->sign() < 0) {
+        fail("rewards must be nonnegative");
+        return nullptr;
+      }
+      return Stmt::makeReward(std::move(*Amount));
+    }
+    if (matchKeyword("if"))
+      return parseIf();
+    if (matchKeyword("while")) {
+      Guard G;
+      if (!parseGuard(G))
+        return nullptr;
+      ++LoopDepth;
+      Stmt::Ptr Body = parseBlock();
+      --LoopDepth;
+      if (!Body)
+        return nullptr;
+      return Stmt::makeWhile(std::move(G), std::move(Body));
+    }
+    if (!check(Token::Kind::Ident)) {
+      fail("expected a statement");
+      return nullptr;
+    }
+    std::string Name = advance().Text;
+    if (match(Token::Kind::LParen)) {
+      // Procedure call.
+      if (!expect(Token::Kind::RParen, "')'") ||
+          !expect(Token::Kind::Semi, "';'"))
+        return nullptr;
+      return Stmt::makeCall(std::move(Name));
+    }
+    unsigned VarIndex = Current->findVar(Name);
+    if (VarIndex == ~0u) {
+      fail("use of undeclared variable '" + Name + "'");
+      return nullptr;
+    }
+    if (match(Token::Kind::Assign)) {
+      Expr::Ptr Value = parseExpr();
+      if (!Value || !expect(Token::Kind::Semi, "';'"))
+        return nullptr;
+      return Stmt::makeAssign(VarIndex, std::move(Value));
+    }
+    if (match(Token::Kind::Tilde)) {
+      std::optional<Dist> D = parseDist();
+      if (!D || !expect(Token::Kind::Semi, "';'"))
+        return nullptr;
+      return Stmt::makeSample(VarIndex, std::move(*D));
+    }
+    fail("expected ':=', '~', or '(' after identifier");
+    return nullptr;
+  }
+
+  Stmt::Ptr parseIf() {
+    Guard G;
+    if (!parseGuard(G))
+      return nullptr;
+    Stmt::Ptr Then = parseBlock();
+    if (!Then)
+      return nullptr;
+    Stmt::Ptr Else;
+    if (matchKeyword("else")) {
+      if (matchKeyword("if")) {
+        Else = parseIf(); // else-if chains without extra braces
+      } else {
+        Else = parseBlock();
+      }
+      if (!Else)
+        return nullptr;
+    }
+    return Stmt::makeIf(std::move(G), std::move(Then), std::move(Else));
+  }
+
+  bool parseGuard(Guard &G) {
+    if (matchKeyword("star")) {
+      G.TheKind = Guard::Kind::Ndet;
+      return true;
+    }
+    if (matchKeyword("prob")) {
+      if (!expect(Token::Kind::LParen, "'('"))
+        return false;
+      std::optional<Rational> P = parseConstant();
+      if (!P || !expect(Token::Kind::RParen, "')'"))
+        return false;
+      if (P->sign() < 0 || *P > Rational(1)) {
+        fail("probability must lie in [0, 1]");
+        return false;
+      }
+      G.TheKind = Guard::Kind::Prob;
+      G.Prob = std::move(*P);
+      return true;
+    }
+    if (!expect(Token::Kind::LParen, "'(', 'prob', or 'star'"))
+      return false;
+    Cond::Ptr Phi = parseCond();
+    if (!Phi || !expect(Token::Kind::RParen, "')'"))
+      return false;
+    G.TheKind = Guard::Kind::Cond;
+    G.Phi = std::move(Phi);
+    return true;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Distributions
+  //===--------------------------------------------------------------------===//
+
+  std::optional<Dist> parseDist() {
+    if (!check(Token::Kind::Ident)) {
+      fail("expected a distribution name");
+      return std::nullopt;
+    }
+    std::string Name = advance().Text;
+    Dist D;
+    unsigned Arity = 0;
+    if (Name == "bernoulli") {
+      D.TheKind = Dist::Kind::Bernoulli;
+      Arity = 1;
+    } else if (Name == "uniform") {
+      D.TheKind = Dist::Kind::Uniform;
+      Arity = 2;
+    } else if (Name == "gaussian") {
+      D.TheKind = Dist::Kind::Gaussian;
+      Arity = 2;
+    } else if (Name == "uniformint") {
+      D.TheKind = Dist::Kind::UniformInt;
+      Arity = 2;
+    } else if (Name == "discrete") {
+      D.TheKind = Dist::Kind::Discrete;
+    } else {
+      fail("unknown distribution '" + Name + "'");
+      return std::nullopt;
+    }
+    if (!expect(Token::Kind::LParen, "'('"))
+      return std::nullopt;
+    if (D.TheKind == Dist::Kind::Discrete) {
+      // discrete(v1: p1, v2: p2, ...)
+      Rational Total(0);
+      do {
+        std::optional<Rational> Value = parseConstant();
+        if (!Value || !expect(Token::Kind::Colon, "':'"))
+          return std::nullopt;
+        std::optional<Rational> Weight = parseConstant();
+        if (!Weight)
+          return std::nullopt;
+        if (Weight->sign() < 0) {
+          fail("discrete weights must be nonnegative");
+          return std::nullopt;
+        }
+        D.Params.push_back(Expr::makeNumber(std::move(*Value)));
+        D.Weights.push_back(*Weight);
+        Total += *Weight;
+      } while (match(Token::Kind::Comma));
+      if (Total > Rational(1)) {
+        fail("discrete weights must sum to at most 1");
+        return std::nullopt;
+      }
+    } else {
+      for (unsigned I = 0; I != Arity; ++I) {
+        if (I && !expect(Token::Kind::Comma, "','"))
+          return std::nullopt;
+        Expr::Ptr Param = parseExpr();
+        if (!Param)
+          return std::nullopt;
+        D.Params.push_back(std::move(Param));
+      }
+    }
+    if (!expect(Token::Kind::RParen, "')'"))
+      return std::nullopt;
+    return D;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Conditions
+  //===--------------------------------------------------------------------===//
+
+  Cond::Ptr parseCond() { return parseCondOr(); }
+
+  Cond::Ptr parseCondOr() {
+    Cond::Ptr Lhs = parseCondAnd();
+    while (Lhs && match(Token::Kind::OrOr)) {
+      Cond::Ptr Rhs = parseCondAnd();
+      if (!Rhs)
+        return nullptr;
+      Lhs = Cond::makeOr(std::move(Lhs), std::move(Rhs));
+    }
+    return Lhs;
+  }
+
+  Cond::Ptr parseCondAnd() {
+    Cond::Ptr Lhs = parseCondUnary();
+    while (Lhs && match(Token::Kind::AndAnd)) {
+      Cond::Ptr Rhs = parseCondUnary();
+      if (!Rhs)
+        return nullptr;
+      Lhs = Cond::makeAnd(std::move(Lhs), std::move(Rhs));
+    }
+    return Lhs;
+  }
+
+  Cond::Ptr parseCondUnary() {
+    if (match(Token::Kind::Bang)) {
+      Cond::Ptr Operand = parseCondUnary();
+      if (!Operand)
+        return nullptr;
+      return Cond::makeNot(std::move(Operand));
+    }
+    return parseCondAtom();
+  }
+
+  Cond::Ptr parseCondAtom() {
+    if (matchKeyword("true"))
+      return Cond::makeTrue();
+    if (matchKeyword("false"))
+      return Cond::makeFalse();
+    if (check(Token::Kind::LParen)) {
+      // Ambiguity: '(' may open a nested condition or a parenthesized
+      // arithmetic operand of a comparison. Try the condition reading
+      // first; backtrack on failure (tokens are pre-lexed, so this is a
+      // cheap position reset).
+      size_t Saved = Pos;
+      std::string SavedError = Error;
+      advance();
+      Cond::Ptr Inner = parseCond();
+      if (Inner && match(Token::Kind::RParen) && !startsComparisonTail()) {
+        return Inner;
+      }
+      Pos = Saved;
+      Error = SavedError;
+    }
+    // Comparison or Boolean variable.
+    Expr::Ptr Lhs = parseExpr();
+    if (!Lhs)
+      return nullptr;
+    std::optional<CmpOp> Op = matchCmpOp();
+    if (Op) {
+      Expr::Ptr Rhs = parseExpr();
+      if (!Rhs)
+        return nullptr;
+      return Cond::makeCmp(*Op, std::move(Lhs), std::move(Rhs));
+    }
+    if (Lhs->kind() == Expr::Kind::Var &&
+        !Current->Vars[Lhs->varIndex()].IsReal)
+      return Cond::makeBoolVar(Lhs->varIndex());
+    fail("expected a comparison or a Boolean variable");
+    return nullptr;
+  }
+
+  /// After a successfully parsed parenthesized condition, a comparison
+  /// operator means we actually saw a parenthesized arithmetic operand.
+  bool startsComparisonTail() const {
+    switch (peek().TheKind) {
+    case Token::Kind::EqEq:
+    case Token::Kind::NotEq:
+    case Token::Kind::LessEq:
+    case Token::Kind::GreaterEq:
+    case Token::Kind::Less:
+    case Token::Kind::Greater:
+    case Token::Kind::Plus:
+    case Token::Kind::Minus:
+    case Token::Kind::Star:
+    case Token::Kind::Slash:
+      return true;
+    default:
+      return false;
+    }
+  }
+
+  std::optional<CmpOp> matchCmpOp() {
+    if (match(Token::Kind::EqEq))
+      return CmpOp::Eq;
+    if (match(Token::Kind::NotEq))
+      return CmpOp::Ne;
+    if (match(Token::Kind::LessEq))
+      return CmpOp::Le;
+    if (match(Token::Kind::GreaterEq))
+      return CmpOp::Ge;
+    if (match(Token::Kind::Less))
+      return CmpOp::Lt;
+    if (match(Token::Kind::Greater))
+      return CmpOp::Gt;
+    return std::nullopt;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Expressions
+  //===--------------------------------------------------------------------===//
+
+  Expr::Ptr parseExpr() { return parseAdditive(); }
+
+  Expr::Ptr parseAdditive() {
+    Expr::Ptr Lhs = parseMultiplicative();
+    while (Lhs) {
+      if (match(Token::Kind::Plus)) {
+        Expr::Ptr Rhs = parseMultiplicative();
+        if (!Rhs)
+          return nullptr;
+        Lhs = Expr::makeBinary(Expr::Kind::Add, std::move(Lhs),
+                               std::move(Rhs));
+      } else if (match(Token::Kind::Minus)) {
+        Expr::Ptr Rhs = parseMultiplicative();
+        if (!Rhs)
+          return nullptr;
+        Lhs = Expr::makeBinary(Expr::Kind::Sub, std::move(Lhs),
+                               std::move(Rhs));
+      } else {
+        break;
+      }
+    }
+    return Lhs;
+  }
+
+  Expr::Ptr parseMultiplicative() {
+    Expr::Ptr Lhs = parseUnaryExpr();
+    while (Lhs) {
+      if (match(Token::Kind::Star)) {
+        Expr::Ptr Rhs = parseUnaryExpr();
+        if (!Rhs)
+          return nullptr;
+        Lhs = Expr::makeBinary(Expr::Kind::Mul, std::move(Lhs),
+                               std::move(Rhs));
+      } else if (match(Token::Kind::Slash)) {
+        Expr::Ptr Rhs = parseUnaryExpr();
+        if (!Rhs)
+          return nullptr;
+        Lhs = Expr::makeBinary(Expr::Kind::Div, std::move(Lhs),
+                               std::move(Rhs));
+      } else {
+        break;
+      }
+    }
+    return Lhs;
+  }
+
+  Expr::Ptr parseUnaryExpr() {
+    if (match(Token::Kind::Minus)) {
+      Expr::Ptr Operand = parseUnaryExpr();
+      if (!Operand)
+        return nullptr;
+      return Expr::makeBinary(Expr::Kind::Sub, Expr::makeNumber(Rational(0)),
+                              std::move(Operand));
+    }
+    return parsePrimaryExpr();
+  }
+
+  Expr::Ptr parsePrimaryExpr() {
+    if (check(Token::Kind::Number))
+      return Expr::makeNumber(Rational::fromString(advance().Text));
+    if (matchKeyword("true"))
+      return Expr::makeBool(true);
+    if (matchKeyword("false"))
+      return Expr::makeBool(false);
+    if (check(Token::Kind::Ident)) {
+      std::string Name = advance().Text;
+      unsigned VarIndex = Current->findVar(Name);
+      if (VarIndex == ~0u) {
+        fail("use of undeclared variable '" + Name + "'");
+        return nullptr;
+      }
+      return Expr::makeVar(VarIndex);
+    }
+    if (match(Token::Kind::LParen)) {
+      Expr::Ptr Inner = parseExpr();
+      if (!Inner || !expect(Token::Kind::RParen, "')'"))
+        return nullptr;
+      return Inner;
+    }
+    fail("expected an expression");
+    return nullptr;
+  }
+
+  std::optional<Rational> parseConstant() {
+    Expr::Ptr E = parseExpr();
+    if (!E)
+      return std::nullopt;
+    std::optional<Rational> Value = evalConstant(*E);
+    if (!Value)
+      fail("expected a constant rational expression");
+    return Value;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Post-pass: call resolution
+  //===--------------------------------------------------------------------===//
+
+  bool resolveCallsIn(Stmt &S) {
+    switch (S.kind()) {
+    case Stmt::Kind::Call: {
+      unsigned Index = Current->findProc(S.callee());
+      if (Index == ~0u) {
+        Error = "call to undefined procedure '" + S.callee() + "'";
+        return false;
+      }
+      S.setCalleeIndex(Index);
+      return true;
+    }
+    case Stmt::Kind::Block:
+      for (const Stmt::Ptr &Child : S.stmts())
+        if (!resolveCallsIn(*Child))
+          return false;
+      return true;
+    case Stmt::Kind::If:
+      if (!resolveCallsIn(const_cast<Stmt &>(S.thenStmt())))
+        return false;
+      if (const Stmt *Else = S.elseStmt())
+        return resolveCallsIn(const_cast<Stmt &>(*Else));
+      return true;
+    case Stmt::Kind::While:
+      return resolveCallsIn(const_cast<Stmt &>(S.body()));
+    default:
+      return true;
+    }
+  }
+
+  bool resolveCalls() {
+    for (Procedure &Proc : Current->Procs)
+      if (!resolveCallsIn(*Proc.Body))
+        return false;
+    return true;
+  }
+
+  std::vector<Token> Tokens;
+  size_t Pos = 0;
+  Program *Current = nullptr;
+  unsigned LoopDepth = 0;
+  std::string Error;
+};
+
+} // namespace
+
+ParseResult lang::parseProgram(const std::string &Source) {
+  return ParserImpl(Source).run();
+}
+
+std::unique_ptr<Program> lang::parseProgramOrDie(const std::string &Source) {
+  ParseResult Result = parseProgram(Source);
+  if (!Result) {
+    std::fprintf(stderr, "parse error: %s\n", Result.Error.c_str());
+    std::abort();
+  }
+  return std::move(Result.Prog);
+}

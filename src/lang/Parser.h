@@ -1,0 +1,67 @@
+//===- lang/Parser.h - Recursive-descent parser -----------------*- C++ -*-===//
+//
+// Part of the PMAF reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parser for the surface language. Grammar sketch:
+///
+/// \code
+///   program  := (vardecl | procdecl)*
+///   vardecl  := ("bool" | "real") ident ("," ident)* ";"
+///   procdecl := "proc" ident "(" ")" block
+///   block    := "{" stmt* "}"
+///   stmt     := ident ":=" expr ";"            // assignment
+///             | ident "~" dist ";"             // sampling
+///             | ident "(" ")" ";"              // procedure call
+///             | "skip" ";" | "break" ";" | "continue" ";" | "return" ";"
+///             | "observe" "(" cond ")" ";"
+///             | "reward" "(" constexpr ")" ";"
+///             | "if" guard block ("else" (block | ifstmt))?
+///             | "while" guard block
+///   guard    := "(" cond ")" | "prob" "(" constexpr ")" | "star"
+///   dist     := "bernoulli" "(" expr ")" | "uniform" "(" expr "," expr ")"
+///             | "gaussian" "(" expr "," expr ")"
+///             | "uniformint" "(" expr "," expr ")"
+///             | "discrete" "(" constexpr ":" constexpr
+///                              ("," constexpr ":" constexpr)* ")"
+/// \endcode
+///
+/// Variables must be declared before the procedures that use them;
+/// procedures may call forward. Probabilities and rewards are constant
+/// rational expressions (e.g. `prob(3/4)` or `prob(0.75)`).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PMAF_LANG_PARSER_H
+#define PMAF_LANG_PARSER_H
+
+#include "lang/Ast.h"
+
+#include <memory>
+#include <string>
+
+namespace pmaf {
+namespace lang {
+
+/// Result of a parse: either a program, or a diagnostic.
+struct ParseResult {
+  std::unique_ptr<Program> Prog;
+  std::string Error; ///< "line:col: message" when Prog is null.
+
+  explicit operator bool() const { return Prog != nullptr; }
+};
+
+/// Parses and semantically checks \p Source (variable resolution, call
+/// resolution, break/continue placement, probability ranges).
+ParseResult parseProgram(const std::string &Source);
+
+/// Convenience wrapper that aborts with the diagnostic on failure; for
+/// trusted embedded benchmark sources and tests.
+std::unique_ptr<Program> parseProgramOrDie(const std::string &Source);
+
+} // namespace lang
+} // namespace pmaf
+
+#endif // PMAF_LANG_PARSER_H

@@ -1,0 +1,62 @@
+//===- lang/PosNegDecompose.h - Positive-negative decomposition -*- C++ -*-===//
+//
+// Part of the PMAF reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The program transformation §6.2 applies to the LEIA benchmarks: "we
+/// performed a positive-negative decomposition to make sure all program
+/// variables are nonnegative. That is, we represented each variable x as
+/// x+ - x- where x+, x- >= 0, and replaced every operation on variables
+/// with appropriate operations on the decomposed variables."
+///
+/// Each real variable x becomes a pair (x__p, x__n) with the invariant
+/// x = x__p - x__n. Linear assignments split by coefficient sign,
+///
+///   x := sum_i a_i v_i + c
+///     ~>  x__p := sum_i (a_i^+ v_i__p + a_i^- v_i__n) + c^+
+///         x__n := sum_i (a_i^- v_i__p + a_i^+ v_i__n) + c^-
+///
+/// which keeps both components nonnegative whenever the inputs are.
+/// Sampling x ~ D with a constant, bounded-below support shifts the
+/// distribution into the nonnegative range: x__p ~ D + M, x__n := M for
+/// M = max(0, -min D). Conditions and expressions are rewritten by
+/// substituting x ↦ x__p - x__n.
+///
+/// The LEIA domain then analyzes the decomposed program; expectation
+/// invariants about the original x are queries about E[x__p' - x__n'].
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PMAF_LANG_POSNEGDECOMPOSE_H
+#define PMAF_LANG_POSNEGDECOMPOSE_H
+
+#include "lang/Ast.h"
+
+#include <memory>
+#include <string>
+
+namespace pmaf {
+namespace lang {
+
+/// Result of the decomposition.
+struct DecomposeResult {
+  std::unique_ptr<Program> Prog;
+  /// Empty on success; otherwise why the program cannot be decomposed
+  /// (e.g. sampling from a distribution with unbounded-below support).
+  std::string Error;
+
+  explicit operator bool() const { return Prog != nullptr; }
+};
+
+/// Decomposes every real variable of \p Prog into a nonnegative pair.
+/// Variable x at index i maps to x__p at index 2i and x__n at index 2i+1.
+/// Boolean programs are rejected (the decomposition is a LEIA-side
+/// transformation).
+DecomposeResult decomposePosNeg(const Program &Prog);
+
+} // namespace lang
+} // namespace pmaf
+
+#endif // PMAF_LANG_POSNEGDECOMPOSE_H

@@ -1,0 +1,114 @@
+//===- poly/LinearExpr.h - Rational linear expressions ----------*- C++ -*-===//
+//
+// Part of the PMAF reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Affine expressions `b + a1*x1 + ... + ad*xd` over exact rationals, and
+/// the linear constraints `expr >= 0` / `expr == 0` built from them. These
+/// are the user-facing currency of the convex-polyhedra library (the
+/// APRON replacement used by the LEIA instantiation of §5.3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PMAF_POLY_LINEAREXPR_H
+#define PMAF_POLY_LINEAREXPR_H
+
+#include "support/Rational.h"
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+namespace pmaf {
+namespace poly {
+
+/// An affine expression over a fixed-dimension rational vector space.
+class LinearExpr {
+public:
+  /// The zero expression over \p Dim variables.
+  explicit LinearExpr(unsigned Dim = 0) : Coeffs(Dim + 1) {}
+
+  /// \returns the constant expression \p Value.
+  static LinearExpr constant(unsigned Dim, Rational Value) {
+    LinearExpr E(Dim);
+    E.Coeffs[0] = std::move(Value);
+    return E;
+  }
+
+  /// \returns the expression `x_Index`.
+  static LinearExpr variable(unsigned Dim, unsigned Index) {
+    assert(Index < Dim && "variable index out of range");
+    LinearExpr E(Dim);
+    E.Coeffs[Index + 1] = Rational(1);
+    return E;
+  }
+
+  unsigned dim() const { return static_cast<unsigned>(Coeffs.size()) - 1; }
+
+  const Rational &constantTerm() const { return Coeffs[0]; }
+  Rational &constantTerm() { return Coeffs[0]; }
+
+  const Rational &coeff(unsigned Index) const {
+    assert(Index < dim() && "variable index out of range");
+    return Coeffs[Index + 1];
+  }
+  Rational &coeff(unsigned Index) {
+    assert(Index < dim() && "variable index out of range");
+    return Coeffs[Index + 1];
+  }
+
+  bool isConstant() const {
+    for (unsigned I = 0; I != dim(); ++I)
+      if (!coeff(I).isZero())
+        return false;
+    return true;
+  }
+
+  LinearExpr operator+(const LinearExpr &Other) const;
+  LinearExpr operator-(const LinearExpr &Other) const;
+  LinearExpr scaled(const Rational &Factor) const;
+  LinearExpr operator-() const { return scaled(Rational(-1)); }
+
+  /// Evaluates at a rational point (size dim()).
+  Rational evaluate(const std::vector<Rational> &Point) const;
+
+  /// Renders with the given variable names (or x0, x1, ... when empty).
+  std::string toString(const std::vector<std::string> &Names = {}) const;
+
+private:
+  /// Coeffs[0] is the constant term; Coeffs[i+1] multiplies x_i.
+  std::vector<Rational> Coeffs;
+};
+
+/// A linear constraint: Expr >= 0 or Expr == 0 (closed polyhedra only).
+struct Constraint {
+  enum class Kind { Ge, Eq };
+
+  LinearExpr Expr;
+  Kind TheKind = Kind::Ge;
+
+  /// Lhs >= Rhs.
+  static Constraint ge(const LinearExpr &Lhs, const LinearExpr &Rhs) {
+    return Constraint{Lhs - Rhs, Kind::Ge};
+  }
+  /// Lhs <= Rhs.
+  static Constraint le(const LinearExpr &Lhs, const LinearExpr &Rhs) {
+    return Constraint{Rhs - Lhs, Kind::Ge};
+  }
+  /// Lhs == Rhs.
+  static Constraint eq(const LinearExpr &Lhs, const LinearExpr &Rhs) {
+    return Constraint{Lhs - Rhs, Kind::Eq};
+  }
+
+  std::string toString(const std::vector<std::string> &Names = {}) const {
+    return Expr.toString(Names) +
+           (TheKind == Kind::Ge ? " >= 0" : " == 0");
+  }
+};
+
+} // namespace poly
+} // namespace pmaf
+
+#endif // PMAF_POLY_LINEAREXPR_H

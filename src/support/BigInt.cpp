@@ -1,0 +1,449 @@
+//===- support/BigInt.cpp - Arbitrary-precision signed integers ----------===//
+
+#include "support/BigInt.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdlib>
+
+using namespace pmaf;
+
+//===----------------------------------------------------------------------===//
+// Representation plumbing
+//===----------------------------------------------------------------------===//
+
+static uint64_t absOfInt64(int64_t V) {
+  return V < 0 ? ~static_cast<uint64_t>(V) + 1 : static_cast<uint64_t>(V);
+}
+
+std::vector<uint32_t> BigInt::smallMag() const {
+  assert(IsSmall && "smallMag on a large value");
+  uint64_t Abs = absOfInt64(Small);
+  std::vector<uint32_t> Result;
+  if (Abs == 0)
+    return Result;
+  Result.push_back(static_cast<uint32_t>(Abs & 0xffffffffu));
+  if (Abs >> 32)
+    Result.push_back(static_cast<uint32_t>(Abs >> 32));
+  return Result;
+}
+
+BigInt BigInt::makeLarge(int Sign, std::vector<uint32_t> Mag) {
+  trim(Mag);
+  BigInt Result;
+  if (Mag.empty())
+    return Result;
+  // Demote to the small representation when the value fits in int64_t.
+  if (Mag.size() <= 2) {
+    uint64_t Abs = Mag[0];
+    if (Mag.size() == 2)
+      Abs |= static_cast<uint64_t>(Mag[1]) << 32;
+    if (Sign > 0 ? Abs < (1ull << 63) : Abs <= (1ull << 63)) {
+      Result.Small = Sign > 0 ? static_cast<int64_t>(Abs)
+                              : static_cast<int64_t>(~Abs + 1);
+      return Result;
+    }
+  }
+  Result.IsSmall = false;
+  Result.LargeSign = Sign;
+  Result.Mag = std::move(Mag);
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Magnitude helpers
+//===----------------------------------------------------------------------===//
+
+void BigInt::trim(std::vector<uint32_t> &Mag) {
+  while (!Mag.empty() && Mag.back() == 0)
+    Mag.pop_back();
+}
+
+int BigInt::compareMag(const std::vector<uint32_t> &A,
+                       const std::vector<uint32_t> &B) {
+  if (A.size() != B.size())
+    return A.size() < B.size() ? -1 : 1;
+  for (size_t I = A.size(); I-- > 0;)
+    if (A[I] != B[I])
+      return A[I] < B[I] ? -1 : 1;
+  return 0;
+}
+
+std::vector<uint32_t> BigInt::addMag(const std::vector<uint32_t> &A,
+                                     const std::vector<uint32_t> &B) {
+  const std::vector<uint32_t> &Long = A.size() >= B.size() ? A : B;
+  const std::vector<uint32_t> &Short = A.size() >= B.size() ? B : A;
+  std::vector<uint32_t> Result;
+  Result.reserve(Long.size() + 1);
+  uint64_t Carry = 0;
+  for (size_t I = 0; I != Long.size(); ++I) {
+    uint64_t Sum = Carry + Long[I] + (I < Short.size() ? Short[I] : 0);
+    Result.push_back(static_cast<uint32_t>(Sum & 0xffffffffu));
+    Carry = Sum >> 32;
+  }
+  if (Carry)
+    Result.push_back(static_cast<uint32_t>(Carry));
+  return Result;
+}
+
+std::vector<uint32_t> BigInt::subMag(const std::vector<uint32_t> &A,
+                                     const std::vector<uint32_t> &B) {
+  assert(compareMag(A, B) >= 0 && "subMag requires |A| >= |B|");
+  std::vector<uint32_t> Result;
+  Result.reserve(A.size());
+  int64_t Borrow = 0;
+  for (size_t I = 0; I != A.size(); ++I) {
+    int64_t Diff = static_cast<int64_t>(A[I]) - Borrow -
+                   (I < B.size() ? static_cast<int64_t>(B[I]) : 0);
+    if (Diff < 0) {
+      Diff += int64_t(1) << 32;
+      Borrow = 1;
+    } else {
+      Borrow = 0;
+    }
+    Result.push_back(static_cast<uint32_t>(Diff));
+  }
+  trim(Result);
+  return Result;
+}
+
+std::vector<uint32_t> BigInt::mulMag(const std::vector<uint32_t> &A,
+                                     const std::vector<uint32_t> &B) {
+  if (A.empty() || B.empty())
+    return {};
+  std::vector<uint32_t> Result(A.size() + B.size(), 0);
+  for (size_t I = 0; I != A.size(); ++I) {
+    uint64_t Carry = 0;
+    for (size_t J = 0; J != B.size(); ++J) {
+      uint64_t Cur =
+          Result[I + J] + static_cast<uint64_t>(A[I]) * B[J] + Carry;
+      Result[I + J] = static_cast<uint32_t>(Cur & 0xffffffffu);
+      Carry = Cur >> 32;
+    }
+    size_t K = I + B.size();
+    while (Carry) {
+      uint64_t Cur = Result[K] + Carry;
+      Result[K] = static_cast<uint32_t>(Cur & 0xffffffffu);
+      Carry = Cur >> 32;
+      ++K;
+    }
+  }
+  trim(Result);
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Conversions
+//===----------------------------------------------------------------------===//
+
+BigInt BigInt::fromString(const std::string &Text) {
+  assert(!Text.empty() && "empty big-integer literal");
+  size_t I = 0;
+  bool Negative = false;
+  if (Text[0] == '-' || Text[0] == '+') {
+    Negative = Text[0] == '-';
+    I = 1;
+  }
+  assert(I < Text.size() && "sign-only big-integer literal");
+  BigInt Result;
+  for (; I != Text.size(); ++I) {
+    assert(Text[I] >= '0' && Text[I] <= '9' && "bad digit in literal");
+    Result = Result * BigInt(10) + BigInt(Text[I] - '0');
+  }
+  return Negative ? Result.negated() : Result;
+}
+
+int64_t BigInt::toInt64() const {
+  assert(IsSmall && "value does not fit in int64_t");
+  return Small;
+}
+
+double BigInt::toDouble() const {
+  if (IsSmall)
+    return static_cast<double>(Small);
+  double Result = 0.0;
+  for (size_t I = Mag.size(); I-- > 0;)
+    Result = Result * 4294967296.0 + static_cast<double>(Mag[I]);
+  return LargeSign < 0 ? -Result : Result;
+}
+
+std::string BigInt::toString() const {
+  if (IsSmall)
+    return std::to_string(Small);
+  // Repeatedly divide the magnitude by 1e9 and collect 9-digit chunks.
+  std::vector<uint32_t> Work = Mag;
+  std::string Digits;
+  while (!Work.empty()) {
+    uint64_t Rem = 0;
+    for (size_t I = Work.size(); I-- > 0;) {
+      uint64_t Cur = (Rem << 32) | Work[I];
+      Work[I] = static_cast<uint32_t>(Cur / 1000000000u);
+      Rem = Cur % 1000000000u;
+    }
+    trim(Work);
+    for (int K = 0; K != 9; ++K) {
+      Digits.push_back(static_cast<char>('0' + Rem % 10));
+      Rem /= 10;
+    }
+  }
+  while (Digits.size() > 1 && Digits.back() == '0')
+    Digits.pop_back();
+  if (LargeSign < 0)
+    Digits.push_back('-');
+  return std::string(Digits.rbegin(), Digits.rend());
+}
+
+//===----------------------------------------------------------------------===//
+// Sign-level operations
+//===----------------------------------------------------------------------===//
+
+BigInt BigInt::abs() const {
+  if (IsSmall) {
+    if (Small != INT64_MIN)
+      return BigInt(Small < 0 ? -Small : Small);
+    return makeLarge(1, smallMag());
+  }
+  BigInt Result = *this;
+  Result.LargeSign = 1;
+  return Result;
+}
+
+BigInt BigInt::negated() const {
+  if (IsSmall) {
+    if (Small != INT64_MIN)
+      return BigInt(-Small);
+    return makeLarge(1, smallMag());
+  }
+  BigInt Result = *this;
+  Result.LargeSign = -Result.LargeSign;
+  return Result;
+}
+
+int BigInt::compare(const BigInt &Other) const {
+  if (IsSmall && Other.IsSmall)
+    return Small < Other.Small ? -1 : (Small > Other.Small ? 1 : 0);
+  int SignA = sign(), SignB = Other.sign();
+  if (SignA != SignB)
+    return SignA < SignB ? -1 : 1;
+  // Same sign, at least one large. A large value never fits in int64, so
+  // a small operand always has the smaller magnitude.
+  if (IsSmall)
+    return SignA > 0 ? -1 : 1;
+  if (Other.IsSmall)
+    return SignA > 0 ? 1 : -1;
+  int MagCmp = compareMag(Mag, Other.Mag);
+  return SignA > 0 ? MagCmp : -MagCmp;
+}
+
+//===----------------------------------------------------------------------===//
+// Arithmetic
+//===----------------------------------------------------------------------===//
+
+BigInt BigInt::addSlow(const BigInt &A, const BigInt &B) {
+  int SignA = A.sign(), SignB = B.sign();
+  if (SignA == 0)
+    return B;
+  if (SignB == 0)
+    return A;
+  std::vector<uint32_t> MagA = A.magnitude(), MagB = B.magnitude();
+  if (SignA == SignB)
+    return makeLarge(SignA, addMag(MagA, MagB));
+  int MagCmp = compareMag(MagA, MagB);
+  if (MagCmp == 0)
+    return BigInt();
+  if (MagCmp > 0)
+    return makeLarge(SignA, subMag(MagA, MagB));
+  return makeLarge(SignB, subMag(MagB, MagA));
+}
+
+BigInt BigInt::operator+(const BigInt &Other) const {
+  if (IsSmall && Other.IsSmall) {
+    int64_t Sum;
+    if (!__builtin_add_overflow(Small, Other.Small, &Sum))
+      return BigInt(Sum);
+  }
+  return addSlow(*this, Other);
+}
+
+BigInt BigInt::operator-(const BigInt &Other) const {
+  if (IsSmall && Other.IsSmall) {
+    int64_t Diff;
+    if (!__builtin_sub_overflow(Small, Other.Small, &Diff))
+      return BigInt(Diff);
+  }
+  return addSlow(*this, Other.negated());
+}
+
+BigInt BigInt::mulSlow(const BigInt &A, const BigInt &B) {
+  int Sign = A.sign() * B.sign();
+  if (Sign == 0)
+    return BigInt();
+  return makeLarge(Sign, mulMag(A.magnitude(), B.magnitude()));
+}
+
+BigInt BigInt::operator*(const BigInt &Other) const {
+  if (IsSmall && Other.IsSmall) {
+    int64_t Product;
+    if (!__builtin_mul_overflow(Small, Other.Small, &Product))
+      return BigInt(Product);
+  }
+  return mulSlow(*this, Other);
+}
+
+unsigned BigInt::bitLength() const {
+  if (IsSmall) {
+    uint64_t Abs = absOfInt64(Small);
+    return Abs == 0 ? 0 : 64 - static_cast<unsigned>(__builtin_clzll(Abs));
+  }
+  unsigned High = 32;
+  uint32_t Top = Mag.back();
+  while (High > 0 && !(Top & (1u << (High - 1))))
+    --High;
+  return static_cast<unsigned>((Mag.size() - 1) * 32) + High;
+}
+
+BigInt BigInt::shiftLeft(unsigned Bits) const {
+  if (isZero() || Bits == 0)
+    return *this;
+  if (IsSmall && Bits < 62 && bitLength() + Bits < 63)
+    return BigInt(Small << Bits);
+  std::vector<uint32_t> Source = magnitude();
+  unsigned LimbShift = Bits / 32, BitShift = Bits % 32;
+  std::vector<uint32_t> Result(LimbShift, 0);
+  uint32_t Carry = 0;
+  for (uint32_t Limb : Source) {
+    if (BitShift == 0) {
+      Result.push_back(Limb);
+    } else {
+      Result.push_back((Limb << BitShift) | Carry);
+      Carry = Limb >> (32 - BitShift);
+    }
+  }
+  if (Carry)
+    Result.push_back(Carry);
+  return makeLarge(sign(), std::move(Result));
+}
+
+BigInt BigInt::shiftRight(unsigned Bits) const {
+  if (isZero() || Bits == 0)
+    return *this;
+  if (IsSmall) {
+    if (Bits >= 64)
+      return BigInt();
+    uint64_t Abs = absOfInt64(Small) >> Bits;
+    return Small < 0 ? BigInt(-static_cast<int64_t>(Abs))
+                     : BigInt(static_cast<int64_t>(Abs));
+  }
+  std::vector<uint32_t> Source = Mag;
+  unsigned LimbShift = Bits / 32, BitShift = Bits % 32;
+  if (LimbShift >= Source.size())
+    return BigInt();
+  std::vector<uint32_t> Result;
+  for (size_t I = LimbShift; I != Source.size(); ++I) {
+    uint32_t Limb = Source[I] >> BitShift;
+    if (BitShift && I + 1 != Source.size())
+      Limb |= Source[I + 1] << (32 - BitShift);
+    Result.push_back(Limb);
+  }
+  return makeLarge(LargeSign, std::move(Result));
+}
+
+void BigInt::divmod(const BigInt &Divisor, BigInt &Quotient,
+                    BigInt &Remainder) const {
+  assert(!Divisor.isZero() && "division by zero");
+  if (IsSmall && Divisor.IsSmall &&
+      !(Small == INT64_MIN && Divisor.Small == -1)) {
+    Quotient = BigInt(Small / Divisor.Small);
+    Remainder = BigInt(Small % Divisor.Small);
+    return;
+  }
+  // Shift-subtract long division on magnitudes; O(bits * limbs) is
+  // acceptable at the coefficient sizes this library encounters.
+  BigInt AbsDividend = abs(), AbsDivisor = Divisor.abs();
+  if (AbsDividend.compare(AbsDivisor) < 0) {
+    Quotient = BigInt();
+    Remainder = *this;
+    return;
+  }
+  unsigned Shift = AbsDividend.bitLength() - AbsDivisor.bitLength();
+  BigInt Shifted = AbsDivisor.shiftLeft(Shift);
+  BigInt Quot, Rem = AbsDividend;
+  for (unsigned I = 0; I <= Shift; ++I) {
+    Quot = Quot.shiftLeft(1);
+    if (Rem.compare(Shifted) >= 0) {
+      Rem = Rem - Shifted;
+      Quot = Quot + BigInt(1);
+    }
+    Shifted = Shifted.shiftRight(1);
+  }
+  // Truncated semantics: quotient sign is the product of operand signs; the
+  // remainder takes the dividend's sign.
+  if (sign() * Divisor.sign() < 0)
+    Quot = Quot.negated();
+  if (sign() < 0)
+    Rem = Rem.negated();
+  Quotient = Quot;
+  Remainder = Rem;
+}
+
+BigInt BigInt::divExact(const BigInt &Divisor) const {
+  BigInt Quotient, Remainder;
+  divmod(Divisor, Quotient, Remainder);
+  assert(Remainder.isZero() && "divExact on non-multiple");
+  return Quotient;
+}
+
+BigInt BigInt::operator/(const BigInt &Other) const {
+  BigInt Quotient, Remainder;
+  divmod(Other, Quotient, Remainder);
+  return Quotient;
+}
+
+BigInt BigInt::operator%(const BigInt &Other) const {
+  BigInt Quotient, Remainder;
+  divmod(Other, Quotient, Remainder);
+  return Remainder;
+}
+
+BigInt BigInt::gcd(const BigInt &A, const BigInt &B) {
+  if (A.IsSmall && B.IsSmall && A.Small != INT64_MIN &&
+      B.Small != INT64_MIN) {
+    uint64_t X = absOfInt64(A.Small), Y = absOfInt64(B.Small);
+    while (Y != 0) {
+      uint64_t T = X % Y;
+      X = Y;
+      Y = T;
+    }
+    return BigInt(static_cast<int64_t>(X));
+  }
+  // Binary GCD on the general representation: shifts, comparisons, and
+  // subtraction only.
+  BigInt X = A.abs(), Y = B.abs();
+  if (X.isZero())
+    return Y;
+  if (Y.isZero())
+    return X;
+  unsigned Twos = 0;
+  while (X.isEven() && Y.isEven()) {
+    X = X.shiftRight(1);
+    Y = Y.shiftRight(1);
+    ++Twos;
+  }
+  while (X.isEven())
+    X = X.shiftRight(1);
+  while (!Y.isZero()) {
+    while (Y.isEven())
+      Y = Y.shiftRight(1);
+    if (X.compare(Y) > 0)
+      std::swap(X, Y);
+    Y = Y - X;
+  }
+  return X.shiftLeft(Twos);
+}
+
+BigInt BigInt::lcm(const BigInt &A, const BigInt &B) {
+  if (A.isZero() || B.isZero())
+    return BigInt();
+  BigInt G = gcd(A, B);
+  return A.abs().divExact(G) * B.abs();
+}

@@ -1,0 +1,89 @@
+//===- support/Rational.h - Exact rational numbers -------------*- C++ -*-===//
+//
+// Part of the PMAF reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exact rational numbers over BigInt. All linear-expression and polyhedra
+/// arithmetic in the LEIA instantiation (§5.3 of the paper) is performed
+/// with this type so that meets, joins, projections, and widenings never
+/// suffer floating-point drift.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PMAF_SUPPORT_RATIONAL_H
+#define PMAF_SUPPORT_RATIONAL_H
+
+#include "support/BigInt.h"
+
+#include <string>
+
+namespace pmaf {
+
+/// An exact rational in lowest terms with a positive denominator.
+class Rational {
+public:
+  /// Constructs zero.
+  Rational() : Num(0), Den(1) {}
+
+  /// Constructs the integer \p Value.
+  Rational(int64_t Value) : Num(Value), Den(1) {}
+
+  /// Constructs Numerator/Denominator; asserts Denominator != 0.
+  Rational(BigInt Numerator, BigInt Denominator);
+
+  /// Constructs Numerator/Denominator from machine integers.
+  Rational(int64_t Numerator, int64_t Denominator)
+      : Rational(BigInt(Numerator), BigInt(Denominator)) {}
+
+  /// Parses "123", "-4/5", or a decimal like "0.75" / "-1.25e-2" exactly.
+  /// Asserts on malformed input; intended for trusted literals.
+  static Rational fromString(const std::string &Text);
+
+  const BigInt &numerator() const { return Num; }
+  const BigInt &denominator() const { return Den; }
+
+  bool isZero() const { return Num.isZero(); }
+  bool isInteger() const { return Den == BigInt(1); }
+  int sign() const { return Num.sign(); }
+
+  Rational operator+(const Rational &Other) const;
+  Rational operator-(const Rational &Other) const;
+  Rational operator*(const Rational &Other) const;
+  /// Asserts Other != 0.
+  Rational operator/(const Rational &Other) const;
+  Rational operator-() const;
+
+  Rational &operator+=(const Rational &Other);
+  Rational &operator-=(const Rational &Other);
+  Rational &operator*=(const Rational &Other);
+  Rational &operator/=(const Rational &Other);
+
+  /// Three-way comparison by cross-multiplication.
+  int compare(const Rational &Other) const;
+
+  bool operator==(const Rational &Other) const { return compare(Other) == 0; }
+  bool operator!=(const Rational &Other) const { return compare(Other) != 0; }
+  bool operator<(const Rational &Other) const { return compare(Other) < 0; }
+  bool operator<=(const Rational &Other) const { return compare(Other) <= 0; }
+  bool operator>(const Rational &Other) const { return compare(Other) > 0; }
+  bool operator>=(const Rational &Other) const { return compare(Other) >= 0; }
+
+  Rational abs() const { return sign() < 0 ? -*this : *this; }
+
+  double toDouble() const { return Num.toDouble() / Den.toDouble(); }
+
+  /// Renders as "n" or "n/d".
+  std::string toString() const;
+
+private:
+  void normalize();
+
+  BigInt Num;
+  BigInt Den;
+};
+
+} // namespace pmaf
+
+#endif // PMAF_SUPPORT_RATIONAL_H

@@ -1,0 +1,65 @@
+//===- support/Rng.h - Deterministic random number generation --*- C++ -*-===//
+//
+// Part of the PMAF reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small deterministic RNG (SplitMix64) shared by the Monte-Carlo
+/// interpreter and the property-test generators, so that every test run is
+/// reproducible from a seed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PMAF_SUPPORT_RNG_H
+#define PMAF_SUPPORT_RNG_H
+
+#include <cmath>
+#include <cstdint>
+
+namespace pmaf {
+
+/// SplitMix64 pseudo-random generator; fast, seedable, reproducible.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed) {}
+
+  /// \returns the next 64 pseudo-random bits.
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ull;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+    return Z ^ (Z >> 31);
+  }
+
+  /// \returns a double uniformly distributed in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// \returns a double uniformly distributed in [Lo, Hi).
+  double uniform(double Lo, double Hi) { return Lo + (Hi - Lo) * uniform(); }
+
+  /// \returns true with probability \p P.
+  bool bernoulli(double P) { return uniform() < P; }
+
+  /// \returns an integer uniformly distributed in [0, Bound).
+  uint64_t below(uint64_t Bound) { return Bound ? next() % Bound : 0; }
+
+  /// \returns a sample from a standard normal via Box-Muller.
+  double gaussian() {
+    double U = 0.0;
+    while (U == 0.0)
+      U = uniform();
+    double V = uniform();
+    return std::sqrt(-2.0 * std::log(U)) * std::cos(6.283185307179586 * V);
+  }
+
+private:
+  uint64_t State;
+};
+
+} // namespace pmaf
+
+#endif // PMAF_SUPPORT_RNG_H

@@ -1,0 +1,224 @@
+//===- tests/BaselinesTest.cpp - PReMo-style and Claret-style baselines ---===//
+
+#include "baselines/ClaretForward.h"
+#include "baselines/PolySystem.h"
+#include "cfg/HyperGraph.h"
+#include "core/Solver.h"
+#include "domains/BiDomain.h"
+#include "domains/MdpDomain.h"
+#include "lang/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace pmaf;
+using namespace pmaf::baselines;
+using namespace pmaf::core;
+using namespace pmaf::domains;
+
+//===----------------------------------------------------------------------===//
+// PolySystem solvers
+//===----------------------------------------------------------------------===//
+
+TEST(PolySystemTest, LinearFixpoint) {
+  // x = 1/2 x + 1/4  =>  x = 1/2.
+  PolySystem Sys;
+  auto Rhs = Sys.add(Sys.mul(Sys.constant(0.5), Sys.variable(0)),
+                     Sys.constant(0.25));
+  Sys.addEquation(Rhs);
+  auto K = Sys.solveKleene();
+  auto N = Sys.solveNewton();
+  EXPECT_NEAR(K[0], 0.5, 1e-9);
+  EXPECT_NEAR(N[0], 0.5, 1e-9);
+}
+
+TEST(PolySystemTest, QuadraticBranchingProcess) {
+  // x = 1/3 + 2/3 x^2: least fixed point 1/2 (the other root is 1).
+  PolySystem Sys;
+  auto X = [&Sys] { return Sys.variable(0); };
+  Sys.addEquation(Sys.add(
+      Sys.constant(1.0 / 3),
+      Sys.mul(Sys.constant(2.0 / 3), Sys.mul(X(), X()))));
+  PolySystem::Stats KleeneStats, NewtonStats;
+  auto K = Sys.solveKleene(1e-12, 1000000, &KleeneStats);
+  auto N = Sys.solveNewton(1e-12, 200, &NewtonStats);
+  EXPECT_NEAR(K[0], 0.5, 1e-9);
+  EXPECT_NEAR(N[0], 0.5, 1e-9);
+  // Newton converges quadratically, Kleene only linearly (rate 2/3).
+  EXPECT_LT(NewtonStats.Iterations, 30u);
+  EXPECT_GT(KleeneStats.Iterations, NewtonStats.Iterations);
+}
+
+TEST(PolySystemTest, CriticalBranchingNeedsNewton) {
+  // x = 1/2 + 1/2 x^2 has lfp 1 with *sub*linear Kleene convergence
+  // (the classic PReMo motivation); Newton still gets close fast.
+  PolySystem Sys;
+  auto X = [&Sys] { return Sys.variable(0); };
+  Sys.addEquation(Sys.add(
+      Sys.constant(0.5), Sys.mul(Sys.constant(0.5), Sys.mul(X(), X()))));
+  PolySystem::Stats KleeneStats;
+  auto K = Sys.solveKleene(1e-12, 5000, &KleeneStats);
+  // After 5000 iterations Kleene is still ~4e-4 away (error decays like
+  // 2/k), while Newton halves the distance per step.
+  EXPECT_FALSE(KleeneStats.Converged);
+  EXPECT_LT(K[0], 0.9997);
+  auto N = Sys.solveNewton(1e-10, 200);
+  EXPECT_NEAR(N[0], 1.0, 1e-4);
+}
+
+TEST(PolySystemTest, MinMaxSystems) {
+  // x = max(0.3, min(x + 0, 0.8)): lfp is 0.3... then max keeps 0.3.
+  PolySystem Sys;
+  Sys.addEquation(
+      Sys.max(Sys.constant(0.3), Sys.min(Sys.variable(0), Sys.constant(0.8))));
+  EXPECT_FALSE(Sys.isPolynomial());
+  auto K = Sys.solveKleene();
+  EXPECT_NEAR(K[0], 0.3, 1e-9);
+}
+
+TEST(PolySystemTest, TerminationSystemOfRecursiveProgram) {
+  // main: with prob 2/3 runs two recursive calls; termination prob = 1/2.
+  auto Prog = lang::parseProgramOrDie(R"(
+    proc main() { if prob(2/3) { main(); main(); } }
+  )");
+  cfg::ProgramGraph G = cfg::ProgramGraph::build(*Prog);
+  PolySystem Sys = terminationSystem(G, NdetResolution::Min);
+  auto K = Sys.solveKleene(1e-13, 2000000);
+  auto N = Sys.solveNewton();
+  EXPECT_NEAR(K[G.proc(0).Entry], 0.5, 1e-5);
+  EXPECT_NEAR(N[G.proc(0).Entry], 0.5, 1e-9);
+}
+
+TEST(PolySystemTest, TerminationWithDemonicNdet) {
+  auto Prog = lang::parseProgramOrDie(R"(
+    proc main() { if star { while prob(1) { skip; } } }
+  )");
+  cfg::ProgramGraph G = cfg::ProgramGraph::build(*Prog);
+  auto Demonic = terminationSystem(G, NdetResolution::Min).solveKleene();
+  auto Angelic = terminationSystem(G, NdetResolution::Max).solveKleene();
+  EXPECT_NEAR(Demonic[G.proc(0).Entry], 0.0, 1e-9);
+  EXPECT_NEAR(Angelic[G.proc(0).Entry], 1.0, 1e-9);
+}
+
+TEST(PolySystemTest, RewardSystemAgreesWithMdpDomain) {
+  const char *Sources[] = {
+      "proc main() { reward(1); reward(2); }",
+      "proc main() { while prob(3/4) { reward(1); } }",
+      "proc main() { if star { reward(5); } else { reward(1); } }",
+      "proc main() { if prob(1/2) { reward(2); main(); } else { reward(1); } }",
+      R"(proc a() { reward(1); if prob(1/2) { b(); } }
+         proc b() { if prob(1/2) { a(); } }
+         proc main() { a(); })",
+  };
+  for (const char *Source : Sources) {
+    auto Prog = lang::parseProgramOrDie(Source);
+    cfg::ProgramGraph G = cfg::ProgramGraph::build(*Prog);
+    PolySystem Sys = rewardSystem(G, NdetResolution::Max);
+    auto Baseline = Sys.solveKleene(1e-13, 2000000);
+    MdpDomain Dom;
+    SolverOptions Opts;
+    Opts.WideningDelay = 10000;
+    auto Pmaf = solve(G, Dom, Opts);
+    unsigned Entry = G.proc(Prog->findProc("main")).Entry;
+    EXPECT_NEAR(Baseline[Entry], Pmaf.Values[Entry], 1e-6) << Source;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Claret-style forward Bayesian inference
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Runs both the forward baseline and the PMAF BI reformulation on the
+/// all-false prior and checks agreement.
+void expectForwardBackwardAgreement(const char *Source) {
+  auto Prog = lang::parseProgramOrDie(Source);
+  BoolStateSpace Space(*Prog);
+  ClaretForward Forward(Space);
+  std::vector<double> Prior(Space.numStates(), 0.0);
+  Prior[0] = 1.0;
+  std::vector<double> FwdPost =
+      Forward.posterior(Prog->findProc("main"), Prior);
+
+  cfg::ProgramGraph G = cfg::ProgramGraph::build(*Prog);
+  BiDomain Dom(Space);
+  SolverOptions Opts;
+  Opts.UseWidening = false;
+  auto Result = solve(G, Dom, Opts);
+  std::vector<double> BwdPost = Dom.posterior(
+      Result.Values[G.proc(Prog->findProc("main")).Entry], Prior);
+
+  ASSERT_EQ(FwdPost.size(), BwdPost.size());
+  for (size_t S = 0; S != FwdPost.size(); ++S)
+    EXPECT_NEAR(FwdPost[S], BwdPost[S], 1e-7)
+        << "state " << S << " of " << Source;
+}
+
+} // namespace
+
+TEST(ClaretForwardTest, StraightLine) {
+  expectForwardBackwardAgreement(R"(
+    bool a, b;
+    proc main() { a ~ bernoulli(0.3); b := a; }
+  )");
+}
+
+TEST(ClaretForwardTest, ObserveConditioning) {
+  expectForwardBackwardAgreement(R"(
+    bool a, b;
+    proc main() {
+      a ~ bernoulli(0.5);
+      b ~ bernoulli(0.5);
+      observe(a || b);
+    }
+  )");
+}
+
+TEST(ClaretForwardTest, Figure1aLoop) {
+  expectForwardBackwardAgreement(R"(
+    bool b1, b2;
+    proc main() {
+      b1 ~ bernoulli(0.5);
+      b2 ~ bernoulli(0.5);
+      while (!b1 && !b2) {
+        b1 ~ bernoulli(0.5);
+        b2 ~ bernoulli(0.5);
+      }
+    }
+  )");
+}
+
+TEST(ClaretForwardTest, NestedBranching) {
+  expectForwardBackwardAgreement(R"(
+    bool c, d, e;
+    proc main() {
+      c ~ bernoulli(0.2);
+      if (c) { d ~ bernoulli(0.9); } else {
+        if prob(0.4) { d := true; } else { d := false; }
+      }
+      e := d;
+      while (c && e) { c ~ bernoulli(0.5); }
+    }
+  )");
+}
+
+TEST(ClaretForwardTest, NonRecursiveCallsInline) {
+  expectForwardBackwardAgreement(R"(
+    bool b;
+    proc flip() { b ~ bernoulli(0.5); }
+    proc main() { flip(); observe(b); flip(); }
+  )");
+}
+
+TEST(ClaretForwardTest, DivergenceLosesMass) {
+  auto Prog = lang::parseProgramOrDie(R"(
+    bool b;
+    proc main() { b ~ bernoulli(0.25); while (b) { skip; } }
+  )");
+  BoolStateSpace Space(*Prog);
+  ClaretForward Forward(Space);
+  std::vector<double> Prior = {1.0, 0.0};
+  std::vector<double> Post = Forward.posterior(0, Prior);
+  EXPECT_NEAR(Post[0], 0.75, 1e-9);
+  EXPECT_NEAR(Post[1], 0.0, 1e-9);
+}

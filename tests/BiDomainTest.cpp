@@ -1,0 +1,267 @@
+//===- tests/BiDomainTest.cpp - Bayesian-inference instantiation tests ----===//
+
+#include "cfg/HyperGraph.h"
+#include "concrete/Interpreter.h"
+#include "core/Solver.h"
+#include "domains/BiDomain.h"
+#include "lang/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace pmaf;
+using namespace pmaf::core;
+using namespace pmaf::domains;
+
+namespace {
+
+/// Holds together everything needed to query one BI analysis run.
+struct BiRun {
+  std::unique_ptr<lang::Program> Prog;
+  std::unique_ptr<cfg::ProgramGraph> Graph;
+  std::unique_ptr<BoolStateSpace> Space;
+  std::unique_ptr<BiDomain> Dom;
+  AnalysisResult<Matrix> Result;
+
+  explicit BiRun(const char *Source) {
+    Prog = lang::parseProgramOrDie(Source);
+    Graph = std::make_unique<cfg::ProgramGraph>(
+        cfg::ProgramGraph::build(*Prog));
+    Space = std::make_unique<BoolStateSpace>(*Prog);
+    Dom = std::make_unique<BiDomain>(*Space);
+    SolverOptions Opts;
+    Opts.UseWidening = false; // §5.1: BI needs no widening.
+    Result = solve(*Graph, *Dom, Opts);
+  }
+
+  /// Procedure summary of `main`.
+  const Matrix &summary() const {
+    return Result.Values[Graph->proc(Prog->findProc("main")).Entry];
+  }
+
+  /// Posterior over post-states starting from the all-false pre-state.
+  std::vector<double> posteriorFromZero() const {
+    std::vector<double> Prior(Space->numStates(), 0.0);
+    Prior[0] = 1.0;
+    return Dom->posterior(summary(), Prior);
+  }
+};
+
+} // namespace
+
+TEST(BiDomainTest, SkipIsIdentity) {
+  BiRun Run("bool b; proc main() { skip; }");
+  EXPECT_EQ(Run.summary(), Matrix::identity(2));
+}
+
+TEST(BiDomainTest, AssignmentMovesMass) {
+  BiRun Run("bool b; proc main() { b := true; }");
+  // Every pre-state maps to the b=true state with probability 1.
+  const Matrix &S = Run.summary();
+  for (size_t Pre = 0; Pre != 2; ++Pre) {
+    EXPECT_DOUBLE_EQ(S.at(Pre, 1), 1.0);
+    EXPECT_DOUBLE_EQ(S.at(Pre, 0), 0.0);
+  }
+}
+
+TEST(BiDomainTest, BernoulliSplitsMass) {
+  BiRun Run("bool b; proc main() { b ~ bernoulli(0.25); }");
+  const Matrix &S = Run.summary();
+  for (size_t Pre = 0; Pre != 2; ++Pre) {
+    EXPECT_DOUBLE_EQ(S.at(Pre, 1), 0.25);
+    EXPECT_DOUBLE_EQ(S.at(Pre, 0), 0.75);
+  }
+}
+
+TEST(BiDomainTest, SequencingComposesKernels) {
+  // b ~ B(1/2) then flip via conditional assignment encoded with observe-
+  // free branching: if (b) b := false else b := true.
+  BiRun Run(R"(
+    bool b;
+    proc main() {
+      b ~ bernoulli(0.5);
+      if (b) { b := false; } else { b := true; }
+    }
+  )");
+  const Matrix &S = Run.summary();
+  for (size_t Pre = 0; Pre != 2; ++Pre) {
+    EXPECT_DOUBLE_EQ(S.at(Pre, 0), 0.5);
+    EXPECT_DOUBLE_EQ(S.at(Pre, 1), 0.5);
+  }
+}
+
+TEST(BiDomainTest, Figure1aPosterior) {
+  // §2.2: P[b1=F,b2=F] = 0 and the other three states carry 1/3 each, and
+  // the program terminates almost surely (posterior sums to 1).
+  BiRun Run(R"(
+    bool b1, b2;
+    proc main() {
+      b1 ~ bernoulli(0.5);
+      b2 ~ bernoulli(0.5);
+      while (!b1 && !b2) {
+        b1 ~ bernoulli(0.5);
+        b2 ~ bernoulli(0.5);
+      }
+    }
+  )");
+  std::vector<double> Post = Run.posteriorFromZero();
+  ASSERT_EQ(Post.size(), 4u);
+  EXPECT_NEAR(Post[0], 0.0, 1e-9);       // b1=F b2=F
+  EXPECT_NEAR(Post[1], 1.0 / 3, 1e-9);   // b1=T b2=F
+  EXPECT_NEAR(Post[2], 1.0 / 3, 1e-9);   // b1=F b2=T
+  EXPECT_NEAR(Post[3], 1.0 / 3, 1e-9);   // b1=T b2=T
+  EXPECT_NEAR(Post[0] + Post[1] + Post[2] + Post[3], 1.0, 1e-9);
+}
+
+TEST(BiDomainTest, NodePropertyOfSection23) {
+  // §2.3: at the loop head v1 of Fig 1a, the probability of terminating in
+  // (b1=T, b2=T) is [b1 ∧ b2] + [¬b1 ∧ ¬b2]/3.
+  BiRun Run(R"(
+    bool b1, b2;
+    proc main() {
+      b1 ~ bernoulli(0.5);
+      b2 ~ bernoulli(0.5);
+      while (!b1 && !b2) {
+        b1 ~ bernoulli(0.5);
+        b2 ~ bernoulli(0.5);
+      }
+    }
+  )");
+  // The loop head is the destination of the second sampling edge.
+  const cfg::HyperEdge *E1 = Run.Graph->outgoing(Run.Graph->proc(0).Entry);
+  const cfg::HyperEdge *E2 = Run.Graph->outgoing(E1->Dsts[0]);
+  unsigned Head = E2->Dsts[0];
+  const Matrix &AtHead = Run.Result.Values[Head];
+  size_t TT = 3; // b1=T, b2=T bitmask
+  EXPECT_NEAR(AtHead.at(TT, TT), 1.0, 1e-9);  // [b1 ∧ b2] = 1
+  EXPECT_NEAR(AtHead.at(0, TT), 1.0 / 3, 1e-9); // [¬b1 ∧ ¬b2]/3
+  EXPECT_NEAR(AtHead.at(1, TT), 0.0, 1e-9);   // (T,F) exits immediately
+  EXPECT_NEAR(AtHead.at(1, 1), 1.0, 1e-9);    // ... in its own state
+}
+
+TEST(BiDomainTest, ObserveConditionsSubProbability) {
+  BiRun Run(R"(
+    bool b1, b2;
+    proc main() {
+      b1 ~ bernoulli(0.5);
+      b2 ~ bernoulli(0.5);
+      observe(b1 || b2);
+    }
+  )");
+  std::vector<double> Post = Run.posteriorFromZero();
+  EXPECT_NEAR(Post[0], 0.0, 1e-12);
+  EXPECT_NEAR(Post[1], 0.25, 1e-12);
+  EXPECT_NEAR(Post[2], 0.25, 1e-12);
+  EXPECT_NEAR(Post[3], 0.25, 1e-12);
+  // Sub-probability: 1/4 of the mass was rejected by conditioning.
+  EXPECT_NEAR(Post[1] + Post[2] + Post[3], 0.75, 1e-12);
+}
+
+TEST(BiDomainTest, DivergenceLosesMass) {
+  // Diverges with probability 1/2: posterior sums to 1/2 (footnote 1).
+  BiRun Run(R"(
+    bool b;
+    proc main() {
+      b ~ bernoulli(0.5);
+      if (b) { while (true) { skip; } }
+    }
+  )");
+  std::vector<double> Post = Run.posteriorFromZero();
+  EXPECT_NEAR(Post[0] + Post[1], 0.5, 1e-9);
+  EXPECT_NEAR(Post[0], 0.5, 1e-9); // Survivors have b = false.
+}
+
+TEST(BiDomainTest, NdetGivesLowerBounds) {
+  // The two branches force b to different values, so the guaranteed lower
+  // bound on any post-state probability is 0.
+  BiRun Run(R"(
+    bool b;
+    proc main() { if star { b := true; } else { b := false; } }
+  )");
+  EXPECT_EQ(Run.summary(), Matrix::zero(2, 2));
+}
+
+TEST(BiDomainTest, NdetAgreeingBranchesKeepMass) {
+  // §1's PAI comparison, Boolean rendition: both nondeterministic branches
+  // describe the same distribution, so resolving nondeterminism outside
+  // (PMAF semantics) keeps the full posterior; the lower bound is exact.
+  BiRun Run(R"(
+    bool r;
+    proc main() {
+      if star {
+        if prob(0.5) { r := true; } else { r := false; }
+      } else {
+        if prob(0.5) { r := true; } else { r := false; }
+      }
+    }
+  )");
+  std::vector<double> Post = Run.posteriorFromZero();
+  EXPECT_NEAR(Post[0], 0.5, 1e-12);
+  EXPECT_NEAR(Post[1], 0.5, 1e-12);
+}
+
+TEST(BiDomainTest, InterproceduralSummaryComposition) {
+  BiRun Run(R"(
+    bool b;
+    proc flip() { b ~ bernoulli(0.5); }
+    proc main() { flip(); flip(); }
+  )");
+  // Two independent fair flips: posterior is (1/2, 1/2) from any pre-state.
+  const Matrix &S = Run.summary();
+  for (size_t Pre = 0; Pre != 2; ++Pre) {
+    EXPECT_NEAR(S.at(Pre, 0), 0.5, 1e-12);
+    EXPECT_NEAR(S.at(Pre, 1), 0.5, 1e-12);
+  }
+  // And the helper's own summary is the single-flip kernel.
+  const Matrix &Flip =
+      Run.Result.Values[Run.Graph->proc(Run.Prog->findProc("flip")).Entry];
+  EXPECT_NEAR(Flip.at(0, 1), 0.5, 1e-12);
+}
+
+TEST(BiDomainTest, RecursiveProcedureTerminatesAlmostSurely) {
+  BiRun Run(R"(
+    bool b;
+    proc main() {
+      b ~ bernoulli(0.5);
+      if (b) { main(); }
+    }
+  )");
+  // Almost-sure termination with b = false at the end.
+  std::vector<double> Post = Run.posteriorFromZero();
+  EXPECT_NEAR(Post[0], 1.0, 1e-6);
+  EXPECT_NEAR(Post[1], 0.0, 1e-6);
+}
+
+TEST(BiDomainTest, PosteriorMatchesMonteCarlo) {
+  const char *Source = R"(
+    bool b1, b2, b3;
+    proc main() {
+      b1 ~ bernoulli(0.3);
+      b2 ~ bernoulli(0.6);
+      while (b1 && b2) {
+        b1 ~ bernoulli(0.3);
+        b3 := b1;
+      }
+      observe(b2 || b3);
+    }
+  )";
+  BiRun Run(Source);
+  std::vector<double> Post = Run.posteriorFromZero();
+
+  concrete::Interpreter Interp(*Run.Prog, 2024);
+  const int N = 200000;
+  std::vector<double> Counts(8, 0.0);
+  for (int I = 0; I != N; ++I) {
+    auto R = Interp.run(Run.Prog->findProc("main"),
+                        std::vector<double>(3, 0.0), 10000);
+    if (!R.terminated())
+      continue;
+    size_t State = 0;
+    for (unsigned V = 0; V != 3; ++V)
+      if (R.State[V] != 0.0)
+        State |= size_t(1) << V;
+    Counts[State] += 1.0;
+  }
+  for (size_t S = 0; S != 8; ++S)
+    EXPECT_NEAR(Post[S], Counts[S] / N, 0.01)
+        << "state " << Run.Space->stateToString(S);
+}

@@ -1,0 +1,279 @@
+//===- tests/CfgTest.cpp - Hyper-graph lowering and WTO unit tests --------===//
+
+#include "cfg/HyperGraph.h"
+#include "cfg/Wto.h"
+#include "lang/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace pmaf;
+using namespace pmaf::cfg;
+using namespace pmaf::lang;
+
+namespace {
+
+/// Counts hyper-edges of each control-action kind.
+struct EdgeCensus {
+  unsigned Seq = 0, Call = 0, Cond = 0, Prob = 0, Ndet = 0;
+
+  explicit EdgeCensus(const ProgramGraph &G) {
+    for (const HyperEdge &E : G.edges()) {
+      switch (E.Ctrl.TheKind) {
+      case ControlAction::Kind::Seq:
+        ++Seq;
+        break;
+      case ControlAction::Kind::Call:
+        ++Call;
+        break;
+      case ControlAction::Kind::Cond:
+        ++Cond;
+        break;
+      case ControlAction::Kind::Prob:
+        ++Prob;
+        break;
+      case ControlAction::Kind::Ndet:
+        ++Ndet;
+        break;
+      }
+    }
+  }
+};
+
+} // namespace
+
+TEST(LoweringTest, StraightLine) {
+  auto Prog = parseProgramOrDie(R"(
+    real x;
+    proc main() { x := 1; x := x + 1; }
+  )");
+  ProgramGraph G = ProgramGraph::build(*Prog);
+  // Two statement nodes plus the exit.
+  EXPECT_EQ(G.numNodes(), 3u);
+  const auto &Main = G.proc(0);
+  // Walk entry -> exit through seq edges.
+  const HyperEdge *E1 = G.outgoing(Main.Entry);
+  ASSERT_NE(E1, nullptr);
+  EXPECT_EQ(E1->Ctrl.TheKind, ControlAction::Kind::Seq);
+  ASSERT_EQ(E1->Dsts.size(), 1u);
+  const HyperEdge *E2 = G.outgoing(E1->Dsts[0]);
+  ASSERT_NE(E2, nullptr);
+  EXPECT_EQ(E2->Dsts[0], Main.Exit);
+  EXPECT_EQ(G.outgoing(Main.Exit), nullptr);
+}
+
+TEST(LoweringTest, EveryNonExitNodeHasExactlyOneOutgoingEdge) {
+  auto Prog = parseProgramOrDie(R"(
+    real x, y, z;
+    proc helper() { x := x + 1; }
+    proc main() {
+      while prob(3/4) {
+        z ~ uniform(0, 2);
+        if star { x := x + z; } else { y := y + z; }
+      }
+      helper();
+    }
+  )");
+  ProgramGraph G = ProgramGraph::build(*Prog);
+  for (unsigned V = 0; V != G.numNodes(); ++V) {
+    bool IsExit = false;
+    for (unsigned P = 0; P != G.numProcs(); ++P)
+      IsExit |= V == G.proc(P).Exit;
+    EXPECT_EQ(G.outgoing(V) == nullptr, IsExit) << "node " << V;
+  }
+  // Defn 3.2: choice edges have 2 destinations, seq/call have 1.
+  for (const HyperEdge &E : G.edges()) {
+    bool Binary = E.Ctrl.TheKind == ControlAction::Kind::Cond ||
+                  E.Ctrl.TheKind == ControlAction::Kind::Prob ||
+                  E.Ctrl.TheKind == ControlAction::Kind::Ndet;
+    EXPECT_EQ(E.Dsts.size(), Binary ? 2u : 1u);
+  }
+}
+
+TEST(LoweringTest, Figure2bShape) {
+  // Fig 1b lowers to the hyper-graph of Fig 2(b): 6 nodes, with a prob
+  // edge at the loop head, a seq edge for the sample, an ndet edge, and
+  // two assignment edges back to the head.
+  auto Prog = parseProgramOrDie(R"(
+    real x, y, z;
+    proc main() {
+      while prob(3/4) {
+        z ~ uniform(0, 2);
+        if star { x := x + z; } else { y := y + z; }
+      }
+    }
+  )");
+  ProgramGraph G = ProgramGraph::build(*Prog);
+  // Fig 2(b)'s six nodes, plus one: the paper draws the loop head v0 as
+  // the entry, while Defn 3.1 requires an entry with no incoming edges, so
+  // the lowering prepends a skip node.
+  EXPECT_EQ(G.numNodes(), 7u);
+  EdgeCensus Census(G);
+  EXPECT_EQ(Census.Prob, 1u);
+  EXPECT_EQ(Census.Ndet, 1u);
+  EXPECT_EQ(Census.Seq, 4u);
+  EXPECT_EQ(Census.Cond, 0u);
+  // Entry --skip--> loop head, whose prob edge sends branch 0 into the
+  // body and branch 1 to the exit.
+  const HyperEdge *EntryEdge = G.outgoing(G.proc(0).Entry);
+  ASSERT_NE(EntryEdge, nullptr);
+  ASSERT_EQ(EntryEdge->Ctrl.TheKind, ControlAction::Kind::Seq);
+  const HyperEdge *Head = G.outgoing(EntryEdge->Dsts[0]);
+  ASSERT_NE(Head, nullptr);
+  ASSERT_EQ(Head->Ctrl.TheKind, ControlAction::Kind::Prob);
+  EXPECT_EQ(Head->Ctrl.Prob, Rational(3, 4));
+  EXPECT_EQ(Head->Dsts[1], G.proc(0).Exit);
+  // Both assignment edges return to the loop head.
+  unsigned BackToHead = 0;
+  for (const HyperEdge &E : G.edges())
+    if (E.Ctrl.TheKind == ControlAction::Kind::Seq && E.Ctrl.DataAction &&
+        E.Ctrl.DataAction->kind() == Stmt::Kind::Assign &&
+        E.Dsts[0] == Head->Src)
+      ++BackToHead;
+  EXPECT_EQ(BackToHead, 2u);
+}
+
+TEST(LoweringTest, BreakAndContinueTargets) {
+  // Ex 3.4 / Fig 6: break jumps to the loop's successor (here the exit),
+  // continue jumps back to the head.
+  auto Prog = parseProgramOrDie(R"(
+    real n;
+    proc main() {
+      n := 0;
+      while prob(0.9) {
+        n := n + 1;
+        if (n >= 10) { break; } else { continue; }
+      }
+    }
+  )");
+  ProgramGraph G = ProgramGraph::build(*Prog);
+  // Fig 6 has 5 nodes: n:=0, head, n:=n+1, the cond node, exit.
+  EXPECT_EQ(G.numNodes(), 5u);
+  const HyperEdge *First = G.outgoing(G.proc(0).Entry);
+  ASSERT_EQ(First->Ctrl.TheKind, ControlAction::Kind::Seq);
+  unsigned Head = First->Dsts[0];
+  const HyperEdge *Loop = G.outgoing(Head);
+  ASSERT_EQ(Loop->Ctrl.TheKind, ControlAction::Kind::Prob);
+  unsigned Incr = Loop->Dsts[0];
+  const HyperEdge *CondEdge = G.outgoing(G.outgoing(Incr)->Dsts[0]);
+  ASSERT_EQ(CondEdge->Ctrl.TheKind, ControlAction::Kind::Cond);
+  EXPECT_EQ(CondEdge->Dsts[0], G.proc(0).Exit); // break
+  EXPECT_EQ(CondEdge->Dsts[1], Head);           // continue
+}
+
+TEST(LoweringTest, CallEdgesAndDependence) {
+  auto Prog = parseProgramOrDie(R"(
+    real x;
+    proc helper() { x := x + 1; }
+    proc main() { helper(); }
+  )");
+  ProgramGraph G = ProgramGraph::build(*Prog);
+  EdgeCensus Census(G);
+  EXPECT_EQ(Census.Call, 1u);
+  // Eqn 2: the call site depends on the callee's entry.
+  unsigned CallSite = ~0u;
+  for (const HyperEdge &E : G.edges())
+    if (E.Ctrl.TheKind == ControlAction::Kind::Call)
+      CallSite = E.Src;
+  ASSERT_NE(CallSite, ~0u);
+  auto Deps = G.dependenceSuccessors();
+  bool Found = false;
+  for (unsigned W : Deps[G.proc(0).Entry])
+    Found |= W == CallSite;
+  EXPECT_TRUE(Found);
+}
+
+TEST(LoweringTest, EntryHasNoIncomingEdges) {
+  // A procedure whose body is a bare loop would otherwise reuse the loop
+  // head (which has back-edges) as the entry.
+  auto Prog = parseProgramOrDie(R"(
+    real x;
+    proc main() { while prob(0.5) { x := x + 1; } }
+  )");
+  ProgramGraph G = ProgramGraph::build(*Prog);
+  unsigned Entry = G.proc(0).Entry;
+  for (const HyperEdge &E : G.edges())
+    for (unsigned Dst : E.Dsts)
+      EXPECT_NE(Dst, Entry);
+}
+
+TEST(LoweringTest, EmptyBodyGetsSkipEdge) {
+  auto Prog = parseProgramOrDie("proc main() { }");
+  ProgramGraph G = ProgramGraph::build(*Prog);
+  unsigned Entry = G.proc(0).Entry;
+  ASSERT_NE(Entry, G.proc(0).Exit);
+  const HyperEdge *E = G.outgoing(Entry);
+  ASSERT_NE(E, nullptr);
+  EXPECT_EQ(E->Ctrl.TheKind, ControlAction::Kind::Seq);
+  EXPECT_EQ(E->Ctrl.DataAction, nullptr);
+  EXPECT_EQ(E->Dsts[0], G.proc(0).Exit);
+}
+
+TEST(LoweringTest, DotOutputMentionsActions) {
+  auto Prog = parseProgramOrDie(R"(
+    real x;
+    proc main() { while prob(0.5) { x := x + 1; } }
+  )");
+  ProgramGraph G = ProgramGraph::build(*Prog);
+  std::string Dot = G.toDot();
+  EXPECT_NE(Dot.find("digraph"), std::string::npos);
+  EXPECT_NE(Dot.find("prob[1/2]"), std::string::npos);
+  EXPECT_NE(Dot.find("x := "), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// WTO
+//===----------------------------------------------------------------------===//
+
+TEST(WtoTest, ChainIsTopologicallyOrdered) {
+  // 0 -> 1 -> 2 (dependencies point forward).
+  std::vector<std::vector<unsigned>> Succs = {{1}, {2}, {}};
+  Wto W = Wto::compute(Succs, {0});
+  EXPECT_EQ(W.toString(), "0 1 2");
+  EXPECT_FALSE(W.WideningPoint[0]);
+  EXPECT_FALSE(W.WideningPoint[1]);
+  EXPECT_FALSE(W.WideningPoint[2]);
+}
+
+TEST(WtoTest, SelfLoopIsComponent) {
+  std::vector<std::vector<unsigned>> Succs = {{0, 1}, {}};
+  Wto W = Wto::compute(Succs, {0});
+  EXPECT_EQ(W.toString(), "(0) 1");
+  EXPECT_TRUE(W.WideningPoint[0]);
+}
+
+TEST(WtoTest, NestedLoops) {
+  // Bourdoncle's classic example shape: outer loop 1..3 with inner loop
+  // 2<->3: 0 -> 1 -> 2 -> 3 -> 2, 3 -> 1, 1 -> 4.
+  std::vector<std::vector<unsigned>> Succs = {{1}, {2, 4}, {3}, {2, 1}, {}};
+  Wto W = Wto::compute(Succs, {0});
+  EXPECT_EQ(W.toString(), "0 (1 (2 3)) 4");
+  EXPECT_TRUE(W.WideningPoint[1]);
+  EXPECT_TRUE(W.WideningPoint[2]);
+  EXPECT_FALSE(W.WideningPoint[3]);
+}
+
+TEST(WtoTest, CoversUnreachableVertices) {
+  // Vertex 2 and 3 unreachable from the root but form a cycle.
+  std::vector<std::vector<unsigned>> Succs = {{1}, {}, {3}, {2}};
+  Wto W = Wto::compute(Succs, {0});
+  EXPECT_TRUE(W.WideningPoint[2] || W.WideningPoint[3]);
+  // All four vertices appear.
+  std::string S = W.toString();
+  for (const char *V : {"0", "1", "2", "3"})
+    EXPECT_NE(S.find(V), std::string::npos) << S;
+}
+
+TEST(WtoTest, RecursionCycleThroughCallIsCut) {
+  auto Prog = parseProgramOrDie(R"(
+    real x;
+    proc main() { if prob(0.5) { main(); } }
+  )");
+  ProgramGraph G = ProgramGraph::build(*Prog);
+  Wto W = Wto::compute(G.dependenceSuccessors(), {G.proc(0).Exit});
+  // The recursive call creates a dependence cycle entry -> ... -> callsite
+  // -> ... -> entry; some node on it must be a widening point.
+  bool AnyWidening = false;
+  for (unsigned V = 0; V != G.numNodes(); ++V)
+    AnyWidening |= W.WideningPoint[V];
+  EXPECT_TRUE(AnyWidening);
+}

@@ -1,0 +1,245 @@
+//===- tests/ConcreteTest.cpp - Monte-Carlo interpreter tests -------------===//
+
+#include "concrete/Interpreter.h"
+#include "lang/Parser.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace pmaf;
+using namespace pmaf::concrete;
+
+TEST(InterpreterTest, DeterministicArithmetic) {
+  auto Prog = lang::parseProgramOrDie(R"(
+    real x, y;
+    proc main() { x := 3; y := (x + 1) * 2 - 1; x := y / 7; }
+  )");
+  Interpreter Interp(*Prog, 1);
+  auto R = Interp.run(0, {});
+  ASSERT_TRUE(R.terminated());
+  EXPECT_DOUBLE_EQ(R.State[1], 7.0);
+  EXPECT_DOUBLE_EQ(R.State[0], 1.0);
+}
+
+TEST(InterpreterTest, ConditionalsAndLoops) {
+  auto Prog = lang::parseProgramOrDie(R"(
+    real i, sum;
+    proc main() {
+      i := 0; sum := 0;
+      while (i < 10) { sum := sum + i; i := i + 1; }
+      if (sum == 45) { sum := 1; } else { sum := 0; }
+    }
+  )");
+  Interpreter Interp(*Prog, 1);
+  auto R = Interp.run(0, {});
+  ASSERT_TRUE(R.terminated());
+  EXPECT_DOUBLE_EQ(R.State[1], 1.0);
+}
+
+TEST(InterpreterTest, BreakContinueReturn) {
+  auto Prog = lang::parseProgramOrDie(R"(
+    real i, hits;
+    proc main() {
+      i := 0; hits := 0;
+      while (true) {
+        i := i + 1;
+        if (i >= 10) { break; }
+        if (i >= 5) { continue; }
+        hits := hits + 1;
+      }
+      return;
+      hits := 99;
+    }
+  )");
+  Interpreter Interp(*Prog, 1);
+  auto R = Interp.run(0, {});
+  ASSERT_TRUE(R.terminated());
+  EXPECT_DOUBLE_EQ(R.State[0], 10.0);
+  EXPECT_DOUBLE_EQ(R.State[1], 4.0);
+}
+
+TEST(InterpreterTest, CallsShareGlobalState) {
+  auto Prog = lang::parseProgramOrDie(R"(
+    real x;
+    proc bump() { x := x + 1; return; }
+    proc main() { bump(); bump(); bump(); }
+  )");
+  Interpreter Interp(*Prog, 1);
+  auto R = Interp.run(Prog->findProc("main"), {});
+  ASSERT_TRUE(R.terminated());
+  EXPECT_DOUBLE_EQ(R.State[0], 3.0);
+}
+
+TEST(InterpreterTest, ReturnInsideCalleeDoesNotExitCaller) {
+  auto Prog = lang::parseProgramOrDie(R"(
+    real x;
+    proc early() { return; x := 100; }
+    proc main() { early(); x := x + 1; }
+  )");
+  Interpreter Interp(*Prog, 1);
+  auto R = Interp.run(Prog->findProc("main"), {});
+  ASSERT_TRUE(R.terminated());
+  EXPECT_DOUBLE_EQ(R.State[0], 1.0);
+}
+
+TEST(InterpreterTest, ObserveRejects) {
+  auto Prog = lang::parseProgramOrDie(R"(
+    bool b;
+    proc main() { b ~ bernoulli(0.5); observe(b); }
+  )");
+  Interpreter Interp(*Prog, 17);
+  int Accepted = 0, Rejected = 0;
+  for (int I = 0; I != 10000; ++I) {
+    auto R = Interp.run(0, {});
+    if (R.TheStatus == ExecResult::Status::ObserveFailed)
+      ++Rejected;
+    else if (R.terminated()) {
+      ++Accepted;
+      EXPECT_DOUBLE_EQ(R.State[0], 1.0);
+    }
+  }
+  EXPECT_NEAR(double(Accepted) / (Accepted + Rejected), 0.5, 0.03);
+}
+
+TEST(InterpreterTest, OutOfFuelOnDivergence) {
+  auto Prog = lang::parseProgramOrDie(R"(
+    proc main() { while (true) { skip; } }
+  )");
+  Interpreter Interp(*Prog, 1);
+  auto R = Interp.run(0, {}, 1000);
+  EXPECT_EQ(R.TheStatus, ExecResult::Status::OutOfFuel);
+}
+
+TEST(InterpreterTest, RewardAccumulates) {
+  auto Prog = lang::parseProgramOrDie(R"(
+    proc main() { reward(1); reward(2.5); }
+  )");
+  Interpreter Interp(*Prog, 1);
+  auto R = Interp.run(0, {});
+  EXPECT_DOUBLE_EQ(R.Reward, 3.5);
+}
+
+TEST(InterpreterTest, UniformMoments) {
+  auto Prog = lang::parseProgramOrDie(R"(
+    real z;
+    proc main() { z ~ uniform(0, 2); }
+  )");
+  Interpreter Interp(*Prog, 33);
+  double Sum = 0, Min = 1e9, Max = -1e9;
+  const int N = 50000;
+  for (int I = 0; I != N; ++I) {
+    auto R = Interp.run(0, {});
+    Sum += R.State[0];
+    Min = std::min(Min, R.State[0]);
+    Max = std::max(Max, R.State[0]);
+  }
+  EXPECT_NEAR(Sum / N, 1.0, 0.02);
+  EXPECT_GE(Min, 0.0);
+  EXPECT_LE(Max, 2.0);
+}
+
+TEST(InterpreterTest, GaussianMoments) {
+  auto Prog = lang::parseProgramOrDie(R"(
+    real g;
+    proc main() { g ~ gaussian(5, 2); }
+  )");
+  Interpreter Interp(*Prog, 7);
+  double Sum = 0, SumSq = 0;
+  const int N = 50000;
+  for (int I = 0; I != N; ++I) {
+    auto R = Interp.run(0, {});
+    Sum += R.State[0];
+    SumSq += R.State[0] * R.State[0];
+  }
+  double Mean = Sum / N;
+  double Var = SumSq / N - Mean * Mean;
+  EXPECT_NEAR(Mean, 5.0, 0.05);
+  EXPECT_NEAR(Var, 4.0, 0.15);
+}
+
+TEST(InterpreterTest, DiscreteDie) {
+  auto Prog = lang::parseProgramOrDie(R"(
+    real d;
+    proc main() { d ~ discrete(1: 1/6, 2: 1/6, 3: 1/6, 4: 1/6, 5: 1/6, 6: 1/6); }
+  )");
+  Interpreter Interp(*Prog, 11);
+  std::vector<int> Counts(7, 0);
+  const int N = 60000;
+  for (int I = 0; I != N; ++I) {
+    auto R = Interp.run(0, {});
+    ++Counts[static_cast<int>(R.State[0])];
+  }
+  for (int Face = 1; Face <= 6; ++Face)
+    EXPECT_NEAR(double(Counts[Face]) / N, 1.0 / 6, 0.01) << "face " << Face;
+}
+
+TEST(InterpreterTest, NdetPolicyIsConsulted) {
+  auto Prog = lang::parseProgramOrDie(R"(
+    real x;
+    proc main() { if star { x := 1; } else { x := 2; } }
+  )");
+  Interpreter Interp(*Prog, 1);
+  auto TakeThen = [](const std::vector<double> &) { return true; };
+  auto TakeElse = [](const std::vector<double> &) { return false; };
+  EXPECT_DOUBLE_EQ(Interp.run(0, {}, 1000, TakeThen).State[0], 1.0);
+  EXPECT_DOUBLE_EQ(Interp.run(0, {}, 1000, TakeElse).State[0], 2.0);
+}
+
+TEST(InterpreterTest, Example34TruncatedGeometric) {
+  // Ex 3.4 / Fig 6: P[n = k] = 0.1 * 0.9^k for k < 10 and
+  // P[n = 10] = 0.9^10 = K = 0.3486784401.
+  auto Prog = lang::parseProgramOrDie(R"(
+    real n;
+    proc main() {
+      n := 0;
+      while prob(0.9) {
+        n := n + 1;
+        if (n >= 10) { break; } else { continue; }
+      }
+    }
+  )");
+  Interpreter Interp(*Prog, 314159);
+  const int N = 400000;
+  std::vector<double> Counts(11, 0.0);
+  for (int I = 0; I != N; ++I) {
+    auto R = Interp.run(0, {});
+    ASSERT_TRUE(R.terminated());
+    Counts[static_cast<int>(R.State[0])] += 1.0;
+  }
+  const double K = 0.3486784401;
+  for (int V = 0; V != 10; ++V)
+    EXPECT_NEAR(Counts[V] / N, 0.1 * std::pow(0.9, V), 0.005)
+        << "n = " << V;
+  EXPECT_NEAR(Counts[10] / N, K, 0.005);
+}
+
+TEST(InterpreterTest, Figure1bExpectedRewards) {
+  // §2.2: E[x' + y'] = x + y + 3 under any scheduler; check the random
+  // scheduler and both constant schedulers.
+  auto Prog = lang::parseProgramOrDie(R"(
+    real x, y, z;
+    proc main() {
+      while prob(3/4) {
+        z ~ uniform(0, 2);
+        if star { x := x + z; } else { y := y + z; }
+      }
+    }
+  )");
+  Interpreter Interp(*Prog, 271828);
+  const int N = 100000;
+  for (int Mode = 0; Mode != 3; ++Mode) {
+    NdetPolicy Policy = nullptr;
+    if (Mode == 1)
+      Policy = [](const std::vector<double> &) { return true; };
+    if (Mode == 2)
+      Policy = [](const std::vector<double> &) { return false; };
+    double Sum = 0;
+    for (int I = 0; I != N; ++I) {
+      auto R = Interp.run(0, {1.0, 2.0, 0.0}, 100000, Policy);
+      ASSERT_TRUE(R.terminated());
+      Sum += R.State[0] + R.State[1];
+    }
+    EXPECT_NEAR(Sum / N, 1.0 + 2.0 + 3.0, 0.1) << "scheduler " << Mode;
+  }
+}

@@ -1,0 +1,105 @@
+//===- tests/LinalgTest.cpp - Matrix unit tests ---------------------------===//
+
+#include "linalg/Matrix.h"
+
+#include <gtest/gtest.h>
+
+using namespace pmaf;
+
+TEST(MatrixTest, IdentityIsMultiplicativeUnit) {
+  Matrix A(2, 2);
+  A.at(0, 0) = 0.25;
+  A.at(0, 1) = 0.75;
+  A.at(1, 0) = 0.5;
+  A.at(1, 1) = 0.5;
+  Matrix I = Matrix::identity(2);
+  EXPECT_EQ(A * I, A);
+  EXPECT_EQ(I * A, A);
+}
+
+TEST(MatrixTest, ProductMatchesHandComputation) {
+  Matrix A(2, 3), B(3, 2);
+  double AData[2][3] = {{1, 2, 3}, {4, 5, 6}};
+  double BData[3][2] = {{7, 8}, {9, 10}, {11, 12}};
+  for (size_t I = 0; I != 2; ++I)
+    for (size_t J = 0; J != 3; ++J)
+      A.at(I, J) = AData[I][J];
+  for (size_t I = 0; I != 3; ++I)
+    for (size_t J = 0; J != 2; ++J)
+      B.at(I, J) = BData[I][J];
+  Matrix C = A * B;
+  EXPECT_DOUBLE_EQ(C.at(0, 0), 58);
+  EXPECT_DOUBLE_EQ(C.at(0, 1), 64);
+  EXPECT_DOUBLE_EQ(C.at(1, 0), 139);
+  EXPECT_DOUBLE_EQ(C.at(1, 1), 154);
+}
+
+TEST(MatrixTest, StochasticProductStaysStochastic) {
+  // Product of row-stochastic matrices is row-stochastic.
+  Matrix A(2, 2), B(2, 2);
+  A.at(0, 0) = 0.3;
+  A.at(0, 1) = 0.7;
+  A.at(1, 0) = 0.9;
+  A.at(1, 1) = 0.1;
+  B.at(0, 0) = 0.5;
+  B.at(0, 1) = 0.5;
+  B.at(1, 0) = 0.2;
+  B.at(1, 1) = 0.8;
+  Matrix C = A * B;
+  EXPECT_NEAR(C.rowSum(0), 1.0, 1e-12);
+  EXPECT_NEAR(C.rowSum(1), 1.0, 1e-12);
+}
+
+TEST(MatrixTest, PointwiseOps) {
+  Matrix A(1, 2), B(1, 2);
+  A.at(0, 0) = 1;
+  A.at(0, 1) = 4;
+  B.at(0, 0) = 2;
+  B.at(0, 1) = 3;
+  Matrix Min = A.pointwiseMin(B);
+  Matrix Max = A.pointwiseMax(B);
+  EXPECT_DOUBLE_EQ(Min.at(0, 0), 1);
+  EXPECT_DOUBLE_EQ(Min.at(0, 1), 3);
+  EXPECT_DOUBLE_EQ(Max.at(0, 0), 2);
+  EXPECT_DOUBLE_EQ(Max.at(0, 1), 4);
+  EXPECT_TRUE(Min.leqAll(A));
+  EXPECT_TRUE(Min.leqAll(B));
+  EXPECT_TRUE(A.leqAll(Max));
+  EXPECT_FALSE(Max.leqAll(Min));
+}
+
+TEST(MatrixTest, ScaledAndSum) {
+  Matrix A = Matrix::identity(2);
+  Matrix B = A.scaled(0.25) + A.scaled(0.75);
+  EXPECT_EQ(B, A);
+  EXPECT_DOUBLE_EQ(A.scaled(2.0).at(0, 0), 2.0);
+}
+
+TEST(MatrixTest, MaxAbsDiff) {
+  Matrix A = Matrix::identity(3);
+  Matrix B = A;
+  B.at(2, 0) = 0.125;
+  EXPECT_DOUBLE_EQ(A.maxAbsDiff(B), 0.125);
+  EXPECT_DOUBLE_EQ(A.maxAbsDiff(A), 0.0);
+}
+
+TEST(MatrixTest, ApplyToRowVector) {
+  // Posterior computation: prior row vector times transformer matrix.
+  Matrix M(2, 2);
+  M.at(0, 0) = 0.1;
+  M.at(0, 1) = 0.9;
+  M.at(1, 0) = 0.6;
+  M.at(1, 1) = 0.4;
+  std::vector<double> Prior = {0.5, 0.5};
+  std::vector<double> Post = M.applyToRowVector(Prior);
+  EXPECT_NEAR(Post[0], 0.35, 1e-12);
+  EXPECT_NEAR(Post[1], 0.65, 1e-12);
+}
+
+TEST(MatrixTest, ZeroIsAdditiveUnitAndAbsorbs) {
+  Matrix Z = Matrix::zero(2, 2);
+  Matrix A = Matrix::identity(2);
+  EXPECT_EQ(A + Z, A);
+  EXPECT_EQ(A * Z, Z);
+  EXPECT_EQ(Z * A, Z);
+}

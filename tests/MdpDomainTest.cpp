@@ -1,0 +1,140 @@
+//===- tests/MdpDomainTest.cpp - MDP-rewards instantiation tests ----------===//
+
+#include "cfg/HyperGraph.h"
+#include "core/Solver.h"
+#include "domains/MdpDomain.h"
+#include "lang/Parser.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+using namespace pmaf;
+using namespace pmaf::core;
+using namespace pmaf::domains;
+
+namespace {
+
+/// Runs the MDP-rewards analysis and returns the main-procedure summary
+/// (greatest expected reward from entry to exit).
+double analyzeReward(const char *Source, SolverOptions Opts = {}) {
+  auto Prog = lang::parseProgramOrDie(Source);
+  cfg::ProgramGraph G = cfg::ProgramGraph::build(*Prog);
+  MdpDomain Dom;
+  // The MDP widening is the paper's trivial jump-to-infinity, so give
+  // geometric chains room to stabilize first (§5.2).
+  Opts.WideningDelay = std::max(Opts.WideningDelay, 10000u);
+  auto Result = solve(G, Dom, Opts);
+  EXPECT_TRUE(Result.Stats.Converged);
+  unsigned MainIndex = Prog->findProc("main");
+  return Result.Values[G.proc(MainIndex).Entry];
+}
+
+} // namespace
+
+TEST(MdpDomainTest, StraightLineAccumulates) {
+  EXPECT_NEAR(analyzeReward(R"(
+    proc main() { reward(1); reward(2); reward(3/2); }
+  )"),
+              4.5, 1e-9);
+}
+
+TEST(MdpDomainTest, NdetTakesMax) {
+  EXPECT_NEAR(analyzeReward(R"(
+    proc main() { if star { reward(5); } else { reward(1); } }
+  )"),
+              5.0, 1e-9);
+}
+
+TEST(MdpDomainTest, ProbMixes) {
+  EXPECT_NEAR(analyzeReward(R"(
+    proc main() { if prob(1/4) { reward(8); } else { reward(4); } }
+  )"),
+              5.0, 1e-9);
+}
+
+TEST(MdpDomainTest, GeometricLoop) {
+  // E = 3/4 (1 + E)  =>  E = 3.
+  EXPECT_NEAR(analyzeReward(R"(
+    proc main() { while prob(3/4) { reward(1); } }
+  )"),
+              3.0, 1e-6);
+}
+
+TEST(MdpDomainTest, LinearRecursion) {
+  // E = 1/2 (2 + E) + 1/2 * 1  =>  E = 3.
+  EXPECT_NEAR(analyzeReward(R"(
+    proc main() {
+      if prob(1/2) { reward(2); main(); } else { reward(1); }
+    }
+  )"),
+              3.0, 1e-6);
+}
+
+TEST(MdpDomainTest, MutualRecursion) {
+  // a: E_a = 1 + 1/2 E_b ; b: E_b = 1/2 E_a.
+  // => E_a = 1 + 1/4 E_a => E_a = 4/3; main calls a.
+  EXPECT_NEAR(analyzeReward(R"(
+    proc a() { reward(1); if prob(1/2) { b(); } }
+    proc b() { if prob(1/2) { a(); } }
+    proc main() { a(); }
+  )"),
+              4.0 / 3.0, 1e-6);
+}
+
+TEST(MdpDomainTest, DivergentNdetLoopWidensToInfinity) {
+  double Reward = analyzeReward(R"(
+    proc main() { while star { reward(1); } }
+  )");
+  EXPECT_TRUE(std::isinf(Reward));
+}
+
+TEST(MdpDomainTest, CertainLoopWithZeroRewardTerminatesAnalysis) {
+  // Infinite loop but no reward: fixpoint is 0 (and the analysis must not
+  // spin forever).
+  EXPECT_NEAR(analyzeReward(R"(
+    proc main() { while star { skip; } }
+  )"),
+              0.0, 1e-9);
+}
+
+TEST(MdpDomainTest, NdetBetweenLoopAndExitPrefersDivergence) {
+  // The maximizing scheduler stays in the rewarding loop forever.
+  double Reward = analyzeReward(R"(
+    proc main() {
+      while star { reward(2); }
+      reward(1);
+    }
+  )");
+  EXPECT_TRUE(std::isinf(Reward));
+}
+
+TEST(MdpDomainTest, RandomizedBinarySearchModelIsLogarithmic) {
+  // A binary-search cost model on an array of size 8: each level costs one
+  // comparison and halves the interval; expected comparisons = 3 ... 4.
+  double Reward = analyzeReward(R"(
+    proc level3() { reward(1); }
+    proc level2() { reward(1); level3(); }
+    proc level1() { reward(1); level2(); }
+    proc main() { level1(); }
+  )");
+  EXPECT_NEAR(Reward, 3.0, 1e-9);
+}
+
+TEST(MdpDomainTest, SummariesArePerProcedure) {
+  auto Prog = lang::parseProgramOrDie(R"(
+    proc cheap() { reward(1); }
+    proc pricey() { reward(10); }
+    proc main() { if star { cheap(); } else { pricey(); } }
+  )");
+  cfg::ProgramGraph G = cfg::ProgramGraph::build(*Prog);
+  MdpDomain Dom;
+  auto Result = solve(G, Dom);
+  EXPECT_NEAR(Result.Values[G.proc(Prog->findProc("cheap")).Entry], 1.0,
+              1e-9);
+  EXPECT_NEAR(Result.Values[G.proc(Prog->findProc("pricey")).Entry], 10.0,
+              1e-9);
+  EXPECT_NEAR(Result.Values[G.proc(Prog->findProc("main")).Entry], 10.0,
+              1e-9);
+}

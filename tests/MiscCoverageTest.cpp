@@ -1,0 +1,203 @@
+//===- tests/MiscCoverageTest.cpp - Targeted edge-case coverage -----------===//
+//
+// Odds and ends: the LEIA condition translation (negation pushing,
+// conjunction/disjunction handling, the closed over-approximations of
+// strict and disequality atoms), parser robustness under garbage input,
+// and Graphviz/WTO output smoke checks on multi-procedure programs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfg/HyperGraph.h"
+#include "cfg/Wto.h"
+#include "core/Solver.h"
+#include "domains/LeiaDomain.h"
+#include "lang/Lexer.h"
+#include "lang/Parser.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace pmaf;
+using namespace pmaf::core;
+using namespace pmaf::domains;
+
+//===----------------------------------------------------------------------===//
+// LEIA condition translation: analyze `if (phi) { x := 1; } else { x := 2; }`
+// and read the branch outcome off the expectation bounds at a concrete
+// pre-state — phi held iff E[x'] == 1.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// \returns the expectation interval of x' from pre-state (x, y) = (A, B)
+/// for the program `if (Phi) { x := 1; } else { x := 2; }`.
+std::pair<double, double> branchOutcome(const std::string &Phi, int64_t A,
+                                        int64_t B) {
+  std::string Source = "real x, y; proc main() { if (" + Phi +
+                       ") { x := 1; } else { x := 2; } }";
+  auto Prog = lang::parseProgramOrDie(Source);
+  cfg::ProgramGraph Graph = cfg::ProgramGraph::build(*Prog);
+  LeiaDomain Dom(*Prog);
+  auto Result = solve(Graph, Dom);
+  auto [Lo, Hi] = Dom.expectationBounds(
+      Result.Values[Graph.proc(0).Entry], {Rational(1), Rational(0)},
+      {Rational(A), Rational(B)});
+  return {Lo ? Lo->toDouble() : -HUGE_VAL, Hi ? Hi->toDouble() : HUGE_VAL};
+}
+
+} // namespace
+
+// The cond-choice result is a polyhedral *hull* of the two guarded
+// branches (§5.3), so at a concrete pre-state the interval blends the
+// branch values with mixtures feasible inside the hull; the tests pin the
+// exact hull sections (computed by hand) and, everywhere, soundness:
+// the true branch outcome lies inside [Lo, Hi] ⊆ [1, 2].
+
+namespace {
+
+/// Checks soundness at a pre-state: the interval contains the concrete
+/// branch value and stays within the two branch constants.
+void expectSound(std::pair<double, double> Bounds, double TrueValue) {
+  auto [Lo, Hi] = Bounds;
+  EXPECT_LE(Lo, TrueValue + 1e-9);
+  EXPECT_GE(Hi, TrueValue - 1e-9);
+  EXPECT_GE(Lo, 1.0 - 1e-9);
+  EXPECT_LE(Hi, 2.0 + 1e-9);
+}
+
+} // namespace
+
+TEST(CondTranslationTest, ComparisonHullSections) {
+  // x <= 3 at x = 2: hull of {x<=3, x'=1} and {x>=3, x'=2} sliced at 2 is
+  // exactly [1, 5/3] (mixtures lambda*(x_a<=3) + (1-lambda)*(x_b>=3)).
+  auto [Lo1, Hi1] = branchOutcome("x <= 3", 2, 0);
+  EXPECT_DOUBLE_EQ(Lo1, 1.0);
+  EXPECT_NEAR(Hi1, 5.0 / 3.0, 1e-9);
+  expectSound({Lo1, Hi1}, 1.0);
+  // At x = 5 the slice is [1, 2] (the closure admits lambda -> 1).
+  auto [Lo2, Hi2] = branchOutcome("x <= 3", 5, 0);
+  EXPECT_DOUBLE_EQ(Lo2, 1.0);
+  EXPECT_DOUBLE_EQ(Hi2, 2.0);
+  expectSound({Lo2, Hi2}, 2.0);
+}
+
+TEST(CondTranslationTest, NegationPushesThroughConnectives) {
+  // !(x <= 3 && y <= 3) = x > 3 || y > 3 (De Morgan): holds at (5, 0),
+  // fails at (1, 1); both intervals must contain the respective branch.
+  expectSound(branchOutcome("!(x <= 3 && y <= 3)", 5, 0), 1.0);
+  expectSound(branchOutcome("!(x <= 3 && y <= 3)", 1, 1), 2.0);
+}
+
+TEST(CondTranslationTest, DisjunctionCoversBothSides) {
+  expectSound(branchOutcome("x >= 10 || y >= 10", 0, 12), 1.0);
+  expectSound(branchOutcome("x >= 10 || y >= 10", 0, 0), 2.0);
+}
+
+TEST(CondTranslationTest, EqualityAtomStaysSound) {
+  // The == atom slices the then-part of the hull to the hyperplane
+  // x == 4, but its negation is not convex (over-approximated to top),
+  // so the else branch remains feasible everywhere: the interval is the
+  // sound [1, 2] on the guard's own hyperplane too.
+  expectSound(branchOutcome("x == 4", 4, 0), 1.0);
+  expectSound(branchOutcome("x == 4", 3, 0), 2.0);
+}
+
+TEST(CondTranslationTest, DisequalityOverApproximates) {
+  // != is not convex: the then-branch is unconstrained, so the interval
+  // is the full [1, 2] at any pre-state — sound, maximally imprecise.
+  auto [Lo, Hi] = branchOutcome("x != 4", 9, 0);
+  EXPECT_DOUBLE_EQ(Lo, 1.0);
+  EXPECT_DOUBLE_EQ(Hi, 2.0);
+}
+
+TEST(CondTranslationTest, StrictInequalityClosedApproximation) {
+  // x < 4 at the boundary x = 4: the closed over-approximations x <= 4
+  // and x >= 4 both admit the pre-state; both branches stay feasible.
+  auto [Lo, Hi] = branchOutcome("x < 4", 4, 0);
+  EXPECT_DOUBLE_EQ(Lo, 1.0);
+  EXPECT_DOUBLE_EQ(Hi, 2.0);
+  // Away from the boundary the branch value is still inside, and the
+  // infeasible branch only enters through hull mixing.
+  expectSound(branchOutcome("x < 4", 2, 0), 1.0);
+  expectSound(branchOutcome("x < 4", 9, 0), 2.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Parser robustness
+//===----------------------------------------------------------------------===//
+
+TEST(ParserRobustnessTest, GarbageNeverCrashes) {
+  Rng R(0xC0FFEE);
+  const char Alphabet[] =
+      "abxyz01(){};:=~!&|<>+-*/ \n.procifwhilestarbooleal\"#";
+  for (int Round = 0; Round != 500; ++Round) {
+    std::string Source;
+    size_t Length = R.below(120);
+    for (size_t I = 0; I != Length; ++I)
+      Source += Alphabet[R.below(sizeof(Alphabet) - 1)];
+    lang::ParseResult Result = lang::parseProgram(Source);
+    // Either a valid program or a diagnostic — never a crash, and a
+    // diagnostic always carries a position.
+    if (!Result) {
+      EXPECT_FALSE(Result.Error.empty());
+    }
+  }
+}
+
+TEST(ParserRobustnessTest, TruncationsOfValidProgramNeverCrash) {
+  const std::string Valid = R"(
+    real x, y, z;
+    proc helper() { x := x + 1; }
+    proc main() {
+      while prob(3/4) {
+        z ~ uniform(0, 2);
+        if star { x := x + z; } else { y := y + z; }
+        helper();
+      }
+    }
+  )";
+  for (size_t Cut = 0; Cut <= Valid.size(); Cut += 3) {
+    lang::ParseResult Result =
+        lang::parseProgram(Valid.substr(0, Cut));
+    if (Result) {
+      // A prefix that happens to parse must round-trip.
+      EXPECT_FALSE(lang::toString(*Result.Prog).empty());
+    }
+  }
+}
+
+TEST(ParserRobustnessTest, DeeplyNestedExpressions) {
+  std::string Expr = "x";
+  for (int I = 0; I != 200; ++I)
+    Expr = "(" + Expr + " + 1)";
+  std::string Source = "real x; proc main() { x := " + Expr + "; }";
+  lang::ParseResult Result = lang::parseProgram(Source);
+  ASSERT_TRUE(Result) << Result.Error;
+}
+
+//===----------------------------------------------------------------------===//
+// Output smoke checks
+//===----------------------------------------------------------------------===//
+
+TEST(OutputSmokeTest, DotAndWtoOnMultiProcedurePrograms) {
+  auto Prog = lang::parseProgramOrDie(R"(
+    real x;
+    proc even() { if prob(1/2) { odd(); } }
+    proc odd() { x := x + 1; even(); }
+    proc main() { even(); }
+  )");
+  cfg::ProgramGraph Graph = cfg::ProgramGraph::build(*Prog);
+  std::string Dot = Graph.toDot();
+  // Three cluster subgraphs and the call labels.
+  EXPECT_NE(Dot.find("cluster_0"), std::string::npos);
+  EXPECT_NE(Dot.find("cluster_2"), std::string::npos);
+  EXPECT_NE(Dot.find("call odd"), std::string::npos);
+  EXPECT_NE(Dot.find("call even"), std::string::npos);
+
+  std::vector<unsigned> Roots;
+  for (unsigned P = 0; P != Graph.numProcs(); ++P)
+    Roots.push_back(Graph.proc(P).Exit);
+  cfg::Wto W = cfg::Wto::compute(Graph.dependenceSuccessors(), Roots);
+  // Mutual recursion forms a component: its textual form has parentheses.
+  EXPECT_NE(W.toString().find('('), std::string::npos);
+}

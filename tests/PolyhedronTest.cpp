@@ -1,0 +1,466 @@
+//===- tests/PolyhedronTest.cpp - Convex polyhedra unit tests -------------===//
+
+#include "poly/Polyhedron.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace pmaf;
+using namespace pmaf::poly;
+
+namespace {
+
+LinearExpr var(unsigned Dim, unsigned I) {
+  return LinearExpr::variable(Dim, I);
+}
+LinearExpr cst(unsigned Dim, int64_t V) {
+  return LinearExpr::constant(Dim, Rational(V));
+}
+
+/// {0 <= x_i <= Hi for all i}: a box in Dim dimensions.
+Polyhedron box(unsigned Dim, int64_t Hi) {
+  std::vector<Constraint> Cons;
+  for (unsigned I = 0; I != Dim; ++I) {
+    Cons.push_back(Constraint::ge(var(Dim, I), cst(Dim, 0)));
+    Cons.push_back(Constraint::le(var(Dim, I), cst(Dim, Hi)));
+  }
+  return Polyhedron::fromConstraints(Dim, Cons);
+}
+
+std::vector<Rational> pt(std::initializer_list<int64_t> Coords) {
+  std::vector<Rational> Result;
+  for (int64_t C : Coords)
+    Result.push_back(Rational(C));
+  return Result;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// LinearExpr
+//===----------------------------------------------------------------------===//
+
+TEST(LinearExprTest, ArithmeticAndEvaluation) {
+  LinearExpr E = var(2, 0).scaled(Rational(2)) - var(2, 1) +
+                 LinearExpr::constant(2, Rational(3));
+  EXPECT_EQ(E.evaluate({Rational(5), Rational(4)}), Rational(9));
+  EXPECT_EQ(E.toString({"x", "y"}), "2*x - y + 3");
+  EXPECT_EQ((-E).evaluate({Rational(5), Rational(4)}), Rational(-9));
+}
+
+TEST(LinearExprTest, ConstantDetection) {
+  EXPECT_TRUE(cst(3, 7).isConstant());
+  EXPECT_FALSE(var(3, 1).isConstant());
+}
+
+//===----------------------------------------------------------------------===//
+// Basic polyhedra
+//===----------------------------------------------------------------------===//
+
+TEST(PolyhedronTest, UniverseAndEmpty) {
+  Polyhedron U = Polyhedron::universe(3);
+  EXPECT_TRUE(U.isUniverse());
+  EXPECT_FALSE(U.isEmpty());
+  EXPECT_TRUE(U.containsPoint(pt({1, -5, 100})));
+
+  Polyhedron E = Polyhedron::empty(3);
+  EXPECT_TRUE(E.isEmpty());
+  EXPECT_TRUE(U.contains(E));
+  EXPECT_FALSE(E.contains(U));
+  EXPECT_TRUE(E.contains(E));
+}
+
+TEST(PolyhedronTest, InfeasibleConstraintsAreEmpty) {
+  // x >= 1 and x <= 0.
+  Polyhedron P = Polyhedron::fromConstraints(
+      1, {Constraint::ge(var(1, 0), cst(1, 1)),
+          Constraint::le(var(1, 0), cst(1, 0))});
+  EXPECT_TRUE(P.isEmpty());
+}
+
+TEST(PolyhedronTest, IntervalMembership) {
+  Polyhedron P = box(1, 2); // 0 <= x <= 2
+  EXPECT_TRUE(P.containsPoint(pt({0})));
+  EXPECT_TRUE(P.containsPoint(pt({2})));
+  EXPECT_TRUE(P.containsPoint({Rational(1, 2)}));
+  EXPECT_FALSE(P.containsPoint(pt({3})));
+  EXPECT_FALSE(P.containsPoint(pt({-1})));
+}
+
+TEST(PolyhedronTest, UnitSquareGeometry) {
+  Polyhedron P = box(2, 1);
+  // Four vertices.
+  unsigned Points = 0, Rays = 0, Lines = 0;
+  for (const ConeRow &G : P.generators()) {
+    if (G.IsLinearity)
+      ++Lines;
+    else if (G.Coeffs[0].isZero())
+      ++Rays;
+    else
+      ++Points;
+  }
+  EXPECT_EQ(Points, 4u);
+  EXPECT_EQ(Rays, 0u);
+  EXPECT_EQ(Lines, 0u);
+  // Four facets.
+  EXPECT_EQ(P.constraints().size(), 4u);
+}
+
+TEST(PolyhedronTest, EqualityGivesLowDimensional) {
+  // x + y == 1 in 2D: a line (1 equality, point + line generators).
+  Polyhedron P = Polyhedron::fromConstraints(
+      2, {Constraint::eq(var(2, 0) + var(2, 1), cst(2, 1))});
+  EXPECT_TRUE(P.containsPoint({Rational(1, 2), Rational(1, 2)}));
+  EXPECT_FALSE(P.containsPoint(pt({1, 1})));
+  unsigned Equalities = 0;
+  for (const ConeRow &C : P.constraints())
+    Equalities += C.IsLinearity;
+  EXPECT_EQ(Equalities, 1u);
+}
+
+TEST(PolyhedronTest, RedundantConstraintsAreRemoved) {
+  Polyhedron P = Polyhedron::fromConstraints(
+      1, {Constraint::ge(var(1, 0), cst(1, 0)),
+          Constraint::ge(var(1, 0), cst(1, -5)),  // redundant
+          Constraint::le(var(1, 0), cst(1, 3)),
+          Constraint::le(var(1, 0), cst(1, 10))}); // redundant
+  EXPECT_EQ(P.constraints().size(), 2u);
+}
+
+TEST(PolyhedronTest, SinglePoint) {
+  Polyhedron P = Polyhedron::point({Rational(1, 2), Rational(3)});
+  EXPECT_TRUE(P.containsPoint({Rational(1, 2), Rational(3)}));
+  EXPECT_FALSE(P.containsPoint(pt({0, 3})));
+  // A point in 2D needs two equalities.
+  unsigned Equalities = 0;
+  for (const ConeRow &C : P.constraints())
+    Equalities += C.IsLinearity;
+  EXPECT_EQ(Equalities, 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Lattice operations
+//===----------------------------------------------------------------------===//
+
+TEST(PolyhedronTest, MeetIntersects) {
+  Polyhedron A = box(2, 2);
+  Polyhedron B = Polyhedron::fromConstraints(
+      2, {Constraint::ge(var(2, 0) + var(2, 1), cst(2, 3))});
+  Polyhedron M = A.meet(B);
+  EXPECT_TRUE(M.containsPoint(pt({2, 1})));
+  EXPECT_TRUE(M.containsPoint(pt({2, 2})));
+  EXPECT_FALSE(M.containsPoint(pt({1, 1})));
+  EXPECT_TRUE(A.contains(M));
+  EXPECT_TRUE(B.contains(M));
+}
+
+TEST(PolyhedronTest, MeetDisjointIsEmpty) {
+  Polyhedron A = box(1, 1);
+  Polyhedron B = Polyhedron::fromConstraints(
+      1, {Constraint::ge(var(1, 0), cst(1, 5))});
+  EXPECT_TRUE(A.meet(B).isEmpty());
+}
+
+TEST(PolyhedronTest, JoinIsConvexHull) {
+  // Hull of {(0,0)} and {(1,1)}: the segment.
+  Polyhedron A = Polyhedron::point(pt({0, 0}));
+  Polyhedron B = Polyhedron::point(pt({1, 1}));
+  Polyhedron J = A.join(B);
+  EXPECT_TRUE(J.containsPoint({Rational(1, 2), Rational(1, 2)}));
+  EXPECT_FALSE(J.containsPoint({Rational(1, 2), Rational(1, 4)}));
+  EXPECT_TRUE(J.contains(A));
+  EXPECT_TRUE(J.contains(B));
+}
+
+TEST(PolyhedronTest, JoinOfBoxes) {
+  // Hull of [0,1]^2 and [2,3]x[0,1]: the whole strip [0,3]x[0,1].
+  Polyhedron A = box(2, 1);
+  Polyhedron B = Polyhedron::fromConstraints(
+      2, {Constraint::ge(var(2, 0), cst(2, 2)),
+          Constraint::le(var(2, 0), cst(2, 3)),
+          Constraint::ge(var(2, 1), cst(2, 0)),
+          Constraint::le(var(2, 1), cst(2, 1))});
+  Polyhedron J = A.join(B);
+  EXPECT_TRUE(J.containsPoint({Rational(3, 2), Rational(1, 2)}));
+  Polyhedron Strip = Polyhedron::fromConstraints(
+      2, {Constraint::ge(var(2, 0), cst(2, 0)),
+          Constraint::le(var(2, 0), cst(2, 3)),
+          Constraint::ge(var(2, 1), cst(2, 0)),
+          Constraint::le(var(2, 1), cst(2, 1))});
+  EXPECT_TRUE(J.equals(Strip));
+}
+
+TEST(PolyhedronTest, JoinWithEmpty) {
+  Polyhedron A = box(2, 1);
+  EXPECT_TRUE(A.join(Polyhedron::empty(2)).equals(A));
+  EXPECT_TRUE(Polyhedron::empty(2).join(A).equals(A));
+}
+
+TEST(PolyhedronTest, JoinWithUnbounded) {
+  // Hull of the ray {x >= 0, y == 0} and the point (0, 1).
+  Polyhedron Ray = Polyhedron::fromConstraints(
+      2, {Constraint::ge(var(2, 0), cst(2, 0)),
+          Constraint::eq(var(2, 1), cst(2, 0))});
+  Polyhedron J = Ray.join(Polyhedron::point(pt({0, 1})));
+  EXPECT_TRUE(J.containsPoint(pt({100, 0})));
+  EXPECT_TRUE(J.containsPoint({Rational(5), Rational(1, 2)}));
+  EXPECT_FALSE(J.containsPoint(pt({0, 2})));
+  EXPECT_FALSE(J.containsPoint(pt({-1, 0})));
+}
+
+TEST(PolyhedronTest, LatticeLaws) {
+  Polyhedron A = box(2, 2);
+  Polyhedron B = Polyhedron::fromConstraints(
+      2, {Constraint::ge(var(2, 0) + var(2, 1), cst(2, 1))});
+  Polyhedron C = Polyhedron::fromConstraints(
+      2, {Constraint::le(var(2, 0) - var(2, 1), cst(2, 0))});
+  // Commutativity, absorption, idempotence.
+  EXPECT_TRUE(A.meet(B).equals(B.meet(A)));
+  EXPECT_TRUE(A.join(B).equals(B.join(A)));
+  EXPECT_TRUE(A.meet(A).equals(A));
+  EXPECT_TRUE(A.join(A).equals(A));
+  EXPECT_TRUE(A.meet(A.join(B)).equals(A));
+  EXPECT_TRUE(A.join(A.meet(B)).equals(A));
+  // Associativity.
+  EXPECT_TRUE(A.meet(B.meet(C)).equals(A.meet(B).meet(C)));
+  EXPECT_TRUE(A.join(B.join(C)).equals(A.join(B).join(C)));
+  // Monotonicity of meet under inclusion.
+  EXPECT_TRUE(A.contains(A.meet(B)));
+  EXPECT_TRUE(A.join(B).contains(A));
+}
+
+//===----------------------------------------------------------------------===//
+// Projection / dimension surgery
+//===----------------------------------------------------------------------===//
+
+TEST(PolyhedronTest, ProjectForgetsDimension) {
+  // {0 <= x <= 1, y == x}: forgetting y leaves 0 <= x <= 1 (y free).
+  Polyhedron P = box(2, 1).meet(Polyhedron::fromConstraints(
+      2, {Constraint::eq(var(2, 1), var(2, 0))}));
+  Polyhedron Q = P.project({1});
+  EXPECT_TRUE(Q.containsPoint(pt({0, 100})));
+  EXPECT_TRUE(Q.containsPoint(pt({1, -7})));
+  EXPECT_FALSE(Q.containsPoint(pt({2, 2})));
+}
+
+TEST(PolyhedronTest, ProjectionOfDiagonalStrip) {
+  // {y <= x <= y + 1, 0 <= y <= 1}: drop y -> 0 <= x <= 2.
+  Polyhedron P = Polyhedron::fromConstraints(
+      2, {Constraint::ge(var(2, 0) - var(2, 1), cst(2, 0)),
+          Constraint::le(var(2, 0) - var(2, 1), cst(2, 1)),
+          Constraint::ge(var(2, 1), cst(2, 0)),
+          Constraint::le(var(2, 1), cst(2, 1))});
+  Polyhedron Q = P.dropTrailing(1);
+  EXPECT_EQ(Q.dim(), 1u);
+  EXPECT_TRUE(Q.containsPoint(pt({0})));
+  EXPECT_TRUE(Q.containsPoint(pt({2})));
+  EXPECT_FALSE(Q.containsPoint({Rational(21, 10)}));
+  EXPECT_FALSE(Q.containsPoint({Rational(-1, 10)}));
+}
+
+TEST(PolyhedronTest, ExtendAddsFreeDimensions) {
+  Polyhedron P = box(1, 1).extend(2);
+  EXPECT_EQ(P.dim(), 3u);
+  EXPECT_TRUE(P.containsPoint(pt({1, 99, -99})));
+  EXPECT_FALSE(P.containsPoint(pt({2, 0, 0})));
+}
+
+TEST(PolyhedronTest, PermuteRenames) {
+  // {x == 0, y == 1} with swap -> {x == 1, y == 0}.
+  Polyhedron P = Polyhedron::point(pt({0, 1}));
+  Polyhedron Q = P.permute({1, 0});
+  EXPECT_TRUE(Q.containsPoint(pt({1, 0})));
+  EXPECT_FALSE(Q.containsPoint(pt({0, 1})));
+}
+
+TEST(PolyhedronTest, RelationalCompositionByHand) {
+  // Compose R1 = {x' == x + 1} with R2 = {x' == 2x} over dims (x, x'):
+  // embed as (x, x', t), R1[t/x'], R2[t/x], meet, drop t ->
+  // {x' == 2(x+1)}.
+  unsigned D = 3;
+  Polyhedron R1 = Polyhedron::fromConstraints(
+      D, {Constraint::eq(var(D, 2), var(D, 0) + cst(D, 1))}); // t == x + 1
+  Polyhedron R2 = Polyhedron::fromConstraints(
+      D, {Constraint::eq(var(D, 1), var(D, 2).scaled(Rational(2)))});
+  Polyhedron Composed = R1.meet(R2).dropTrailing(1);
+  EXPECT_TRUE(Composed.containsPoint(pt({0, 2})));
+  EXPECT_TRUE(Composed.containsPoint(pt({3, 8})));
+  EXPECT_FALSE(Composed.containsPoint(pt({3, 7})));
+}
+
+//===----------------------------------------------------------------------===//
+// Optimization
+//===----------------------------------------------------------------------===//
+
+TEST(PolyhedronTest, MaximizeOverBox) {
+  Polyhedron P = box(2, 2);
+  LinearExpr Obj = var(2, 0) + var(2, 1).scaled(Rational(3));
+  auto Max = P.maximize(Obj);
+  ASSERT_TRUE(Max.has_value());
+  EXPECT_EQ(*Max, Rational(8));
+  auto Min = P.minimize(Obj);
+  ASSERT_TRUE(Min.has_value());
+  EXPECT_EQ(*Min, Rational(0));
+}
+
+TEST(PolyhedronTest, UnboundedDirections) {
+  Polyhedron P = Polyhedron::fromConstraints(
+      1, {Constraint::ge(var(1, 0), cst(1, 3))});
+  EXPECT_FALSE(P.maximize(var(1, 0)).has_value());
+  auto Min = P.minimize(var(1, 0));
+  ASSERT_TRUE(Min.has_value());
+  EXPECT_EQ(*Min, Rational(3));
+}
+
+TEST(PolyhedronTest, MaximizeWithRationalVertices) {
+  // {2x + 3y <= 6, x >= 0, y >= 0}: max of x + y at (0, 2) = 2.
+  Polyhedron P = Polyhedron::fromConstraints(
+      2,
+      {Constraint::le(var(2, 0).scaled(Rational(2)) +
+                          var(2, 1).scaled(Rational(3)),
+                      cst(2, 6)),
+       Constraint::ge(var(2, 0), cst(2, 0)),
+       Constraint::ge(var(2, 1), cst(2, 0))});
+  auto Max = P.maximize(var(2, 0) + var(2, 1));
+  ASSERT_TRUE(Max.has_value());
+  EXPECT_EQ(*Max, Rational(3)); // Vertex (3, 0).
+  auto MaxY = P.maximize(var(2, 1));
+  EXPECT_EQ(*MaxY, Rational(2));
+}
+
+//===----------------------------------------------------------------------===//
+// satisfies / widen
+//===----------------------------------------------------------------------===//
+
+TEST(PolyhedronTest, SatisfiesEntailedConstraints) {
+  Polyhedron P = box(2, 1);
+  EXPECT_TRUE(P.satisfies(
+      Constraint::le(var(2, 0) + var(2, 1), cst(2, 2))));
+  EXPECT_FALSE(P.satisfies(
+      Constraint::le(var(2, 0) + var(2, 1), cst(2, 1))));
+  EXPECT_TRUE(P.satisfies(Constraint::ge(var(2, 0), cst(2, 0))));
+}
+
+TEST(PolyhedronTest, WideningDropsUnstableBounds) {
+  // [0,1] widened with [0,2]: the upper bound is unstable -> [0, inf).
+  Polyhedron A = box(1, 1);
+  Polyhedron B = box(1, 2);
+  Polyhedron W = A.widen(B);
+  EXPECT_TRUE(W.containsPoint(pt({1000000})));
+  EXPECT_FALSE(W.containsPoint(pt({-1})));
+  EXPECT_TRUE(W.contains(B));
+}
+
+TEST(PolyhedronTest, WideningKeepsStableEqualityHalf) {
+  // {x == y, 0 <= x <= 1} widened with {x <= y <= 2x, 0 <= x <= 2}:
+  // the half x <= y survives, y <= x does not.
+  Polyhedron A = Polyhedron::fromConstraints(
+      2, {Constraint::eq(var(2, 0), var(2, 1)),
+          Constraint::ge(var(2, 0), cst(2, 0)),
+          Constraint::le(var(2, 0), cst(2, 1))});
+  Polyhedron B = Polyhedron::fromConstraints(
+      2, {Constraint::le(var(2, 0), var(2, 1)),
+          Constraint::le(var(2, 1), var(2, 0).scaled(Rational(2))),
+          Constraint::ge(var(2, 0), cst(2, 0)),
+          Constraint::le(var(2, 0), cst(2, 2))});
+  Polyhedron W = A.widen(B);
+  EXPECT_TRUE(W.satisfies(Constraint::le(var(2, 0), var(2, 1))));
+  EXPECT_FALSE(W.satisfies(Constraint::le(var(2, 1), var(2, 0))));
+  EXPECT_TRUE(W.satisfies(Constraint::ge(var(2, 0), cst(2, 0))));
+  EXPECT_TRUE(W.contains(B));
+  EXPECT_TRUE(W.contains(A));
+}
+
+TEST(PolyhedronTest, WideningStabilizesAscendingChain) {
+  // Boxes [0, k] widen to [0, inf) after one application, after which the
+  // chain is stable.
+  Polyhedron Current = box(1, 1);
+  for (int K = 2; K <= 5; ++K) {
+    Polyhedron Next = Current.join(box(1, K));
+    Polyhedron Widened = Current.widen(Next);
+    if (Widened.equals(Current))
+      break;
+    Current = Widened;
+  }
+  EXPECT_TRUE(Current.containsPoint(pt({1000000})));
+  // One more round must be stable.
+  Polyhedron Again = Current.widen(Current.join(box(1, 100)));
+  EXPECT_TRUE(Again.equals(Current));
+}
+
+//===----------------------------------------------------------------------===//
+// Randomized consistency checks
+//===----------------------------------------------------------------------===//
+
+TEST(PolyhedronTest, PropertyHullContainsSampledMidpoints) {
+  Rng R(2718);
+  for (int Round = 0; Round != 20; ++Round) {
+    // Two random points in 3D; their hull must contain every convex
+    // combination with denominator 4.
+    std::vector<Rational> A, B;
+    for (int I = 0; I != 3; ++I) {
+      A.push_back(Rational(static_cast<int64_t>(R.below(21)) - 10));
+      B.push_back(Rational(static_cast<int64_t>(R.below(21)) - 10));
+    }
+    Polyhedron Hull =
+        Polyhedron::point(A).join(Polyhedron::point(B));
+    for (int Num = 0; Num <= 4; ++Num) {
+      Rational T(Num, 4);
+      std::vector<Rational> Mid;
+      for (int I = 0; I != 3; ++I)
+        Mid.push_back(A[I] * (Rational(1) - T) + B[I] * T);
+      EXPECT_TRUE(Hull.containsPoint(Mid));
+    }
+  }
+}
+
+TEST(PolyhedronTest, PropertyMeetJoinConsistency) {
+  // For random half-space pairs: meet ⊆ each ⊆ join.
+  Rng R(999);
+  for (int Round = 0; Round != 30; ++Round) {
+    auto RandomHalfSpace = [&R]() {
+      LinearExpr E(2);
+      E.constantTerm() = Rational(static_cast<int64_t>(R.below(11)) - 5);
+      E.coeff(0) = Rational(static_cast<int64_t>(R.below(7)) - 3);
+      E.coeff(1) = Rational(static_cast<int64_t>(R.below(7)) - 3);
+      return Polyhedron::fromConstraints(2,
+                                         {Constraint{E, Constraint::Kind::Ge}});
+    };
+    Polyhedron A = RandomHalfSpace().meet(box(2, 4));
+    Polyhedron B = RandomHalfSpace().meet(box(2, 4));
+    Polyhedron M = A.meet(B), J = A.join(B);
+    EXPECT_TRUE(A.contains(M));
+    EXPECT_TRUE(B.contains(M));
+    EXPECT_TRUE(J.contains(A));
+    EXPECT_TRUE(J.contains(B));
+    EXPECT_TRUE(J.contains(M));
+  }
+}
+
+TEST(PolyhedronTest, PropertyDoubleProjection) {
+  // Projecting twice equals projecting once; projection is extensive.
+  Polyhedron P = box(3, 2).meet(Polyhedron::fromConstraints(
+      3, {Constraint::le(var(3, 0) + var(3, 1) + var(3, 2), cst(3, 4))}));
+  Polyhedron Q1 = P.project({2});
+  Polyhedron Q2 = Q1.project({2});
+  EXPECT_TRUE(Q1.equals(Q2));
+  EXPECT_TRUE(Q1.contains(P));
+}
+
+TEST(PolyhedronTest, CubeVertexAndFacetCounts) {
+  Polyhedron Cube = box(3, 1);
+  unsigned Points = 0;
+  for (const ConeRow &G : Cube.generators())
+    if (!G.IsLinearity && G.Coeffs[0].sign() > 0)
+      ++Points;
+  EXPECT_EQ(Points, 8u);
+  EXPECT_EQ(Cube.constraints().size(), 6u);
+}
+
+TEST(PolyhedronTest, ToStringSmoke) {
+  Polyhedron P = box(1, 1);
+  std::string S = P.toString({"x"});
+  EXPECT_NE(S.find("x"), std::string::npos);
+  EXPECT_EQ(Polyhedron::empty(1).toString(), "{false}");
+  EXPECT_EQ(Polyhedron::universe(1).toString(), "{true}");
+}

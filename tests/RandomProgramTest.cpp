@@ -1,0 +1,364 @@
+//===- tests/RandomProgramTest.cpp - Differential testing on random programs =//
+//
+// Generates random probabilistic programs and cross-checks independent
+// implementations against each other:
+//
+//  * random Boolean programs: the PMAF Bayesian-inference instantiation
+//    (backward, two-vocabulary, §5.1) against the Claret-style forward
+//    propagation — two very different algorithms that must agree exactly
+//    in the absence of nondeterminism;
+//  * random reward programs: the PMAF MDP instantiation (§5.2) against the
+//    PReMo-style monotone equation solver;
+//  * random straight-line arithmetic programs: LEIA expectations (§5.3)
+//    against the Monte-Carlo interpreter.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/ClaretForward.h"
+#include "baselines/PolySystem.h"
+#include "cfg/HyperGraph.h"
+#include "concrete/Interpreter.h"
+#include "core/Solver.h"
+#include "domains/BiDomain.h"
+#include "domains/LeiaDomain.h"
+#include "domains/MdpDomain.h"
+#include "lang/Ast.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace pmaf;
+using namespace pmaf::core;
+using namespace pmaf::domains;
+using namespace pmaf::lang;
+
+namespace {
+
+Rational randomProb(Rng &R, unsigned DenBound = 16) {
+  int64_t Den = 1 + static_cast<int64_t>(R.below(DenBound));
+  int64_t Num = static_cast<int64_t>(R.below(Den + 1));
+  return Rational(Num, Den);
+}
+
+//===----------------------------------------------------------------------===//
+// Random Boolean programs (no ndet, no recursion)
+//===----------------------------------------------------------------------===//
+
+Cond::Ptr randomBoolCond(Rng &R, unsigned NumVars, unsigned Depth) {
+  if (Depth == 0 || R.below(2) == 0)
+    return Cond::makeBoolVar(static_cast<unsigned>(R.below(NumVars)));
+  switch (R.below(3)) {
+  case 0:
+    return Cond::makeNot(randomBoolCond(R, NumVars, Depth - 1));
+  case 1:
+    return Cond::makeAnd(randomBoolCond(R, NumVars, Depth - 1),
+                         randomBoolCond(R, NumVars, Depth - 1));
+  default:
+    return Cond::makeOr(randomBoolCond(R, NumVars, Depth - 1),
+                        randomBoolCond(R, NumVars, Depth - 1));
+  }
+}
+
+Stmt::Ptr randomBoolStmt(Rng &R, unsigned NumVars, unsigned Depth) {
+  unsigned Kind = static_cast<unsigned>(R.below(Depth == 0 ? 3 : 6));
+  unsigned Var = static_cast<unsigned>(R.below(NumVars));
+  switch (Kind) {
+  case 0:
+    return Stmt::makeAssign(Var, Expr::makeBool(R.below(2) == 0));
+  case 1: {
+    Dist D;
+    D.TheKind = Dist::Kind::Bernoulli;
+    D.Params.push_back(Expr::makeNumber(randomProb(R)));
+    return Stmt::makeSample(Var, std::move(D));
+  }
+  case 2:
+    return Stmt::makeAssign(Var,
+                            Expr::makeVar(static_cast<unsigned>(
+                                R.below(NumVars))));
+  case 3: {
+    // observe on a disjunction-heavy condition (avoid rejecting all mass
+    // too often).
+    return Stmt::makeObserve(
+        Cond::makeOr(randomBoolCond(R, NumVars, 1),
+                     Cond::makeBoolVar(static_cast<unsigned>(
+                         R.below(NumVars)))));
+  }
+  case 4: {
+    Guard G;
+    if (R.below(2) == 0) {
+      G.TheKind = Guard::Kind::Cond;
+      G.Phi = randomBoolCond(R, NumVars, 2);
+    } else {
+      G.TheKind = Guard::Kind::Prob;
+      G.Prob = randomProb(R);
+    }
+    std::vector<Stmt::Ptr> Then, Else;
+    Then.push_back(randomBoolStmt(R, NumVars, Depth - 1));
+    Else.push_back(randomBoolStmt(R, NumVars, Depth - 1));
+    return Stmt::makeIf(std::move(G), Stmt::makeBlock(std::move(Then)),
+                        Stmt::makeBlock(std::move(Else)));
+  }
+  default: {
+    // Probabilistically terminating loop (guard probability <= 3/4).
+    Guard G;
+    G.TheKind = Guard::Kind::Prob;
+    G.Prob = Rational(static_cast<int64_t>(R.below(4)), 4);
+    std::vector<Stmt::Ptr> Body;
+    Body.push_back(randomBoolStmt(R, NumVars, Depth - 1));
+    return Stmt::makeWhile(std::move(G), Stmt::makeBlock(std::move(Body)));
+  }
+  }
+}
+
+std::unique_ptr<Program> randomBoolProgram(Rng &R, unsigned NumVars,
+                                           unsigned NumStmts) {
+  auto Prog = std::make_unique<Program>();
+  for (unsigned I = 0; I != NumVars; ++I)
+    Prog->Vars.push_back(VarInfo{"b" + std::to_string(I), false});
+  std::vector<Stmt::Ptr> Stmts;
+  for (unsigned I = 0; I != NumStmts; ++I)
+    Stmts.push_back(randomBoolStmt(R, NumVars, 2));
+  Prog->Procs.push_back(
+      Procedure{"main", Stmt::makeBlock(std::move(Stmts))});
+  return Prog;
+}
+
+} // namespace
+
+TEST(RandomProgramTest, BiAgreesWithForwardBaseline) {
+  Rng R(20260706);
+  for (int Round = 0; Round != 40; ++Round) {
+    auto Prog = randomBoolProgram(R, 3, 4);
+    BoolStateSpace Space(*Prog);
+    cfg::ProgramGraph Graph = cfg::ProgramGraph::build(*Prog);
+    BiDomain Dom(Space);
+    SolverOptions Opts;
+    Opts.UseWidening = false;
+    auto Result = solve(Graph, Dom, Opts);
+
+    // Random prior.
+    std::vector<double> Prior(Space.numStates(), 0.0);
+    double Mass = 0.0;
+    for (double &P : Prior)
+      Mass += (P = R.uniform());
+    for (double &P : Prior)
+      P /= Mass;
+
+    std::vector<double> Backward =
+        Dom.posterior(Result.Values[Graph.proc(0).Entry], Prior);
+    baselines::ClaretForward Forward(Space);
+    std::vector<double> Fwd = Forward.posterior(0, Prior);
+    for (size_t S = 0; S != Backward.size(); ++S)
+      ASSERT_NEAR(Backward[S], Fwd[S], 1e-7)
+          << "round " << Round << ", state " << S << "\n"
+          << toString(*Prog);
+  }
+}
+
+TEST(RandomProgramTest, BiAgreesWithMonteCarlo) {
+  Rng R(777);
+  for (int Round = 0; Round != 5; ++Round) {
+    auto Prog = randomBoolProgram(R, 3, 3);
+    BoolStateSpace Space(*Prog);
+    cfg::ProgramGraph Graph = cfg::ProgramGraph::build(*Prog);
+    BiDomain Dom(Space);
+    SolverOptions Opts;
+    Opts.UseWidening = false;
+    auto Result = solve(Graph, Dom, Opts);
+    std::vector<double> Prior(Space.numStates(), 0.0);
+    Prior[0] = 1.0;
+    std::vector<double> Post =
+        Dom.posterior(Result.Values[Graph.proc(0).Entry], Prior);
+
+    concrete::Interpreter Interp(*Prog, 1000 + Round);
+    const int N = 40000;
+    std::vector<double> Counts(Space.numStates(), 0.0);
+    for (int I = 0; I != N; ++I) {
+      auto Run = Interp.run(0, std::vector<double>(3, 0.0), 100000);
+      if (!Run.terminated())
+        continue;
+      size_t State = 0;
+      for (unsigned V = 0; V != 3; ++V)
+        if (Run.State[V] != 0.0)
+          State |= size_t(1) << V;
+      Counts[State] += 1.0;
+    }
+    for (size_t S = 0; S != Post.size(); ++S)
+      ASSERT_NEAR(Post[S], Counts[S] / N, 0.02)
+          << "round " << Round << ", state " << S << "\n"
+          << toString(*Prog);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Random reward programs: MDP instantiation vs equation solver
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+Stmt::Ptr randomRewardStmt(Rng &R, unsigned Depth) {
+  unsigned Kind = static_cast<unsigned>(R.below(Depth == 0 ? 1 : 4));
+  switch (Kind) {
+  case 0:
+    return Stmt::makeReward(
+        Rational(static_cast<int64_t>(R.below(8)), 2));
+  case 1: {
+    Guard G;
+    G.TheKind = Guard::Kind::Prob;
+    G.Prob = randomProb(R);
+    std::vector<Stmt::Ptr> Then, Else;
+    Then.push_back(randomRewardStmt(R, Depth - 1));
+    Else.push_back(randomRewardStmt(R, Depth - 1));
+    return Stmt::makeIf(std::move(G), Stmt::makeBlock(std::move(Then)),
+                        Stmt::makeBlock(std::move(Else)));
+  }
+  case 2: {
+    Guard G;
+    G.TheKind = Guard::Kind::Ndet;
+    std::vector<Stmt::Ptr> Then, Else;
+    Then.push_back(randomRewardStmt(R, Depth - 1));
+    Else.push_back(randomRewardStmt(R, Depth - 1));
+    return Stmt::makeIf(std::move(G), Stmt::makeBlock(std::move(Then)),
+                        Stmt::makeBlock(std::move(Else)));
+  }
+  default: {
+    Guard G;
+    G.TheKind = Guard::Kind::Prob;
+    G.Prob = Rational(static_cast<int64_t>(R.below(4)), 5); // <= 3/5
+    std::vector<Stmt::Ptr> Body;
+    Body.push_back(randomRewardStmt(R, Depth - 1));
+    return Stmt::makeWhile(std::move(G), Stmt::makeBlock(std::move(Body)));
+  }
+  }
+}
+
+} // namespace
+
+TEST(RandomProgramTest, MdpAgreesWithEquationSolver) {
+  Rng R(424242);
+  for (int Round = 0; Round != 40; ++Round) {
+    auto Prog = std::make_unique<Program>();
+    std::vector<Stmt::Ptr> Stmts;
+    for (int I = 0; I != 3; ++I)
+      Stmts.push_back(randomRewardStmt(R, 3));
+    Prog->Procs.push_back(
+        Procedure{"main", Stmt::makeBlock(std::move(Stmts))});
+    cfg::ProgramGraph Graph = cfg::ProgramGraph::build(*Prog);
+
+    MdpDomain Dom;
+    SolverOptions Opts;
+    Opts.WideningDelay = 10000;
+    auto Result = solve(Graph, Dom, Opts);
+
+    auto Baseline =
+        baselines::rewardSystem(Graph, baselines::NdetResolution::Max)
+            .solveKleene(1e-13, 3000000);
+    unsigned Entry = Graph.proc(0).Entry;
+    ASSERT_NEAR(Result.Values[Entry], Baseline[Entry], 1e-6)
+        << "round " << Round << "\n"
+        << toString(*Prog);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Random arithmetic programs: LEIA vs Monte Carlo
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+Stmt::Ptr randomArithStmt(Rng &R, unsigned NumVars) {
+  unsigned Var = static_cast<unsigned>(R.below(NumVars));
+  switch (R.below(4)) {
+  case 0: {
+    // x := a*x + b*y + c with small nonnegative coefficients.
+    Expr::Ptr E = Expr::makeNumber(Rational(
+        static_cast<int64_t>(R.below(3))));
+    for (unsigned V = 0; V != NumVars; ++V)
+      if (R.below(2) == 0)
+        E = Expr::makeBinary(
+            Expr::Kind::Add, std::move(E),
+            Expr::makeBinary(
+                Expr::Kind::Mul,
+                Expr::makeNumber(Rational(
+                    static_cast<int64_t>(R.below(3)))),
+                Expr::makeVar(V)));
+    return Stmt::makeAssign(Var, std::move(E));
+  }
+  case 1: {
+    Dist D;
+    D.TheKind = Dist::Kind::Uniform;
+    int64_t Lo = static_cast<int64_t>(R.below(3));
+    D.Params.push_back(Expr::makeNumber(Rational(Lo)));
+    D.Params.push_back(Expr::makeNumber(
+        Rational(Lo + 1 + static_cast<int64_t>(R.below(3)))));
+    return Stmt::makeSample(Var, std::move(D));
+  }
+  case 2: {
+    Dist D;
+    D.TheKind = Dist::Kind::Bernoulli;
+    D.Params.push_back(Expr::makeNumber(randomProb(R)));
+    return Stmt::makeSample(Var, std::move(D));
+  }
+  default: {
+    Guard G;
+    G.TheKind = Guard::Kind::Prob;
+    G.Prob = randomProb(R);
+    std::vector<Stmt::Ptr> Then, Else;
+    Then.push_back(randomArithStmt(R, NumVars));
+    Else.push_back(randomArithStmt(R, NumVars));
+    return Stmt::makeIf(std::move(G), Stmt::makeBlock(std::move(Then)),
+                        Stmt::makeBlock(std::move(Else)));
+  }
+  }
+}
+
+} // namespace
+
+TEST(RandomProgramTest, LeiaExpectationsMatchMonteCarlo) {
+  Rng R(31337);
+  for (int Round = 0; Round != 8; ++Round) {
+    auto Prog = std::make_unique<Program>();
+    Prog->Vars.push_back(VarInfo{"x", true});
+    Prog->Vars.push_back(VarInfo{"y", true});
+    std::vector<Stmt::Ptr> Stmts;
+    for (int I = 0; I != 4; ++I)
+      Stmts.push_back(randomArithStmt(R, 2));
+    Prog->Procs.push_back(
+        Procedure{"main", Stmt::makeBlock(std::move(Stmts))});
+
+    cfg::ProgramGraph Graph = cfg::ProgramGraph::build(*Prog);
+    LeiaDomain Dom(*Prog);
+    auto Result = solve(Graph, Dom);
+    unsigned Entry = Graph.proc(0).Entry;
+
+    concrete::Interpreter Interp(*Prog, 9000 + Round);
+    const int N = 30000;
+    double SumX = 0.0, SumY = 0.0;
+    for (int I = 0; I != N; ++I) {
+      auto Run = Interp.run(0, {1.0, 2.0}, 100000);
+      ASSERT_TRUE(Run.terminated());
+      SumX += Run.State[0];
+      SumY += Run.State[1];
+    }
+    auto CheckBounds = [&](const std::vector<Rational> &Objective,
+                           double Sampled) {
+      auto [Lo, Hi] = Dom.expectationBounds(
+          Result.Values[Entry], Objective, {Rational(1), Rational(2)});
+      double Slack = 0.05 * (1.0 + std::fabs(Sampled));
+      if (Lo) {
+        EXPECT_LE(Lo->toDouble(), Sampled + Slack)
+            << "round " << Round << "\n"
+            << toString(*Prog);
+      }
+      if (Hi) {
+        EXPECT_GE(Hi->toDouble(), Sampled - Slack)
+            << "round " << Round << "\n"
+            << toString(*Prog);
+      }
+    };
+    CheckBounds({Rational(1), Rational(0)}, SumX / N);
+    CheckBounds({Rational(0), Rational(1)}, SumY / N);
+  }
+}

@@ -1,0 +1,271 @@
+//===- tests/StressTest.cpp - Parameterized property sweeps ---------------===//
+//
+// Property-based stress suites, parameterized over problem size:
+//
+//  * BigInt arithmetic against a __int128 oracle (small widths) and
+//    against ring identities (large widths);
+//  * the polyhedra library's double-description invariants across
+//    dimensions (every generator satisfies every constraint, round-trips,
+//    lattice monotonicity, projection idempotence, widening coverage);
+//  * Bourdoncle's WTO on random graphs: the computed widening points cut
+//    every cycle (the property §4.4 needs), and the order covers every
+//    vertex exactly once.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfg/Wto.h"
+#include "poly/Polyhedron.h"
+#include "support/BigInt.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace pmaf;
+using namespace pmaf::poly;
+
+//===----------------------------------------------------------------------===//
+// BigInt sweeps
+//===----------------------------------------------------------------------===//
+
+class BigIntPropertyTest : public ::testing::TestWithParam<unsigned> {};
+
+namespace {
+
+BigInt randomBigInt(Rng &R, unsigned Bits) {
+  BigInt Value;
+  for (unsigned Chunk = 0; Chunk < Bits; Chunk += 32)
+    Value = Value.shiftLeft(32) +
+            BigInt(static_cast<int64_t>(R.next() & 0xffffffffu));
+  Value = Value.shiftRight(
+      static_cast<unsigned>((32 - Bits % 32) % 32));
+  return R.below(2) ? Value.negated() : Value;
+}
+
+} // namespace
+
+TEST_P(BigIntPropertyTest, MatchesInt128OracleWhenSmall) {
+  unsigned Bits = GetParam();
+  if (Bits > 62)
+    GTEST_SKIP() << "oracle covers small widths only";
+  Rng R(Bits * 7919);
+  for (int Round = 0; Round != 300; ++Round) {
+    int64_t A = randomBigInt(R, Bits).toInt64();
+    int64_t B = randomBigInt(R, Bits).toInt64();
+    __int128 WideA = A, WideB = B;
+    auto Same = [](const BigInt &X, __int128 Y) {
+      __int128 Back = 0;
+      bool Neg = X.sign() < 0;
+      BigInt Abs = X.abs();
+      // Reconstruct through the decimal printer for full generality.
+      for (char C : Abs.toString())
+        Back = Back * 10 + (C - '0');
+      return (Neg ? -Back : Back) == Y;
+    };
+    EXPECT_TRUE(Same(BigInt(A) + BigInt(B), WideA + WideB));
+    EXPECT_TRUE(Same(BigInt(A) - BigInt(B), WideA - WideB));
+    EXPECT_TRUE(Same(BigInt(A) * BigInt(B), WideA * WideB));
+    if (B != 0) {
+      BigInt Q, Rem;
+      BigInt(A).divmod(BigInt(B), Q, Rem);
+      EXPECT_TRUE(Same(Q, WideA / WideB));
+      EXPECT_TRUE(Same(Rem, WideA % WideB));
+    }
+  }
+}
+
+TEST_P(BigIntPropertyTest, RingIdentitiesAtAnyWidth) {
+  unsigned Bits = GetParam();
+  Rng R(Bits * 104729);
+  for (int Round = 0; Round != 60; ++Round) {
+    BigInt A = randomBigInt(R, Bits);
+    BigInt B = randomBigInt(R, Bits);
+    BigInt C = randomBigInt(R, Bits / 2 + 1);
+    EXPECT_EQ((A + B) - B, A);
+    EXPECT_EQ(A * B, B * A);
+    EXPECT_EQ(A * (B + C), A * B + A * C);
+    if (!B.isZero()) {
+      BigInt Q, Rem;
+      A.divmod(B, Q, Rem);
+      EXPECT_EQ(Q * B + Rem, A);
+      EXPECT_LT(Rem.abs().compare(B.abs()), 0);
+      EXPECT_EQ((A * B).divExact(B), A);
+    }
+    BigInt G = BigInt::gcd(A, B);
+    if (!G.isZero()) {
+      EXPECT_TRUE((A % G).isZero());
+      EXPECT_TRUE((B % G).isZero());
+    }
+    // Shifts agree with multiplication by powers of two.
+    EXPECT_EQ(A.shiftLeft(17), A * BigInt(1 << 17));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BigIntPropertyTest,
+                         ::testing::Values(8u, 16u, 31u, 48u, 62u, 80u,
+                                           128u, 256u));
+
+//===----------------------------------------------------------------------===//
+// Polyhedra sweeps
+//===----------------------------------------------------------------------===//
+
+class PolyhedronPropertyTest : public ::testing::TestWithParam<unsigned> {};
+
+namespace {
+
+Polyhedron randomPolyhedron(Rng &R, unsigned Dim, unsigned NumCons) {
+  std::vector<Constraint> Cons;
+  // Keep a bounding box so most instances are nonempty polytopes, then
+  // add random halfspaces.
+  for (unsigned I = 0; I != Dim; ++I) {
+    Cons.push_back(Constraint::ge(LinearExpr::variable(Dim, I),
+                                  LinearExpr::constant(Dim, Rational(-4))));
+    Cons.push_back(Constraint::le(LinearExpr::variable(Dim, I),
+                                  LinearExpr::constant(Dim, Rational(4))));
+  }
+  for (unsigned I = 0; I != NumCons; ++I) {
+    LinearExpr E(Dim);
+    E.constantTerm() = Rational(static_cast<int64_t>(R.below(9)) - 4);
+    for (unsigned V = 0; V != Dim; ++V)
+      E.coeff(V) = Rational(static_cast<int64_t>(R.below(5)) - 2);
+    Cons.push_back(Constraint{std::move(E), R.below(5) == 0
+                                                ? Constraint::Kind::Eq
+                                                : Constraint::Kind::Ge});
+  }
+  return Polyhedron::fromConstraints(Dim, Cons);
+}
+
+/// The core double-description consistency: every stored generator
+/// satisfies every stored constraint.
+void expectDdConsistent(const Polyhedron &P) {
+  for (const ConeRow &Con : P.constraints())
+    for (const ConeRow &Gen : P.generators()) {
+      BigInt Dot = dotProduct(Gen, Con);
+      if (Con.IsLinearity || Gen.IsLinearity) {
+        EXPECT_TRUE(Dot.isZero()) << P.toString();
+      } else {
+        EXPECT_GE(Dot.sign(), 0) << P.toString();
+      }
+    }
+}
+
+} // namespace
+
+TEST_P(PolyhedronPropertyTest, DoubleDescriptionConsistency) {
+  unsigned Dim = GetParam();
+  Rng R(Dim * 31337);
+  for (int Round = 0; Round != 25; ++Round) {
+    Polyhedron P = randomPolyhedron(R, Dim, Dim + 2);
+    if (P.isEmpty())
+      continue;
+    expectDdConsistent(P);
+    // Round-trip: rebuilding from the minimized constraints yields the
+    // same polyhedron.
+    Polyhedron Q = Polyhedron::fromConstraints(Dim, P.constraintList());
+    EXPECT_TRUE(P.equals(Q));
+  }
+}
+
+TEST_P(PolyhedronPropertyTest, LatticeAndProjectionSweep) {
+  unsigned Dim = GetParam();
+  Rng R(Dim * 65537);
+  for (int Round = 0; Round != 15; ++Round) {
+    Polyhedron A = randomPolyhedron(R, Dim, Dim + 1);
+    Polyhedron B = randomPolyhedron(R, Dim, Dim + 1);
+    Polyhedron M = A.meet(B), J = A.join(B);
+    EXPECT_TRUE(A.contains(M));
+    EXPECT_TRUE(B.contains(M));
+    EXPECT_TRUE(J.contains(A));
+    EXPECT_TRUE(J.contains(B));
+    expectDdConsistent(M);
+    expectDdConsistent(J);
+    if (!A.isEmpty()) {
+      Polyhedron Proj = A.project({Dim - 1});
+      EXPECT_TRUE(Proj.contains(A));
+      EXPECT_TRUE(Proj.project({Dim - 1}).equals(Proj));
+    }
+    if (!A.isEmpty() && !B.isEmpty()) {
+      Polyhedron W = A.widen(J);
+      EXPECT_TRUE(W.contains(A));
+      EXPECT_TRUE(W.contains(J));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, PolyhedronPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+//===----------------------------------------------------------------------===//
+// WTO sweeps
+//===----------------------------------------------------------------------===//
+
+class WtoPropertyTest : public ::testing::TestWithParam<unsigned> {};
+
+namespace {
+
+/// Collects the vertices of a WTO in order.
+void flatten(const std::vector<cfg::WtoElement> &Elements,
+             std::vector<unsigned> &Out) {
+  for (const cfg::WtoElement &E : Elements) {
+    Out.push_back(E.Node);
+    flatten(E.Body, Out);
+  }
+}
+
+/// True if the graph restricted to vertices with Allowed[v] has a cycle.
+bool hasCycle(const std::vector<std::vector<unsigned>> &Succs,
+              const std::vector<bool> &Allowed) {
+  std::vector<int> State(Succs.size(), 0);
+  bool Found = false;
+  auto Dfs = [&](const auto &Self, unsigned V) -> void {
+    State[V] = 1;
+    for (unsigned W : Succs[V]) {
+      if (!Allowed[W])
+        continue;
+      if (State[W] == 1)
+        Found = true;
+      else if (State[W] == 0)
+        Self(Self, W);
+    }
+    State[V] = 2;
+  };
+  for (unsigned V = 0; V != Succs.size(); ++V)
+    if (Allowed[V] && State[V] == 0)
+      Dfs(Dfs, V);
+  return Found;
+}
+
+} // namespace
+
+TEST_P(WtoPropertyTest, WideningPointsCutEveryCycle) {
+  unsigned N = GetParam();
+  Rng R(N * 2654435761u);
+  for (int Round = 0; Round != 30; ++Round) {
+    std::vector<std::vector<unsigned>> Succs(N);
+    for (unsigned V = 0; V != N; ++V) {
+      unsigned Degree = static_cast<unsigned>(R.below(3));
+      for (unsigned E = 0; E != Degree; ++E)
+        Succs[V].push_back(static_cast<unsigned>(R.below(N)));
+    }
+    cfg::Wto W = cfg::Wto::compute(Succs, {0});
+
+    // Every vertex appears exactly once.
+    std::vector<unsigned> Flat;
+    flatten(W.Elements, Flat);
+    ASSERT_EQ(Flat.size(), N);
+    std::vector<bool> Seen(N, false);
+    for (unsigned V : Flat) {
+      EXPECT_FALSE(Seen[V]) << "duplicated vertex in WTO";
+      Seen[V] = true;
+    }
+
+    // Removing the widening points leaves an acyclic graph: this is the
+    // property that makes chaotic iteration with widening terminate.
+    std::vector<bool> Allowed(N);
+    for (unsigned V = 0; V != N; ++V)
+      Allowed[V] = !W.WideningPoint[V];
+    EXPECT_FALSE(hasCycle(Succs, Allowed));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, WtoPropertyTest,
+                         ::testing::Values(3u, 8u, 20u, 60u));

@@ -1,0 +1,214 @@
+//===- tools/pmaf.cpp - Command-line driver for the framework -------------===//
+//
+// Analyze a probabilistic program from the command line:
+//
+//   pmaf <file.pp> [--domain=leia|bi|mdp|termination] [--decompose]
+//                  [--dot] [--stats]
+//
+// With --domain=leia (default) prints the expectation invariants of every
+// procedure summary; bi prints the posterior from the all-false prior;
+// mdp prints greatest expected rewards; termination prints lower bounds
+// on termination probabilities. --decompose applies the positive-negative
+// decomposition (§6.2) first, for programs with signed variables. --dot
+// prints the control-flow hyper-graphs in Graphviz syntax.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfg/HyperGraph.h"
+#include "core/Solver.h"
+#include "domains/BiDomain.h"
+#include "domains/LeiaDomain.h"
+#include "domains/MdpDomain.h"
+#include "lang/Parser.h"
+#include "lang/PosNegDecompose.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+using namespace pmaf;
+using namespace pmaf::core;
+using namespace pmaf::domains;
+
+namespace {
+
+/// Termination-probability lower bounds (demonic): the custom-domain
+/// example promoted into the tool.
+class TerminationDomain {
+public:
+  using Value = double;
+  Value bottom() const { return 0.0; }
+  Value one() const { return 1.0; }
+  Value extend(const Value &A, const Value &B) const { return A * B; }
+  Value condChoice(const lang::Cond &, const Value &A,
+                   const Value &B) const {
+    return std::min(A, B);
+  }
+  Value probChoice(const Rational &P, const Value &A, const Value &B) const {
+    double Prob = P.toDouble();
+    return Prob * A + (1.0 - Prob) * B;
+  }
+  Value ndetChoice(const Value &A, const Value &B) const {
+    return std::min(A, B);
+  }
+  Value interpret(const lang::Stmt *Act) const {
+    return Act && Act->kind() == lang::Stmt::Kind::Observe ? 0.0 : 1.0;
+  }
+  bool leq(const Value &A, const Value &B) const { return A <= B + 1e-12; }
+  bool equal(const Value &A, const Value &B) const {
+    return std::fabs(A - B) <= 1e-12;
+  }
+  Value widenCond(const Value &, const Value &New) const { return New; }
+  Value widenProb(const Value &, const Value &New) const { return New; }
+  Value widenNdet(const Value &, const Value &New) const { return New; }
+  Value widenCall(const Value &, const Value &New) const { return New; }
+  std::string toString(const Value &A) const { return std::to_string(A); }
+};
+
+int usage(const char *Argv0) {
+  std::fprintf(stderr,
+               "usage: %s <file.pp | -> [--domain=leia|bi|mdp|termination]"
+               " [--decompose] [--dot] [--stats]\n",
+               Argv0);
+  return 2;
+}
+
+void printStats(const SolverStats &Stats) {
+  std::printf("; solver: %llu updates, %llu widenings, converged=%s\n",
+              static_cast<unsigned long long>(Stats.NodeUpdates),
+              static_cast<unsigned long long>(Stats.WideningApplications),
+              Stats.Converged ? "yes" : "NO");
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string Path, Domain = "leia";
+  bool Decompose = false, EmitDot = false, Stats = false;
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg.rfind("--domain=", 0) == 0)
+      Domain = Arg.substr(9);
+    else if (Arg == "--decompose")
+      Decompose = true;
+    else if (Arg == "--dot")
+      EmitDot = true;
+    else if (Arg == "--stats")
+      Stats = true;
+    else if (Arg[0] == '-' && Arg != "-")
+      return usage(argv[0]);
+    else
+      Path = Arg;
+  }
+  if (Path.empty())
+    return usage(argv[0]);
+
+  std::string Source;
+  if (Path == "-") {
+    std::ostringstream Buffer;
+    Buffer << std::cin.rdbuf();
+    Source = Buffer.str();
+  } else {
+    std::ifstream In(Path);
+    if (!In) {
+      std::fprintf(stderr, "error: cannot open %s\n", Path.c_str());
+      return 1;
+    }
+    std::ostringstream Buffer;
+    Buffer << In.rdbuf();
+    Source = Buffer.str();
+  }
+
+  lang::ParseResult Parsed = lang::parseProgram(Source);
+  if (!Parsed) {
+    std::fprintf(stderr, "%s: parse error: %s\n", Path.c_str(),
+                 Parsed.Error.c_str());
+    return 1;
+  }
+  std::unique_ptr<lang::Program> Prog = std::move(Parsed.Prog);
+  if (Decompose) {
+    lang::DecomposeResult D = lang::decomposePosNeg(*Prog);
+    if (!D) {
+      std::fprintf(stderr, "%s: cannot decompose: %s\n", Path.c_str(),
+                   D.Error.c_str());
+      return 1;
+    }
+    Prog = std::move(D.Prog);
+  }
+  cfg::ProgramGraph Graph = cfg::ProgramGraph::build(*Prog);
+  if (EmitDot)
+    std::printf("%s", Graph.toDot().c_str());
+
+  if (Domain == "leia") {
+    LeiaDomain Dom(*Prog);
+    auto Result = solve(Graph, Dom);
+    for (unsigned P = 0; P != Graph.numProcs(); ++P) {
+      std::printf("%s():\n", Prog->Procs[P].Name.c_str());
+      auto Invariants =
+          Dom.describeInvariants(Result.Values[Graph.proc(P).Entry]);
+      if (Invariants.empty())
+        std::printf("  (no expectation invariants)\n");
+      for (const std::string &Inv : Invariants)
+        std::printf("  %s\n", Inv.c_str());
+    }
+    if (Stats)
+      printStats(Result.Stats);
+    return Result.Stats.Converged ? 0 : 1;
+  }
+  if (Domain == "bi") {
+    BoolStateSpace Space(*Prog);
+    BiDomain Dom(Space);
+    SolverOptions Opts;
+    Opts.UseWidening = false;
+    auto Result = solve(Graph, Dom, Opts);
+    std::vector<double> Prior(Space.numStates(), 0.0);
+    Prior[0] = 1.0;
+    for (unsigned P = 0; P != Graph.numProcs(); ++P) {
+      std::printf("%s(): posterior from the all-false prior\n",
+                  Prog->Procs[P].Name.c_str());
+      std::vector<double> Post = Dom.posterior(
+          Result.Values[Graph.proc(P).Entry], Prior);
+      double Mass = 0.0;
+      for (size_t S = 0; S != Post.size(); ++S) {
+        Mass += Post[S];
+        if (Post[S] > 1e-12)
+          std::printf("  %-30s %.6f\n",
+                      Space.stateToString(S).c_str(), Post[S]);
+      }
+      std::printf("  terminating mass: %.6f\n", Mass);
+    }
+    if (Stats)
+      printStats(Result.Stats);
+    return Result.Stats.Converged ? 0 : 1;
+  }
+  if (Domain == "mdp") {
+    MdpDomain Dom;
+    SolverOptions Opts;
+    Opts.WideningDelay = 10000;
+    auto Result = solve(Graph, Dom, Opts);
+    for (unsigned P = 0; P != Graph.numProcs(); ++P)
+      std::printf("%s(): greatest expected reward = %g\n",
+                  Prog->Procs[P].Name.c_str(),
+                  Result.Values[Graph.proc(P).Entry]);
+    if (Stats)
+      printStats(Result.Stats);
+    return Result.Stats.Converged ? 0 : 1;
+  }
+  if (Domain == "termination") {
+    TerminationDomain Dom;
+    auto Result = solve(Graph, Dom);
+    for (unsigned P = 0; P != Graph.numProcs(); ++P)
+      std::printf("%s(): P[termination] >= %.6f\n",
+                  Prog->Procs[P].Name.c_str(),
+                  Result.Values[Graph.proc(P).Entry]);
+    if (Stats)
+      printStats(Result.Stats);
+    return Result.Stats.Converged ? 0 : 1;
+  }
+  return usage(argv[0]);
+}
