@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bi.dir/bench_bi.cpp.o"
+  "CMakeFiles/bench_bi.dir/bench_bi.cpp.o.d"
+  "bench_bi"
+  "bench_bi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

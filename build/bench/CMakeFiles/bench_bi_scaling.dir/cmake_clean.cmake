@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bi_scaling.dir/bench_bi_scaling.cpp.o"
+  "CMakeFiles/bench_bi_scaling.dir/bench_bi_scaling.cpp.o.d"
+  "bench_bi_scaling"
+  "bench_bi_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bi_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

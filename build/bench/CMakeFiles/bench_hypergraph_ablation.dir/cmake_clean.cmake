@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hypergraph_ablation.dir/bench_hypergraph_ablation.cpp.o"
+  "CMakeFiles/bench_hypergraph_ablation.dir/bench_hypergraph_ablation.cpp.o.d"
+  "bench_hypergraph_ablation"
+  "bench_hypergraph_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hypergraph_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

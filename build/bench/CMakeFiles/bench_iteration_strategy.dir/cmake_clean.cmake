@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_iteration_strategy.dir/bench_iteration_strategy.cpp.o"
+  "CMakeFiles/bench_iteration_strategy.dir/bench_iteration_strategy.cpp.o.d"
+  "bench_iteration_strategy"
+  "bench_iteration_strategy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_iteration_strategy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

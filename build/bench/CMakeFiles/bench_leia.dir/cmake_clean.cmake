@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_leia.dir/bench_leia.cpp.o"
+  "CMakeFiles/bench_leia.dir/bench_leia.cpp.o.d"
+  "bench_leia"
+  "bench_leia.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_leia.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mdp.dir/bench_mdp.cpp.o"
+  "CMakeFiles/bench_mdp.dir/bench_mdp.cpp.o.d"
+  "bench_mdp"
+  "bench_mdp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mdp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

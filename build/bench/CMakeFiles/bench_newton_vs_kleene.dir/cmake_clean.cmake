@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_newton_vs_kleene.dir/bench_newton_vs_kleene.cpp.o"
+  "CMakeFiles/bench_newton_vs_kleene.dir/bench_newton_vs_kleene.cpp.o.d"
+  "bench_newton_vs_kleene"
+  "bench_newton_vs_kleene.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_newton_vs_kleene.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

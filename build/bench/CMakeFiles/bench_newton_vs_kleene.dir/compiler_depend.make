@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_newton_vs_kleene.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_newton_vs_kleene.
+# This may be replaced when dependencies are built.

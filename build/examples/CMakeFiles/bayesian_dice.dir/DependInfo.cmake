@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/bayesian_dice.cpp" "examples/CMakeFiles/bayesian_dice.dir/bayesian_dice.cpp.o" "gcc" "examples/CMakeFiles/bayesian_dice.dir/bayesian_dice.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/domains/CMakeFiles/pmaf_domains.dir/DependInfo.cmake"
+  "/root/repo/build/src/add/CMakeFiles/pmaf_add.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/pmaf_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/pmaf_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/pmaf_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/poly/CMakeFiles/pmaf_poly.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pmaf_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bayesian_dice.dir/bayesian_dice.cpp.o"
+  "CMakeFiles/bayesian_dice.dir/bayesian_dice.cpp.o.d"
+  "bayesian_dice"
+  "bayesian_dice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bayesian_dice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bayesian_dice.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_domain.dir/custom_domain.cpp.o"
+  "CMakeFiles/custom_domain.dir/custom_domain.cpp.o.d"
+  "custom_domain"
+  "custom_domain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_domain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdp_rewards.dir/mdp_rewards.cpp.o"
+  "CMakeFiles/mdp_rewards.dir/mdp_rewards.cpp.o.d"
+  "mdp_rewards"
+  "mdp_rewards.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdp_rewards.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

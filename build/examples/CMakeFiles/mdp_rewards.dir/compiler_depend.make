@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mdp_rewards.
+# This may be replaced when dependencies are built.

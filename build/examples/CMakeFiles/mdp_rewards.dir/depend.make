@@ -1,0 +1,2 @@
+# Empty dependencies file for mdp_rewards.
+# This may be replaced when dependencies are built.

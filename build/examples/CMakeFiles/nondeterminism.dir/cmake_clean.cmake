@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nondeterminism.dir/nondeterminism.cpp.o"
+  "CMakeFiles/nondeterminism.dir/nondeterminism.cpp.o.d"
+  "nondeterminism"
+  "nondeterminism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nondeterminism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

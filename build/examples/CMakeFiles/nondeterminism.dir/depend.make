@@ -1,0 +1,2 @@
+# Empty dependencies file for nondeterminism.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/signed_walk.dir/signed_walk.cpp.o"
+  "CMakeFiles/signed_walk.dir/signed_walk.cpp.o.d"
+  "signed_walk"
+  "signed_walk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/signed_walk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

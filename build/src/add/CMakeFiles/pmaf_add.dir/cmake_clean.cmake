@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmaf_add.dir/Add.cpp.o"
+  "CMakeFiles/pmaf_add.dir/Add.cpp.o.d"
+  "libpmaf_add.a"
+  "libpmaf_add.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmaf_add.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmaf_baselines.dir/ClaretForward.cpp.o"
+  "CMakeFiles/pmaf_baselines.dir/ClaretForward.cpp.o.d"
+  "CMakeFiles/pmaf_baselines.dir/PolySystem.cpp.o"
+  "CMakeFiles/pmaf_baselines.dir/PolySystem.cpp.o.d"
+  "libpmaf_baselines.a"
+  "libpmaf_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmaf_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmaf_benchmarks.dir/Programs.cpp.o"
+  "CMakeFiles/pmaf_benchmarks.dir/Programs.cpp.o.d"
+  "libpmaf_benchmarks.a"
+  "libpmaf_benchmarks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmaf_benchmarks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

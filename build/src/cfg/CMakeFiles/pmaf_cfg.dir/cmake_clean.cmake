@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmaf_cfg.dir/Lowering.cpp.o"
+  "CMakeFiles/pmaf_cfg.dir/Lowering.cpp.o.d"
+  "CMakeFiles/pmaf_cfg.dir/Wto.cpp.o"
+  "CMakeFiles/pmaf_cfg.dir/Wto.cpp.o.d"
+  "libpmaf_cfg.a"
+  "libpmaf_cfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmaf_cfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

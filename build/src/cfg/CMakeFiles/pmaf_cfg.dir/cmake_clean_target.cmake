@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpmaf_cfg.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmaf_concrete.dir/Interpreter.cpp.o"
+  "CMakeFiles/pmaf_concrete.dir/Interpreter.cpp.o.d"
+  "libpmaf_concrete.a"
+  "libpmaf_concrete.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmaf_concrete.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

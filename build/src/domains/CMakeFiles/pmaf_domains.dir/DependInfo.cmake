@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/domains/AddBiDomain.cpp" "src/domains/CMakeFiles/pmaf_domains.dir/AddBiDomain.cpp.o" "gcc" "src/domains/CMakeFiles/pmaf_domains.dir/AddBiDomain.cpp.o.d"
+  "/root/repo/src/domains/BiDomain.cpp" "src/domains/CMakeFiles/pmaf_domains.dir/BiDomain.cpp.o" "gcc" "src/domains/CMakeFiles/pmaf_domains.dir/BiDomain.cpp.o.d"
+  "/root/repo/src/domains/BoolStateSpace.cpp" "src/domains/CMakeFiles/pmaf_domains.dir/BoolStateSpace.cpp.o" "gcc" "src/domains/CMakeFiles/pmaf_domains.dir/BoolStateSpace.cpp.o.d"
+  "/root/repo/src/domains/LeiaDomain.cpp" "src/domains/CMakeFiles/pmaf_domains.dir/LeiaDomain.cpp.o" "gcc" "src/domains/CMakeFiles/pmaf_domains.dir/LeiaDomain.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/add/CMakeFiles/pmaf_add.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/pmaf_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/poly/CMakeFiles/pmaf_poly.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/pmaf_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/pmaf_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pmaf_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmaf_domains.dir/AddBiDomain.cpp.o"
+  "CMakeFiles/pmaf_domains.dir/AddBiDomain.cpp.o.d"
+  "CMakeFiles/pmaf_domains.dir/BiDomain.cpp.o"
+  "CMakeFiles/pmaf_domains.dir/BiDomain.cpp.o.d"
+  "CMakeFiles/pmaf_domains.dir/BoolStateSpace.cpp.o"
+  "CMakeFiles/pmaf_domains.dir/BoolStateSpace.cpp.o.d"
+  "CMakeFiles/pmaf_domains.dir/LeiaDomain.cpp.o"
+  "CMakeFiles/pmaf_domains.dir/LeiaDomain.cpp.o.d"
+  "libpmaf_domains.a"
+  "libpmaf_domains.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmaf_domains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

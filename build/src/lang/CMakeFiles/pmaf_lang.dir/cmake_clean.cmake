@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmaf_lang.dir/Ast.cpp.o"
+  "CMakeFiles/pmaf_lang.dir/Ast.cpp.o.d"
+  "CMakeFiles/pmaf_lang.dir/Lexer.cpp.o"
+  "CMakeFiles/pmaf_lang.dir/Lexer.cpp.o.d"
+  "CMakeFiles/pmaf_lang.dir/Parser.cpp.o"
+  "CMakeFiles/pmaf_lang.dir/Parser.cpp.o.d"
+  "CMakeFiles/pmaf_lang.dir/PosNegDecompose.cpp.o"
+  "CMakeFiles/pmaf_lang.dir/PosNegDecompose.cpp.o.d"
+  "libpmaf_lang.a"
+  "libpmaf_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmaf_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

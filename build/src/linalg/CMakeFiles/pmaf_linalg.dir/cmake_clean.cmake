@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmaf_linalg.dir/Matrix.cpp.o"
+  "CMakeFiles/pmaf_linalg.dir/Matrix.cpp.o.d"
+  "libpmaf_linalg.a"
+  "libpmaf_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmaf_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

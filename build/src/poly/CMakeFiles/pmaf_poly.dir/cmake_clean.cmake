@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmaf_poly.dir/LinearExpr.cpp.o"
+  "CMakeFiles/pmaf_poly.dir/LinearExpr.cpp.o.d"
+  "CMakeFiles/pmaf_poly.dir/Polyhedron.cpp.o"
+  "CMakeFiles/pmaf_poly.dir/Polyhedron.cpp.o.d"
+  "libpmaf_poly.a"
+  "libpmaf_poly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmaf_poly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmaf_support.dir/BigInt.cpp.o"
+  "CMakeFiles/pmaf_support.dir/BigInt.cpp.o.d"
+  "CMakeFiles/pmaf_support.dir/Rational.cpp.o"
+  "CMakeFiles/pmaf_support.dir/Rational.cpp.o.d"
+  "libpmaf_support.a"
+  "libpmaf_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmaf_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "AddTest"
+  "AddTest.pdb"
+  "AddTest[1]_tests.cmake"
+  "CMakeFiles/AddTest.dir/AddTest.cpp.o"
+  "CMakeFiles/AddTest.dir/AddTest.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/AddTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for AddTest.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "BaselinesTest"
+  "BaselinesTest.pdb"
+  "BaselinesTest[1]_tests.cmake"
+  "CMakeFiles/BaselinesTest.dir/BaselinesTest.cpp.o"
+  "CMakeFiles/BaselinesTest.dir/BaselinesTest.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/BaselinesTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "BenchmarksTest"
+  "BenchmarksTest.pdb"
+  "BenchmarksTest[1]_tests.cmake"
+  "CMakeFiles/BenchmarksTest.dir/BenchmarksTest.cpp.o"
+  "CMakeFiles/BenchmarksTest.dir/BenchmarksTest.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/BenchmarksTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "BiDomainTest"
+  "BiDomainTest.pdb"
+  "BiDomainTest[1]_tests.cmake"
+  "CMakeFiles/BiDomainTest.dir/BiDomainTest.cpp.o"
+  "CMakeFiles/BiDomainTest.dir/BiDomainTest.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/BiDomainTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/CfgTest.dir/CfgTest.cpp.o"
+  "CMakeFiles/CfgTest.dir/CfgTest.cpp.o.d"
+  "CfgTest"
+  "CfgTest.pdb"
+  "CfgTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/CfgTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ConcreteTest.dir/ConcreteTest.cpp.o"
+  "CMakeFiles/ConcreteTest.dir/ConcreteTest.cpp.o.d"
+  "ConcreteTest"
+  "ConcreteTest.pdb"
+  "ConcreteTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ConcreteTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

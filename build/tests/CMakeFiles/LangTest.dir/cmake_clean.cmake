@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/LangTest.dir/LangTest.cpp.o"
+  "CMakeFiles/LangTest.dir/LangTest.cpp.o.d"
+  "LangTest"
+  "LangTest.pdb"
+  "LangTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/LangTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

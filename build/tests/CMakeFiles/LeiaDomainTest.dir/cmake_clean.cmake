@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/LeiaDomainTest.dir/LeiaDomainTest.cpp.o"
+  "CMakeFiles/LeiaDomainTest.dir/LeiaDomainTest.cpp.o.d"
+  "LeiaDomainTest"
+  "LeiaDomainTest.pdb"
+  "LeiaDomainTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/LeiaDomainTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/MdpDomainTest.dir/MdpDomainTest.cpp.o"
+  "CMakeFiles/MdpDomainTest.dir/MdpDomainTest.cpp.o.d"
+  "MdpDomainTest"
+  "MdpDomainTest.pdb"
+  "MdpDomainTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/MdpDomainTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

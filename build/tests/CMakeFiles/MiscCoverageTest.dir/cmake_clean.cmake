@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/MiscCoverageTest.dir/MiscCoverageTest.cpp.o"
+  "CMakeFiles/MiscCoverageTest.dir/MiscCoverageTest.cpp.o.d"
+  "MiscCoverageTest"
+  "MiscCoverageTest.pdb"
+  "MiscCoverageTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/MiscCoverageTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for MiscCoverageTest.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/PmaLawsTest.dir/PmaLawsTest.cpp.o"
+  "CMakeFiles/PmaLawsTest.dir/PmaLawsTest.cpp.o.d"
+  "PmaLawsTest"
+  "PmaLawsTest.pdb"
+  "PmaLawsTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/PmaLawsTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/PolyhedronTest.dir/PolyhedronTest.cpp.o"
+  "CMakeFiles/PolyhedronTest.dir/PolyhedronTest.cpp.o.d"
+  "PolyhedronTest"
+  "PolyhedronTest.pdb"
+  "PolyhedronTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/PolyhedronTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

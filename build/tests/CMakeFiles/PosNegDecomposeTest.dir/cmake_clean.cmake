@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/PosNegDecomposeTest.dir/PosNegDecomposeTest.cpp.o"
+  "CMakeFiles/PosNegDecomposeTest.dir/PosNegDecomposeTest.cpp.o.d"
+  "PosNegDecomposeTest"
+  "PosNegDecomposeTest.pdb"
+  "PosNegDecomposeTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/PosNegDecomposeTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

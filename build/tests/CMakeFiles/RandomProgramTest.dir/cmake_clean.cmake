@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/RandomProgramTest.dir/RandomProgramTest.cpp.o"
+  "CMakeFiles/RandomProgramTest.dir/RandomProgramTest.cpp.o.d"
+  "RandomProgramTest"
+  "RandomProgramTest.pdb"
+  "RandomProgramTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/RandomProgramTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

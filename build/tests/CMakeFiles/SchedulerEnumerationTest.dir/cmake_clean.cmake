@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/SchedulerEnumerationTest.dir/SchedulerEnumerationTest.cpp.o"
+  "CMakeFiles/SchedulerEnumerationTest.dir/SchedulerEnumerationTest.cpp.o.d"
+  "SchedulerEnumerationTest"
+  "SchedulerEnumerationTest.pdb"
+  "SchedulerEnumerationTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/SchedulerEnumerationTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for SchedulerEnumerationTest.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/SchedulerSoundnessTest.dir/SchedulerSoundnessTest.cpp.o"
+  "CMakeFiles/SchedulerSoundnessTest.dir/SchedulerSoundnessTest.cpp.o.d"
+  "SchedulerSoundnessTest"
+  "SchedulerSoundnessTest.pdb"
+  "SchedulerSoundnessTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/SchedulerSoundnessTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

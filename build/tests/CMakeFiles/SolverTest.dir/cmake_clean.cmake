@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/SolverTest.dir/SolverTest.cpp.o"
+  "CMakeFiles/SolverTest.dir/SolverTest.cpp.o.d"
+  "SolverTest"
+  "SolverTest.pdb"
+  "SolverTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/SolverTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

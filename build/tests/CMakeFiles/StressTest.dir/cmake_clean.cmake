@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/StressTest.dir/StressTest.cpp.o"
+  "CMakeFiles/StressTest.dir/StressTest.cpp.o.d"
+  "StressTest"
+  "StressTest.pdb"
+  "StressTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/StressTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/SupportTest.dir/SupportTest.cpp.o"
+  "CMakeFiles/SupportTest.dir/SupportTest.cpp.o.d"
+  "SupportTest"
+  "SupportTest.pdb"
+  "SupportTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/SupportTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

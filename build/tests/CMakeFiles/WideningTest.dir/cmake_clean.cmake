@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/WideningTest.dir/WideningTest.cpp.o"
+  "CMakeFiles/WideningTest.dir/WideningTest.cpp.o.d"
+  "WideningTest"
+  "WideningTest.pdb"
+  "WideningTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/WideningTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

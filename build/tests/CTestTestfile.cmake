@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/SupportTest[1]_include.cmake")
+include("/root/repo/build/tests/LinalgTest[1]_include.cmake")
+include("/root/repo/build/tests/LangTest[1]_include.cmake")
+include("/root/repo/build/tests/CfgTest[1]_include.cmake")
+include("/root/repo/build/tests/SolverTest[1]_include.cmake")
+include("/root/repo/build/tests/MdpDomainTest[1]_include.cmake")
+include("/root/repo/build/tests/BiDomainTest[1]_include.cmake")
+include("/root/repo/build/tests/ConcreteTest[1]_include.cmake")
+include("/root/repo/build/tests/PolyhedronTest[1]_include.cmake")
+include("/root/repo/build/tests/LeiaDomainTest[1]_include.cmake")
+include("/root/repo/build/tests/BaselinesTest[1]_include.cmake")
+include("/root/repo/build/tests/PmaLawsTest[1]_include.cmake")
+include("/root/repo/build/tests/RandomProgramTest[1]_include.cmake")
+include("/root/repo/build/tests/AddTest[1]_include.cmake")
+include("/root/repo/build/tests/WideningTest[1]_include.cmake")
+include("/root/repo/build/tests/PosNegDecomposeTest[1]_include.cmake")
+include("/root/repo/build/tests/StressTest[1]_include.cmake")
+include("/root/repo/build/tests/BenchmarksTest[1]_include.cmake")
+include("/root/repo/build/tests/SchedulerSoundnessTest[1]_include.cmake")
+include("/root/repo/build/tests/SchedulerEnumerationTest[1]_include.cmake")
+include("/root/repo/build/tests/MiscCoverageTest[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmaf_cli.dir/pmaf.cpp.o"
+  "CMakeFiles/pmaf_cli.dir/pmaf.cpp.o.d"
+  "pmaf"
+  "pmaf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmaf_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
