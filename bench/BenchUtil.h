@@ -9,6 +9,11 @@
 /// binaries. Timing follows §6.2: each analysis is run 5 times and the 20%
 /// trimmed mean is reported (drop min and max, average the middle three).
 ///
+/// Binaries that opt in (pass argv through extractJsonPath) also accept
+/// `--json=<path>` and emit one record per benchmark — name, trimmed-mean
+/// seconds, and the instrumentation counters — so successive PRs can
+/// record BENCH_*.json trajectory points.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PMAF_BENCH_BENCHUTIL_H
@@ -16,7 +21,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -48,6 +55,79 @@ inline void printRule(int Width) {
     std::fputc('-', stdout);
   std::fputc('\n', stdout);
 }
+
+/// One benchmark measurement destined for the JSON trajectory file.
+struct BenchRecord {
+  std::string Name;
+  /// 20%-trimmed-mean analysis time.
+  double Seconds = 0.0;
+  /// Solver instrumentation counters for one representative analysis.
+  uint64_t NodeUpdates = 0;
+  uint64_t Widenings = 0;
+  uint64_t InterpretCalls = 0;
+  uint64_t InterpretCacheHits = 0;
+};
+
+/// Removes `--json=<path>` from argv (so google-benchmark never sees it)
+/// and returns the path, or "" when absent.
+inline std::string extractJsonPath(int &Argc, char **Argv) {
+  std::string Path;
+  int Out = 1;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strncmp(Argv[I], "--json=", 7) == 0)
+      Path = Argv[I] + 7;
+    else
+      Argv[Out++] = Argv[I];
+  }
+  Argc = Out;
+  return Path;
+}
+
+/// Collects BenchRecords and writes them as a JSON array of objects.
+class JsonEmitter {
+public:
+  void add(BenchRecord Record) { Records.push_back(std::move(Record)); }
+
+  /// Writes the collected records to \p Path; returns false on I/O error.
+  /// No-op (returns true) when \p Path is empty.
+  bool writeTo(const std::string &Path) const {
+    if (Path.empty())
+      return true;
+    std::FILE *Out = std::fopen(Path.c_str(), "w");
+    if (!Out)
+      return false;
+    std::fputs("[\n", Out);
+    for (size_t I = 0; I != Records.size(); ++I) {
+      const BenchRecord &R = Records[I];
+      std::fprintf(
+          Out,
+          "  {\"name\": \"%s\", \"seconds\": %.9f, \"node_updates\": %llu, "
+          "\"widenings\": %llu, \"interpret_calls\": %llu, "
+          "\"interpret_cache_hits\": %llu}%s\n",
+          escape(R.Name).c_str(), R.Seconds,
+          static_cast<unsigned long long>(R.NodeUpdates),
+          static_cast<unsigned long long>(R.Widenings),
+          static_cast<unsigned long long>(R.InterpretCalls),
+          static_cast<unsigned long long>(R.InterpretCacheHits),
+          I + 1 == Records.size() ? "" : ",");
+    }
+    std::fputs("]\n", Out);
+    return std::fclose(Out) == 0;
+  }
+
+private:
+  static std::string escape(const std::string &S) {
+    std::string Out;
+    for (char C : S) {
+      if (C == '"' || C == '\\')
+        Out += '\\';
+      Out += C;
+    }
+    return Out;
+  }
+
+  std::vector<BenchRecord> Records;
+};
 
 } // namespace bench
 } // namespace pmaf

@@ -3,15 +3,17 @@
 // The framework advertises that it supplies "efficient iteration
 // strategies with widenings" (§1): the solver follows Bourdoncle's
 // recursive strategy over the weak topological order. This ablation
-// compares it against a naive round-robin sweep on the benchmark
-// programs, counting node updates and time — same results, different
-// work.
+// compares it against the other two schedulers of core/Schedule.h — a
+// naive round-robin sweep and the dependency-driven worklist — on the
+// benchmark programs, counting node updates via the instrumentation
+// layer. Same fixpoints (tests/SchedulerParityTest.cpp), different work.
 //
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
 #include "benchmarks/Programs.h"
 #include "cfg/HyperGraph.h"
+#include "core/Instrumentation.h"
 #include "core/Solver.h"
 #include "domains/BiDomain.h"
 #include "domains/MdpDomain.h"
@@ -26,21 +28,46 @@ using namespace pmaf::domains;
 namespace {
 
 template <PreMarkovAlgebra D>
-SolverStats runWith(const cfg::ProgramGraph &Graph, D &Dom,
-                    IterationStrategy Strategy, SolverOptions Base) {
+SolverInstrumentation runWith(const cfg::ProgramGraph &Graph, D &Dom,
+                              IterationStrategy Strategy,
+                              SolverOptions Base) {
+  SolverInstrumentation Counters;
   Base.Strategy = Strategy;
-  return solve(Graph, Dom, Base).Stats;
+  solve(Graph, Dom, Base, &Counters);
+  return Counters;
+}
+
+template <PreMarkovAlgebra D>
+void printRow(const char *Program, const char *Domain,
+              const cfg::ProgramGraph &Graph, D &Dom,
+              const SolverOptions &Opts) {
+  SolverInstrumentation Wto =
+      runWith(Graph, Dom, IterationStrategy::WtoRecursive, Opts);
+  SolverInstrumentation RoundRobin =
+      runWith(Graph, Dom, IterationStrategy::RoundRobin, Opts);
+  SolverInstrumentation Worklist =
+      runWith(Graph, Dom, IterationStrategy::Worklist, Opts);
+  std::printf("%-18s %-6s | %10llu | %10llu | %10llu | %6.2fx | %6.2fx\n",
+              Program, Domain,
+              static_cast<unsigned long long>(Wto.NodeUpdates),
+              static_cast<unsigned long long>(RoundRobin.NodeUpdates),
+              static_cast<unsigned long long>(Worklist.NodeUpdates),
+              static_cast<double>(RoundRobin.NodeUpdates) /
+                  static_cast<double>(Wto.NodeUpdates),
+              static_cast<double>(Worklist.NodeUpdates) /
+                  static_cast<double>(Wto.NodeUpdates));
 }
 
 } // namespace
 
 int main(int argc, char **argv) {
   std::printf("Iteration-strategy ablation: Bourdoncle WTO-recursive vs "
-              "naive round-robin\n");
-  bench::printRule(78);
-  std::printf("%-18s %-6s | %12s | %12s | %7s\n", "program", "domain",
-              "WTO updates", "RR updates", "ratio");
-  bench::printRule(78);
+              "round-robin vs worklist\n");
+  bench::printRule(86);
+  std::printf("%-18s %-6s | %10s | %10s | %10s | %7s | %7s\n", "program",
+              "domain", "WTO upd", "RR upd", "WL upd", "RR/WTO",
+              "WL/WTO");
+  bench::printRule(86);
 
   for (const auto &Bench : benchmarks::biPrograms()) {
     auto Prog = lang::parseProgramOrDie(Bench.Source);
@@ -49,16 +76,7 @@ int main(int argc, char **argv) {
     BiDomain Dom(Space);
     SolverOptions Opts;
     Opts.UseWidening = false;
-    SolverStats Wto =
-        runWith(Graph, Dom, IterationStrategy::WtoRecursive, Opts);
-    SolverStats RoundRobin =
-        runWith(Graph, Dom, IterationStrategy::RoundRobin, Opts);
-    std::printf("%-18s %-6s | %12llu | %12llu | %6.2fx\n", Bench.Name,
-                "BI",
-                static_cast<unsigned long long>(Wto.NodeUpdates),
-                static_cast<unsigned long long>(RoundRobin.NodeUpdates),
-                static_cast<double>(RoundRobin.NodeUpdates) /
-                    static_cast<double>(Wto.NodeUpdates));
+    printRow(Bench.Name, "BI", Graph, Dom, Opts);
   }
   for (const auto &Bench : benchmarks::mdpPrograms()) {
     auto Prog = lang::parseProgramOrDie(Bench.Source);
@@ -66,18 +84,9 @@ int main(int argc, char **argv) {
     MdpDomain Dom;
     SolverOptions Opts;
     Opts.WideningDelay = 10000;
-    SolverStats Wto =
-        runWith(Graph, Dom, IterationStrategy::WtoRecursive, Opts);
-    SolverStats RoundRobin =
-        runWith(Graph, Dom, IterationStrategy::RoundRobin, Opts);
-    std::printf("%-18s %-6s | %12llu | %12llu | %6.2fx\n", Bench.Name,
-                "MDP",
-                static_cast<unsigned long long>(Wto.NodeUpdates),
-                static_cast<unsigned long long>(RoundRobin.NodeUpdates),
-                static_cast<double>(RoundRobin.NodeUpdates) /
-                    static_cast<double>(Wto.NodeUpdates));
+    printRow(Bench.Name, "MDP", Graph, Dom, Opts);
   }
-  bench::printRule(78);
+  bench::printRule(86);
   std::printf("\n");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -46,6 +46,8 @@ void registerTimingBenchmarks() {
 } // namespace
 
 int main(int argc, char **argv) {
+  std::string JsonPath = bench::extractJsonPath(argc, argv);
+  bench::JsonEmitter Json;
   std::printf("Table 1: linear expectation-invariant analysis (§5.3)\n");
   bench::printRule(78);
   std::printf("%-14s %5s %4s %6s %9s  %s\n", "program", "#loc", "rec",
@@ -57,6 +59,10 @@ int main(int argc, char **argv) {
     AnalysisResult<LeiaValue> Result = analyzeOnce(Graph, *Prog);
     double Seconds =
         bench::timedTrimmedMean([&] { analyzeOnce(Graph, *Prog); });
+    Json.add({Bench.Name, Seconds, Result.Stats.NodeUpdates,
+              Result.Stats.WideningApplications,
+              Result.Stats.InterpretCalls,
+              Result.Stats.InterpretCacheHits});
     LeiaDomain Dom(*Prog);
     unsigned Entry = Graph.proc(Prog->findProc("main")).Entry;
     std::vector<std::string> Invariants =
@@ -77,6 +83,8 @@ int main(int argc, char **argv) {
   }
   bench::printRule(78);
   std::printf("\n");
+  if (!Json.writeTo(JsonPath))
+    std::fprintf(stderr, "warning: cannot write %s\n", JsonPath.c_str());
 
   registerTimingBenchmarks();
   benchmark::Initialize(&argc, argv);

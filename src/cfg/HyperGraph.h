@@ -119,6 +119,11 @@ public:
     return Index < 0 ? nullptr : &Edges[Index];
   }
 
+  /// \returns the index into edges() of \p Node's unique outgoing
+  /// hyper-edge, or -1 when \p Node is a procedure exit. Edge indices are
+  /// the keys of core::CompiledProgram's transformer cache.
+  int outgoingIndex(unsigned Node) const { return OutEdge[Node]; }
+
   const std::vector<HyperEdge> &edges() const { return Edges; }
 
   /// \returns the procedure containing \p Node.

@@ -115,3 +115,16 @@ std::string Wto::toString() const {
     elementToString(Element, Out);
   return Out;
 }
+
+std::vector<unsigned> Wto::positions() const {
+  std::vector<unsigned> Positions(WideningPoint.size(), 0);
+  unsigned Next = 0;
+  auto Assign = [&](const auto &Self, const WtoElement &Element) -> void {
+    Positions[Element.Node] = Next++;
+    for (const WtoElement &Child : Element.Body)
+      Self(Self, Child);
+  };
+  for (const WtoElement &Element : Elements)
+    Assign(Assign, Element);
+  return Positions;
+}

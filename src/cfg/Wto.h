@@ -46,6 +46,12 @@ struct Wto {
   static Wto compute(const std::vector<std::vector<unsigned>> &Successors,
                      const std::vector<unsigned> &Roots);
 
+  /// Positions[v] is v's index in the left-to-right linearization of the
+  /// order (components flattened in place). Priority key for worklist
+  /// iteration: processing dirty nodes in ascending position reproduces
+  /// the stabilization discipline of the recursive strategy.
+  std::vector<unsigned> positions() const;
+
   /// Renders e.g. "0 1 (2 3 (4 5)) 6" with components parenthesized.
   std::string toString() const;
 };

@@ -1,0 +1,140 @@
+//===- core/Instrumentation.h - Solver observation layer --------*- C++ -*-===//
+//
+// Part of the PMAF reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The instrumentation layer of the analysis engine: an observer interface
+/// for the events the solver and its sibling layers emit (node updates,
+/// widening applications, component stabilizations, interpret-cache
+/// traffic), plus a stock timing/counter implementation.
+///
+/// Observation is strictly passive — observers cannot influence the
+/// fixpoint computation — so any number of measurement harnesses (the CLI's
+/// `--stats`, the bench binaries' JSON emitters, future tracing backends)
+/// can share the single hook without touching the solver or the domains.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PMAF_CORE_INSTRUMENTATION_H
+#define PMAF_CORE_INSTRUMENTATION_H
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace pmaf {
+namespace core {
+
+/// Receiver for solver events. All callbacks default to no-ops so an
+/// observer only overrides what it measures. Node ids index the program
+/// hyper-graph; edge ids index ProgramGraph::edges().
+class SolverObserver {
+public:
+  virtual ~SolverObserver() = default;
+
+  /// An analysis over \p NumNodes nodes is starting.
+  virtual void onSolveBegin(unsigned NumNodes) { (void)NumNodes; }
+
+  /// The analysis finished; \p Converged is false iff the update budget
+  /// (SolverOptions::MaxUpdates) was exhausted first.
+  virtual void onSolveEnd(bool Converged) { (void)Converged; }
+
+  /// Node \p Node was re-evaluated; \p Changed iff its value moved.
+  virtual void onNodeUpdate(unsigned Node, bool Changed) {
+    (void)Node;
+    (void)Changed;
+  }
+
+  /// A widening operator was applied at widening point \p Node.
+  virtual void onWidening(unsigned Node) { (void)Node; }
+
+  /// The WTO component headed by \p Head stabilized after \p Passes
+  /// passes over its body (recursive scheduler only).
+  virtual void onComponentStabilized(unsigned Head, unsigned Passes) {
+    (void)Head;
+    (void)Passes;
+  }
+
+  /// The transformer of `seq` edge \p EdgeIndex was requested; \p CacheHit
+  /// is false exactly when Dom.interpret ran (at most once per edge per
+  /// compiled program — the interpret-cache invariant).
+  virtual void onInterpret(unsigned EdgeIndex, bool CacheHit) {
+    (void)EdgeIndex;
+    (void)CacheHit;
+  }
+};
+
+/// The stock timing/counter observer: tallies every event and the
+/// wall-clock time between onSolveBegin and onSolveEnd. Counters
+/// accumulate across solves; reset() starts a fresh measurement.
+class SolverInstrumentation : public SolverObserver {
+public:
+  uint64_t Solves = 0;
+  uint64_t NodeUpdates = 0;
+  uint64_t ValueChanges = 0;
+  uint64_t WideningApplications = 0;
+  uint64_t ComponentStabilizations = 0;
+  uint64_t InterpretCalls = 0;
+  uint64_t InterpretCacheHits = 0;
+  double SolveSeconds = 0.0;
+  bool LastConverged = true;
+
+  void onSolveBegin(unsigned) override {
+    Start = std::chrono::steady_clock::now();
+  }
+  void onSolveEnd(bool Converged) override {
+    SolveSeconds += std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - Start)
+                        .count();
+    ++Solves;
+    LastConverged = Converged;
+  }
+  void onNodeUpdate(unsigned, bool Changed) override {
+    ++NodeUpdates;
+    ValueChanges += Changed;
+  }
+  void onWidening(unsigned) override { ++WideningApplications; }
+  void onComponentStabilized(unsigned, unsigned) override {
+    ++ComponentStabilizations;
+  }
+  void onInterpret(unsigned, bool CacheHit) override {
+    if (CacheHit)
+      ++InterpretCacheHits;
+    else
+      ++InterpretCalls;
+  }
+
+  void reset() { *this = SolverInstrumentation(); }
+
+  /// Multi-line human-readable dump (the CLI's `--stats` body).
+  std::string report() const {
+    char Buffer[512];
+    std::snprintf(
+        Buffer, sizeof(Buffer),
+        "; solver: %llu updates (%llu changed), %llu widenings, "
+        "%llu components stabilized, converged=%s\n"
+        "; interpret cache: %llu misses (= distinct seq edges evaluated), "
+        "%llu hits\n"
+        "; wall clock: %.6f s over %llu solve(s)\n",
+        static_cast<unsigned long long>(NodeUpdates),
+        static_cast<unsigned long long>(ValueChanges),
+        static_cast<unsigned long long>(WideningApplications),
+        static_cast<unsigned long long>(ComponentStabilizations),
+        LastConverged ? "yes" : "NO",
+        static_cast<unsigned long long>(InterpretCalls),
+        static_cast<unsigned long long>(InterpretCacheHits), SolveSeconds,
+        static_cast<unsigned long long>(Solves));
+    return Buffer;
+  }
+
+private:
+  std::chrono::steady_clock::time_point Start;
+};
+
+} // namespace core
+} // namespace pmaf
+
+#endif // PMAF_CORE_INSTRUMENTATION_H

@@ -16,11 +16,22 @@
 ///   S(v) ⊒ S(entry_i) ⊗ S(u1)          (call[i] edge <v,u1>)
 ///   S(v) ⊒ 1                           (v an exit node)
 ///
-/// by chaotic iteration following Bourdoncle's recursive strategy over the
-/// weak topological order of the dependence graph (Eqn 2). At widening
-/// points the solver applies one of three widening operators chosen by the
-/// control action of the node's unique outgoing hyper-edge (§4.4), which
-/// maintains the invariant of Obs 4.9 (old ⊑ new at every `old ∇ new`).
+/// by chaotic iteration. solve() is a thin facade over the three layers of
+/// the analysis engine:
+///
+///   * core/CompiledProgram.h — the invariant per-analysis artifact:
+///     cached `seq`-edge transformers (one Dom.interpret per edge),
+///     right-hand-side evaluation, dependence structure;
+///   * core/Schedule.h — pluggable iteration strategies (WTO-recursive,
+///     round-robin, dependency-driven worklist) behind a domain-free
+///     Scheduler interface;
+///   * core/Instrumentation.h — passive observers of solver events.
+///
+/// The facade itself owns what is neither program structure nor iteration
+/// order: the value vector, widening (at widening points the operator is
+/// chosen by the control action of the node's unique outgoing hyper-edge,
+/// §4.4, which maintains the invariant of Obs 4.9 — old ⊑ new at every
+/// `old ∇ new`), convergence accounting, and the update budget.
 ///
 /// The value computed at a procedure's entry node is that procedure's
 /// summary (§2.3).
@@ -32,24 +43,16 @@
 
 #include "cfg/HyperGraph.h"
 #include "cfg/Wto.h"
+#include "core/CompiledProgram.h"
 #include "core/Domain.h"
+#include "core/Instrumentation.h"
+#include "core/Schedule.h"
 
 #include <cstdint>
 #include <vector>
 
 namespace pmaf {
 namespace core {
-
-/// Chaotic-iteration strategies.
-enum class IterationStrategy {
-  /// Bourdoncle's recursive strategy over the WTO (the paper's choice:
-  /// "efficient iteration strategies with widenings").
-  WtoRecursive,
-  /// Naive round-robin sweeps over all nodes until stable (ablation
-  /// baseline; widening points still come from the WTO so termination is
-  /// unaffected).
-  RoundRobin,
-};
 
 /// Tuning knobs for the solver.
 struct SolverOptions {
@@ -70,10 +73,18 @@ struct SolverOptions {
   uint64_t MaxUpdates = 5'000'000;
 };
 
-/// Counters reported by the solver.
+/// Counters reported by the solver (a built-in summary; richer event
+/// streams go through the SolverObserver passed to solve()).
 struct SolverStats {
   uint64_t NodeUpdates = 0;
   uint64_t WideningApplications = 0;
+  /// Dom.interpret invocations during this solve. At most one per `seq`
+  /// edge — the interpret-cache invariant — and zero for every edge whose
+  /// transformer an earlier solve over the same CompiledProgram already
+  /// compiled.
+  uint64_t InterpretCalls = 0;
+  /// Transformer-cache hits during this solve.
+  uint64_t InterpretCacheHits = 0;
   bool Converged = true;
 };
 
@@ -84,14 +95,26 @@ template <typename ValueT> struct AnalysisResult {
   SolverStats Stats;
 };
 
-/// Solves the interprocedural equation system for \p Graph over \p Dom.
+/// Solves the inequality system for an already-compiled program. The
+/// compiled program's transformer cache survives the call, so repeated
+/// solves (e.g. timed re-analyses) interpret each `seq` edge exactly once
+/// overall. \p Observer, when non-null, receives every solver event.
 template <PreMarkovAlgebra D>
-AnalysisResult<typename D::Value> solve(const cfg::ProgramGraph &Graph,
-                                        D &Dom,
-                                        const SolverOptions &Opts = {}) {
+AnalysisResult<typename D::Value> solve(CompiledProgram<D> &Compiled,
+                                        const SolverOptions &Opts = {},
+                                        SolverObserver *Observer = nullptr) {
   using Value = typename D::Value;
 
+  const cfg::ProgramGraph &Graph = Compiled.graph();
+  D &Dom = Compiled.domain();
   const unsigned NumNodes = Graph.numNodes();
+
+  Compiled.setObserver(Observer);
+  const uint64_t InterpretCallsBefore = Compiled.interpretCalls();
+  const uint64_t InterpretHitsBefore = Compiled.interpretCacheHits();
+  if (Observer)
+    Observer->onSolveBegin(NumNodes);
+
   AnalysisResult<Value> Result;
   Result.Values.assign(NumNodes, Dom.bottom());
 
@@ -104,35 +127,9 @@ AnalysisResult<typename D::Value> solve(const cfg::ProgramGraph &Graph,
   std::vector<unsigned> Roots;
   for (unsigned P = 0; P != Graph.numProcs(); ++P)
     Roots.push_back(Graph.proc(P).Exit);
-  cfg::Wto Order =
-      cfg::Wto::compute(Graph.dependenceSuccessors(), Roots);
+  cfg::Wto Order = cfg::Wto::compute(Compiled.dependents(), Roots);
 
   std::vector<unsigned> UpdateCount(NumNodes, 0);
-
-  // Right-hand side of node V's inequality.
-  auto EvalRhs = [&](unsigned V) -> Value {
-    const cfg::HyperEdge *Edge = Graph.outgoing(V);
-    assert(Edge && "exit nodes are constant");
-    const std::vector<Value> &S = Result.Values;
-    switch (Edge->Ctrl.TheKind) {
-    case cfg::ControlAction::Kind::Seq:
-      return Dom.extend(Dom.interpret(Edge->Ctrl.DataAction),
-                        S[Edge->Dsts[0]]);
-    case cfg::ControlAction::Kind::Call:
-      return Dom.extend(S[Graph.proc(Edge->Ctrl.Callee).Entry],
-                        S[Edge->Dsts[0]]);
-    case cfg::ControlAction::Kind::Cond:
-      return Dom.condChoice(*Edge->Ctrl.Phi, S[Edge->Dsts[0]],
-                            S[Edge->Dsts[1]]);
-    case cfg::ControlAction::Kind::Prob:
-      return Dom.probChoice(Edge->Ctrl.Prob, S[Edge->Dsts[0]],
-                            S[Edge->Dsts[1]]);
-    case cfg::ControlAction::Kind::Ndet:
-      return Dom.ndetChoice(S[Edge->Dsts[0]], S[Edge->Dsts[1]]);
-    }
-    assert(false && "unknown control action");
-    return Dom.bottom();
-  };
 
   // Updates node V; returns true if its value changed.
   auto Update = [&](unsigned V) -> bool {
@@ -142,12 +139,14 @@ AnalysisResult<typename D::Value> solve(const cfg::ProgramGraph &Graph,
       Result.Stats.Converged = false;
       return false;
     }
-    Value New = EvalRhs(V);
+    Value New = Compiled.evalRhs(V, Result.Values);
     bool Widen = Opts.UseWidening && Order.WideningPoint[V] &&
                  UpdateCount[V] >= Opts.WideningDelay;
     ++UpdateCount[V];
     if (Widen) {
       ++Result.Stats.WideningApplications;
+      if (Observer)
+        Observer->onWidening(V);
       const Value &Old = Result.Values[V];
       if (Opts.UnifiedWidening) {
         New = Dom.widenNdet(Old, New);
@@ -174,51 +173,43 @@ AnalysisResult<typename D::Value> solve(const cfg::ProgramGraph &Graph,
         }
       }
     }
-    if (Dom.equal(Result.Values[V], New))
+    bool Changed = !Dom.equal(Result.Values[V], New);
+    if (Observer)
+      Observer->onNodeUpdate(V, Changed);
+    if (!Changed)
       return false;
     Result.Values[V] = std::move(New);
     return true;
   };
 
-  // Bourdoncle's recursive iteration strategy: a component is re-iterated
-  // until a full pass over it changes nothing; nested components are
-  // stabilized within each pass.
-  auto Stabilize = [&](const auto &Self,
-                       const cfg::WtoElement &Element) -> void {
-    if (!Element.IsComponent) {
-      Update(Element.Node);
-      return;
-    }
-    while (Result.Stats.Converged) {
-      bool Changed = Update(Element.Node);
-      for (const cfg::WtoElement &Child : Element.Body)
-        Self(Self, Child);
-      // All intra-component cycles pass through the head (or through
-      // nested components, which Self stabilized); once an extra head
-      // update is a no-op after a no-op pass, every inequality in the
-      // component is satisfied.
-      if (!Changed && !Update(Element.Node))
-        break;
-    }
-  };
+  ScheduleContext Ctx;
+  Ctx.NumNodes = NumNodes;
+  Ctx.Order = &Order;
+  Ctx.Dependents = &Compiled.dependents();
+  Ctx.Update = Update;
+  Ctx.Exhausted = [&Result] { return !Result.Stats.Converged; };
+  Ctx.Observer = Observer;
+  makeScheduler(Opts.Strategy)->run(Ctx);
 
-  switch (Opts.Strategy) {
-  case IterationStrategy::WtoRecursive:
-    for (const cfg::WtoElement &Element : Order.Elements)
-      Stabilize(Stabilize, Element);
-    break;
-  case IterationStrategy::RoundRobin:
-    while (Result.Stats.Converged) {
-      bool Changed = false;
-      for (unsigned V = 0; V != NumNodes; ++V)
-        Changed |= Update(V);
-      if (!Changed)
-        break;
-    }
-    break;
-  }
-
+  Result.Stats.InterpretCalls =
+      Compiled.interpretCalls() - InterpretCallsBefore;
+  Result.Stats.InterpretCacheHits =
+      Compiled.interpretCacheHits() - InterpretHitsBefore;
+  if (Observer)
+    Observer->onSolveEnd(Result.Stats.Converged);
   return Result;
+}
+
+/// Solves the interprocedural equation system for \p Graph over \p Dom
+/// (compiles the program first; use the CompiledProgram overload to reuse
+/// the transformer cache across solves).
+template <PreMarkovAlgebra D>
+AnalysisResult<typename D::Value> solve(const cfg::ProgramGraph &Graph,
+                                        D &Dom,
+                                        const SolverOptions &Opts = {},
+                                        SolverObserver *Observer = nullptr) {
+  CompiledProgram<D> Compiled(Graph, Dom, Observer);
+  return solve(Compiled, Opts, Observer);
 }
 
 } // namespace core

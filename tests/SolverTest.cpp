@@ -155,6 +155,85 @@ TEST(SolverTest, CallComposesSummaries) {
               0.25, 1e-9);
 }
 
+TEST(SolverTest, InterpretCacheCallsOncePerSeqEdge) {
+  // Two seq edges inside a loop: the old solver re-interpreted them on
+  // every pass; the compiled-program layer must interpret each exactly
+  // once and serve cache hits afterwards.
+  auto Prog = lang::parseProgramOrDie(R"(
+    proc main() { while prob(1/2) { skip; skip; } }
+  )");
+  cfg::ProgramGraph G = cfg::ProgramGraph::build(*Prog);
+  unsigned SeqEdges = 0;
+  for (const cfg::HyperEdge &E : G.edges())
+    SeqEdges += E.Ctrl.TheKind == cfg::ControlAction::Kind::Seq;
+  ReachDomain Dom;
+  auto Result = solve(G, Dom);
+  EXPECT_TRUE(Result.Stats.Converged);
+  EXPECT_LE(Result.Stats.InterpretCalls, SeqEdges);
+  EXPECT_GT(Result.Stats.InterpretCacheHits, 0u);
+}
+
+TEST(SolverTest, CompiledProgramReuseSkipsReinterpretation) {
+  auto Prog = lang::parseProgramOrDie(R"(
+    proc main() { while prob(1/2) { skip; } }
+  )");
+  cfg::ProgramGraph G = cfg::ProgramGraph::build(*Prog);
+  ReachDomain Dom;
+  CompiledProgram<ReachDomain> Compiled(G, Dom);
+  auto First = solve(Compiled);
+  EXPECT_GT(First.Stats.InterpretCalls, 0u);
+  auto Second = solve(Compiled);
+  EXPECT_EQ(Second.Stats.InterpretCalls, 0u); // All transformers cached.
+  EXPECT_EQ(Second.Values.size(), First.Values.size());
+  for (unsigned V = 0; V != First.Values.size(); ++V)
+    EXPECT_TRUE(Dom.equal(First.Values[V], Second.Values[V]));
+}
+
+TEST(SolverTest, ObserverSeesSolveLifecycleAndUpdates) {
+  auto Prog = lang::parseProgramOrDie(R"(
+    proc main() { while prob(1/2) { skip; } }
+  )");
+  cfg::ProgramGraph G = cfg::ProgramGraph::build(*Prog);
+  ReachDomain Dom;
+  SolverInstrumentation Counters;
+  auto Result = solve(G, Dom, SolverOptions{}, &Counters);
+  EXPECT_EQ(Counters.Solves, 1u);
+  EXPECT_TRUE(Counters.LastConverged);
+  EXPECT_EQ(Counters.NodeUpdates, Result.Stats.NodeUpdates);
+  EXPECT_EQ(Counters.WideningApplications,
+            Result.Stats.WideningApplications);
+  EXPECT_EQ(Counters.InterpretCalls, Result.Stats.InterpretCalls);
+  EXPECT_EQ(Counters.InterpretCacheHits, Result.Stats.InterpretCacheHits);
+  EXPECT_GT(Counters.ValueChanges, 0u);
+  EXPECT_GT(Counters.ComponentStabilizations, 0u); // The while loop.
+  EXPECT_GE(Counters.SolveSeconds, 0.0);
+  EXPECT_FALSE(Counters.report().empty());
+}
+
+TEST(SolverTest, WorklistSchedulerMatchesRecursiveOnRecursion) {
+  const char *Source = R"(
+    proc helper() { if prob(1/2) { helper(); } }
+    proc main() { helper(); helper(); }
+  )";
+  auto Prog = lang::parseProgramOrDie(Source);
+  cfg::ProgramGraph G = cfg::ProgramGraph::build(*Prog);
+  ReachDomain Dom;
+  SolverOptions Wto;
+  auto Reference = solve(G, Dom, Wto);
+  SolverOptions Wl;
+  Wl.Strategy = IterationStrategy::Worklist;
+  auto Result = solve(G, Dom, Wl);
+  EXPECT_TRUE(Result.Stats.Converged);
+  for (unsigned V = 0; V != Reference.Values.size(); ++V)
+    EXPECT_TRUE(Dom.equal(Reference.Values[V], Result.Values[V]));
+  // Dirty-node tracking should not do more work than a full-sweep
+  // round-robin on the same system.
+  SolverOptions Rr;
+  Rr.Strategy = IterationStrategy::RoundRobin;
+  auto RoundRobin = solve(G, Dom, Rr);
+  EXPECT_LE(Result.Stats.NodeUpdates, RoundRobin.Stats.NodeUpdates);
+}
+
 TEST(SolverTest, UnreachableProcedureStillAnalyzed) {
   auto Prog = lang::parseProgramOrDie(R"(
     proc dead() { while (true) { skip; } }

@@ -3,7 +3,8 @@
 // Analyze a probabilistic program from the command line:
 //
 //   pmaf <file.pp> [--domain=leia|bi|mdp|termination] [--decompose]
-//                  [--dot] [--stats]
+//                  [--dot] [--stats] [--strategy=wto|round-robin|worklist]
+//                  [--widening-delay=<n>] [--max-updates=<n>]
 //
 // With --domain=leia (default) prints the expectation invariants of every
 // procedure summary; bi prints the posterior from the all-false prior;
@@ -12,9 +13,17 @@
 // decomposition (§6.2) first, for programs with signed variables. --dot
 // prints the control-flow hyper-graphs in Graphviz syntax.
 //
+// The solver knobs map onto core::SolverOptions: --strategy selects the
+// chaotic-iteration scheduler (core/Schedule.h), --widening-delay the
+// number of plain updates before widening kicks in, and --max-updates the
+// node-update budget. --stats prints the instrumentation counters
+// (core/Instrumentation.h), including the interpret-cache traffic.
+//
 //===----------------------------------------------------------------------===//
 
 #include "cfg/HyperGraph.h"
+#include "core/Instrumentation.h"
+#include "core/Schedule.h"
 #include "core/Solver.h"
 #include "domains/BiDomain.h"
 #include "domains/LeiaDomain.h"
@@ -24,9 +33,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -73,23 +85,47 @@ public:
 int usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s <file.pp | -> [--domain=leia|bi|mdp|termination]"
-               " [--decompose] [--dot] [--stats]\n",
+               " [--decompose] [--dot] [--stats]"
+               " [--strategy=wto|round-robin|worklist]"
+               " [--widening-delay=<n>] [--max-updates=<n>]\n",
                Argv0);
   return 2;
 }
 
-void printStats(const SolverStats &Stats) {
-  std::printf("; solver: %llu updates, %llu widenings, converged=%s\n",
-              static_cast<unsigned long long>(Stats.NodeUpdates),
-              static_cast<unsigned long long>(Stats.WideningApplications),
-              Stats.Converged ? "yes" : "NO");
-}
+/// Solver knobs shared by every domain path; each path layers them over
+/// its own preset (e.g. BI disables widening).
+struct CliSolverConfig {
+  std::optional<IterationStrategy> Strategy;
+  std::optional<unsigned> WideningDelay;
+  std::optional<uint64_t> MaxUpdates;
+  bool Stats = false;
+
+  void apply(SolverOptions &Opts) const {
+    if (Strategy)
+      Opts.Strategy = *Strategy;
+    if (WideningDelay)
+      Opts.WideningDelay = *WideningDelay;
+    if (MaxUpdates)
+      Opts.MaxUpdates = *MaxUpdates;
+  }
+
+  void printReport(const SolverInstrumentation &Counters,
+                   const SolverOptions &Opts) const {
+    if (!Stats)
+      return;
+    std::printf("; strategy: %s, widening delay %u, max updates %llu\n",
+                core::toString(Opts.Strategy), Opts.WideningDelay,
+                static_cast<unsigned long long>(Opts.MaxUpdates));
+    std::printf("%s", Counters.report().c_str());
+  }
+};
 
 } // namespace
 
 int main(int argc, char **argv) {
   std::string Path, Domain = "leia";
-  bool Decompose = false, EmitDot = false, Stats = false;
+  bool Decompose = false, EmitDot = false;
+  CliSolverConfig Config;
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
     if (Arg.rfind("--domain=", 0) == 0)
@@ -99,7 +135,19 @@ int main(int argc, char **argv) {
     else if (Arg == "--dot")
       EmitDot = true;
     else if (Arg == "--stats")
-      Stats = true;
+      Config.Stats = true;
+    else if (Arg.rfind("--strategy=", 0) == 0) {
+      Config.Strategy = parseIterationStrategy(Arg.substr(11));
+      if (!Config.Strategy) {
+        std::fprintf(stderr, "error: unknown strategy %s\n",
+                     Arg.substr(11).c_str());
+        return usage(argv[0]);
+      }
+    } else if (Arg.rfind("--widening-delay=", 0) == 0)
+      Config.WideningDelay =
+          static_cast<unsigned>(std::strtoul(Arg.c_str() + 17, nullptr, 10));
+    else if (Arg.rfind("--max-updates=", 0) == 0)
+      Config.MaxUpdates = std::strtoull(Arg.c_str() + 14, nullptr, 10);
     else if (Arg[0] == '-' && Arg != "-")
       return usage(argv[0]);
     else
@@ -144,9 +192,12 @@ int main(int argc, char **argv) {
   if (EmitDot)
     std::printf("%s", Graph.toDot().c_str());
 
+  SolverInstrumentation Counters;
   if (Domain == "leia") {
     LeiaDomain Dom(*Prog);
-    auto Result = solve(Graph, Dom);
+    SolverOptions Opts;
+    Config.apply(Opts);
+    auto Result = solve(Graph, Dom, Opts, &Counters);
     for (unsigned P = 0; P != Graph.numProcs(); ++P) {
       std::printf("%s():\n", Prog->Procs[P].Name.c_str());
       auto Invariants =
@@ -156,8 +207,7 @@ int main(int argc, char **argv) {
       for (const std::string &Inv : Invariants)
         std::printf("  %s\n", Inv.c_str());
     }
-    if (Stats)
-      printStats(Result.Stats);
+    Config.printReport(Counters, Opts);
     return Result.Stats.Converged ? 0 : 1;
   }
   if (Domain == "bi") {
@@ -165,7 +215,8 @@ int main(int argc, char **argv) {
     BiDomain Dom(Space);
     SolverOptions Opts;
     Opts.UseWidening = false;
-    auto Result = solve(Graph, Dom, Opts);
+    Config.apply(Opts);
+    auto Result = solve(Graph, Dom, Opts, &Counters);
     std::vector<double> Prior(Space.numStates(), 0.0);
     Prior[0] = 1.0;
     for (unsigned P = 0; P != Graph.numProcs(); ++P) {
@@ -182,32 +233,32 @@ int main(int argc, char **argv) {
       }
       std::printf("  terminating mass: %.6f\n", Mass);
     }
-    if (Stats)
-      printStats(Result.Stats);
+    Config.printReport(Counters, Opts);
     return Result.Stats.Converged ? 0 : 1;
   }
   if (Domain == "mdp") {
     MdpDomain Dom;
     SolverOptions Opts;
     Opts.WideningDelay = 10000;
-    auto Result = solve(Graph, Dom, Opts);
+    Config.apply(Opts);
+    auto Result = solve(Graph, Dom, Opts, &Counters);
     for (unsigned P = 0; P != Graph.numProcs(); ++P)
       std::printf("%s(): greatest expected reward = %g\n",
                   Prog->Procs[P].Name.c_str(),
                   Result.Values[Graph.proc(P).Entry]);
-    if (Stats)
-      printStats(Result.Stats);
+    Config.printReport(Counters, Opts);
     return Result.Stats.Converged ? 0 : 1;
   }
   if (Domain == "termination") {
     TerminationDomain Dom;
-    auto Result = solve(Graph, Dom);
+    SolverOptions Opts;
+    Config.apply(Opts);
+    auto Result = solve(Graph, Dom, Opts, &Counters);
     for (unsigned P = 0; P != Graph.numProcs(); ++P)
       std::printf("%s(): P[termination] >= %.6f\n",
                   Prog->Procs[P].Name.c_str(),
                   Result.Values[Graph.proc(P).Entry]);
-    if (Stats)
-      printStats(Result.Stats);
+    Config.printReport(Counters, Opts);
     return Result.Stats.Converged ? 0 : 1;
   }
   return usage(argv[0]);
