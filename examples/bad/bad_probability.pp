@@ -1,0 +1,9 @@
+// Seeded defect: prob() guard outside [0, 1]  [prob-range, parse time]
+real x;
+proc main() {
+  if prob(3/2) {
+    x := 1;
+  } else {
+    skip;
+  }
+}

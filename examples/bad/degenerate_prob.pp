@@ -1,0 +1,9 @@
+// Seeded defect: degenerate probabilistic choice  [degenerate-prob]
+real x;
+proc main() {
+  if prob(1) {
+    x := x + 1;
+  } else {
+    skip;
+  }
+}

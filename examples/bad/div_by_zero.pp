@@ -1,0 +1,5 @@
+// Seeded defect: division by a constant-foldable zero  [div-by-zero]
+real x;
+proc main() {
+  x := x / (2 - 2);
+}

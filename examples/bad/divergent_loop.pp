@@ -1,0 +1,8 @@
+// Seeded defects: loop that cannot terminate  [divergent-loop,
+// unreachable-exit]
+real x;
+proc main() {
+  while (true) {
+    x := x + 1;
+  }
+}

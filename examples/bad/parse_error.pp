@@ -1,0 +1,5 @@
+// Seeded defect: stray '=' instead of ':='  [parse-error]
+real x;
+proc main() {
+  x = 3;
+}

@@ -1,0 +1,5 @@
+// Seeded defect: bernoulli parameter outside [0, 1]  [prob-range]
+real x;
+proc main() {
+  x ~ bernoulli(3/2);
+}

@@ -1,0 +1,12 @@
+// Seeded defects: degenerate prob(1) choice  [degenerate-prob], and under
+// --domain=leia without --decompose: a gaussian sample and a constant
+// negative assignment  [signed-var].
+real x;
+proc main() {
+  x ~ gaussian(0, 1);
+  if prob(1) {
+    x := 0 - 1;
+  } else {
+    skip;
+  }
+}

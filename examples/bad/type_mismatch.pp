@@ -1,0 +1,6 @@
+// Seeded defect: Boolean variable in arithmetic  [type-mismatch]
+bool b;
+real x;
+proc main() {
+  x := b + 1;
+}

@@ -1,0 +1,4 @@
+// Seeded defect: call to an undefined procedure  [undefined-procedure]
+proc main() {
+  helper();
+}

@@ -1,0 +1,5 @@
+// Seeded defect: assignment to an undeclared variable  [undefined-variable]
+real x;
+proc main() {
+  y := 3;
+}

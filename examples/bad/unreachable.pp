@@ -1,0 +1,6 @@
+// Seeded defect: statement after return  [unreachable-stmt]
+real x;
+proc main() {
+  return;
+  x := 1;
+}

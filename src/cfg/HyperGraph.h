@@ -129,6 +129,10 @@ public:
   /// \returns the procedure containing \p Node.
   unsigned procOf(unsigned Node) const { return ProcOfNode[Node]; }
 
+  /// \returns the source position of the statement or guard that produced
+  /// \p Node (unknown for synthetic nodes of programmatically built ASTs).
+  SourceLoc nodeLoc(unsigned Node) const { return NodeLocs[Node]; }
+
   /// The dependence graph of Eqn 2, as successor lists: an arc u -> v means
   /// the value of v is computed from the value of u (v = src of a
   /// hyper-edge with u among its destinations, or v is a call site of the
@@ -146,6 +150,7 @@ private:
   /// Outgoing hyper-edge index per node; -1 for procedure exits.
   std::vector<int> OutEdge;
   std::vector<unsigned> ProcOfNode;
+  std::vector<SourceLoc> NodeLocs;
   std::vector<HyperEdge> Edges;
   std::vector<ProcNodes> Procs;
 };

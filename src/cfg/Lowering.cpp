@@ -28,10 +28,10 @@ public:
     Graph.Procs.resize(Prog.Procs.size());
     for (unsigned I = 0; I != Prog.Procs.size(); ++I) {
       CurrentProc = I;
-      unsigned Exit = newNode();
+      unsigned Exit = newNode(Prog.Procs[I].Loc);
       unsigned Entry =
           lowerStmt(*Prog.Procs[I].Body, Exit, ~0u, ~0u, Exit);
-      Entry = ensureFreshEntry(Entry);
+      Entry = ensureFreshEntry(Entry, Prog.Procs[I].Loc);
       Graph.Procs[I].Entry = Entry;
       Graph.Procs[I].Exit = Exit;
     }
@@ -39,9 +39,10 @@ public:
   }
 
 private:
-  unsigned newNode() {
+  unsigned newNode(SourceLoc Loc = {}) {
     Graph.OutEdge.push_back(-1);
     Graph.ProcOfNode.push_back(CurrentProc);
+    Graph.NodeLocs.push_back(Loc);
     return static_cast<unsigned>(Graph.OutEdge.size() - 1);
   }
 
@@ -77,12 +78,12 @@ private:
     case Stmt::Kind::Sample:
     case Stmt::Kind::Observe:
     case Stmt::Kind::Reward: {
-      unsigned Node = newNode();
+      unsigned Node = newNode(S.loc());
       addEdge(Node, {Succ}, ControlAction::seq(&S));
       return Node;
     }
     case Stmt::Kind::Call: {
-      unsigned Node = newNode();
+      unsigned Node = newNode(S.loc());
       addEdge(Node, {Succ}, ControlAction::call(S.calleeIndex()));
       return Node;
     }
@@ -102,14 +103,14 @@ private:
           S.elseStmt() ? lowerStmt(*S.elseStmt(), Succ, BreakTarget,
                                    ContinueTarget, ExitNode)
                        : Succ;
-      unsigned Node = newNode();
+      unsigned Node = newNode(S.guard().Loc);
       addEdge(Node, {ThenEntry, ElseEntry}, guardAction(S.guard()));
       return Node;
     }
     case Stmt::Kind::While: {
       // The loop head is the confluence node; the body's normal successor
       // and `continue` return to it, `break` leaves to Succ.
-      unsigned Head = newNode();
+      unsigned Head = newNode(S.guard().Loc);
       unsigned BodyEntry = lowerStmt(S.body(), Head, Succ, Head, ExitNode);
       addEdge(Head, {BodyEntry, Succ}, guardAction(S.guard()));
       return Head;
@@ -130,7 +131,7 @@ private:
   /// Defn 3.1 requires the entry node to have no incoming hyper-edges; if
   /// lowering produced an entry that is a loop head (or the exit itself),
   /// prepend a skip node.
-  unsigned ensureFreshEntry(unsigned Entry) {
+  unsigned ensureFreshEntry(unsigned Entry, SourceLoc ProcLoc) {
     bool Incoming = false;
     for (const HyperEdge &E : Graph.Edges)
       for (unsigned Dst : E.Dsts)
@@ -138,7 +139,7 @@ private:
           Incoming = true;
     if (!Incoming && Graph.OutEdge[Entry] >= 0)
       return Entry;
-    unsigned Fresh = newNode();
+    unsigned Fresh = newNode(ProcLoc);
     addEdge(Fresh, {Entry}, ControlAction::seq(nullptr));
     return Fresh;
   }

@@ -40,21 +40,27 @@ Expr::Ptr Expr::makeBinary(Kind Op, Ptr Lhs, Ptr Rhs) {
 }
 
 Expr::Ptr Expr::clone() const {
+  Ptr Result;
   switch (TheKind) {
   case Kind::Var:
-    return makeVar(VarIndex);
+    Result = makeVar(VarIndex);
+    break;
   case Kind::Number:
-    return makeNumber(Value);
+    Result = makeNumber(Value);
+    break;
   case Kind::BoolLit:
-    return makeBool(BoolValue);
+    Result = makeBool(BoolValue);
+    break;
   case Kind::Add:
   case Kind::Sub:
   case Kind::Mul:
   case Kind::Div:
-    return makeBinary(TheKind, Lhs->clone(), Rhs->clone());
+    Result = makeBinary(TheKind, Lhs->clone(), Rhs->clone());
+    break;
   }
-  assert(false && "unknown expression kind");
-  return nullptr;
+  assert(Result && "unknown expression kind");
+  Result->Loc = Loc;
+  return Result;
 }
 
 //===----------------------------------------------------------------------===//
@@ -113,24 +119,33 @@ Cond::Ptr Cond::makeOr(Ptr Lhs, Ptr Rhs) {
 }
 
 Cond::Ptr Cond::clone() const {
+  Ptr Result;
   switch (TheKind) {
   case Kind::True:
-    return makeTrue();
+    Result = makeTrue();
+    break;
   case Kind::False:
-    return makeFalse();
+    Result = makeFalse();
+    break;
   case Kind::BoolVar:
-    return makeBoolVar(VarIndex);
+    Result = makeBoolVar(VarIndex);
+    break;
   case Kind::Cmp:
-    return makeCmp(Op, CmpLhs->clone(), CmpRhs->clone());
+    Result = makeCmp(Op, CmpLhs->clone(), CmpRhs->clone());
+    break;
   case Kind::Not:
-    return makeNot(Lhs->clone());
+    Result = makeNot(Lhs->clone());
+    break;
   case Kind::And:
-    return makeAnd(Lhs->clone(), Rhs->clone());
+    Result = makeAnd(Lhs->clone(), Rhs->clone());
+    break;
   case Kind::Or:
-    return makeOr(Lhs->clone(), Rhs->clone());
+    Result = makeOr(Lhs->clone(), Rhs->clone());
+    break;
   }
-  assert(false && "unknown condition kind");
-  return nullptr;
+  assert(Result && "unknown condition kind");
+  Result->Loc = Loc;
+  return Result;
 }
 
 //===----------------------------------------------------------------------===//
@@ -144,6 +159,7 @@ Dist Dist::clone() const {
   for (const Expr::Ptr &Param : Params)
     Result.Params.push_back(Param->clone());
   Result.Weights = Weights;
+  Result.Loc = Loc;
   return Result;
 }
 
@@ -153,6 +169,7 @@ Guard Guard::clone() const {
   if (Phi)
     Result.Phi = Phi->clone();
   Result.Prob = Prob;
+  Result.Loc = Loc;
   return Result;
 }
 

@@ -20,6 +20,7 @@
 #ifndef PMAF_LANG_AST_H
 #define PMAF_LANG_AST_H
 
+#include "support/Diagnostics.h"
 #include "support/Rational.h"
 
 #include <cassert>
@@ -70,6 +71,11 @@ public:
     return *Rhs;
   }
 
+  /// Source position of the expression's first token (unknown for
+  /// programmatically built ASTs).
+  SourceLoc loc() const { return Loc; }
+  void setLoc(SourceLoc L) { Loc = L; }
+
   Ptr clone() const;
 
 private:
@@ -80,6 +86,7 @@ private:
   Rational Value;
   bool BoolValue = false;
   Ptr Lhs, Rhs;
+  SourceLoc Loc;
 };
 
 //===----------------------------------------------------------------------===//
@@ -138,6 +145,11 @@ public:
     return *Rhs;
   }
 
+  /// Source position of the condition's first token (unknown for
+  /// programmatically built ASTs).
+  SourceLoc loc() const { return Loc; }
+  void setLoc(SourceLoc L) { Loc = L; }
+
   Ptr clone() const;
 
 private:
@@ -148,6 +160,7 @@ private:
   CmpOp Op = CmpOp::Eq;
   Expr::Ptr CmpLhs, CmpRhs;
   Ptr Lhs, Rhs;
+  SourceLoc Loc;
 };
 
 //===----------------------------------------------------------------------===//
@@ -166,6 +179,9 @@ struct Dist {
   /// Discrete only: probability of each corresponding entry of Params.
   std::vector<Rational> Weights;
 
+  /// Source position of the distribution name.
+  SourceLoc Loc;
+
   Dist clone() const;
 };
 
@@ -182,6 +198,7 @@ struct Guard {
   Kind TheKind = Kind::Ndet;
   Cond::Ptr Phi;  ///< Kind::Cond only.
   Rational Prob;  ///< Kind::Prob only; in [0, 1].
+  SourceLoc Loc;  ///< Source position of the guard's first token.
 
   Guard clone() const;
 };
@@ -277,6 +294,11 @@ public:
     CalleeIndex = Index;
   }
 
+  /// Source position of the statement's first token (unknown for
+  /// programmatically built ASTs).
+  SourceLoc loc() const { return Loc; }
+  void setLoc(SourceLoc L) { Loc = L; }
+
 private:
   Stmt() = default;
 
@@ -291,6 +313,7 @@ private:
   Ptr Then, Else;
   std::string Callee;
   unsigned CalleeIndex = 0;
+  SourceLoc Loc;
 };
 
 //===----------------------------------------------------------------------===//
@@ -303,12 +326,14 @@ private:
 struct VarInfo {
   std::string Name;
   bool IsReal = false;
+  SourceLoc Loc; ///< Position of the declaring identifier.
 };
 
 /// A procedure (no parameters; state is global, as in the paper's model).
 struct Procedure {
   std::string Name;
   Stmt::Ptr Body;
+  SourceLoc Loc; ///< Position of the procedure name.
 };
 
 /// A whole program: variable declarations plus procedures. The procedure

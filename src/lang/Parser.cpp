@@ -68,9 +68,10 @@ public:
     if (Error.empty())
       resolveCalls(); // Sets Error on failure.
     if (Error.empty() && Current->Procs.empty())
-      fail("program has no procedures");
+      failAt(here(), "no-procedures", "program has no procedures");
     if (!Error.empty()) {
       Result.Error = Error;
+      Result.Diag = std::move(Diag);
       return Result;
     }
     Result.Prog = std::move(Prog);
@@ -83,6 +84,11 @@ private:
   //===--------------------------------------------------------------------===//
 
   const Token &peek() const { return Tokens[Pos]; }
+
+  static SourceLoc locOf(const Token &Tok) { return {Tok.Line, Tok.Col}; }
+
+  /// Location of the next token to be consumed.
+  SourceLoc here() const { return locOf(peek()); }
 
   bool check(Token::Kind Kind) const { return peek().TheKind == Kind; }
 
@@ -113,16 +119,33 @@ private:
     return false;
   }
 
-  void fail(const std::string &Message) {
+  /// Records the first error at \p Loc with the stable code \p Code;
+  /// later failures are ignored (the parser unwinds on the first error).
+  /// Returns the recorded diagnostic so callers can attach notes.
+  Diagnostic &failAt(SourceLoc Loc, const char *Code,
+                     std::string Message) {
+    if (Error.empty()) {
+      char Buffer[32];
+      std::snprintf(Buffer, sizeof(Buffer), "%u:%u: ", Loc.Line, Loc.Col);
+      Error = Buffer + Message;
+      Diag.Sev = Severity::Error;
+      Diag.Code = Code;
+      Diag.Loc = Loc;
+      Diag.Message = std::move(Message);
+    }
+    return Diag;
+  }
+
+  /// Syntax-error helper: reports at the lookahead token and appends what
+  /// was actually found.
+  void fail(std::string Message) {
     if (!Error.empty())
       return;
-    char Buffer[32];
-    std::snprintf(Buffer, sizeof(Buffer), "%u:%u: ", peek().Line, peek().Col);
-    Error = Buffer + Message;
     if (peek().TheKind == Token::Kind::Error)
-      Error += " (" + peek().Text + ")";
+      Message += " (" + peek().Text + ")";
     else if (!peek().Text.empty())
-      Error += ", got '" + peek().Text + "'";
+      Message += ", got '" + peek().Text + "'";
+    failAt(here(), "parse-error", std::move(Message));
   }
 
   //===--------------------------------------------------------------------===//
@@ -137,12 +160,17 @@ private:
         fail("expected variable name");
         return false;
       }
+      SourceLoc NameLoc = here();
       std::string Name = advance().Text;
-      if (Current->findVar(Name) != ~0u) {
-        fail("redeclaration of variable '" + Name + "'");
+      unsigned Previous = Current->findVar(Name);
+      if (Previous != ~0u) {
+        failAt(NameLoc, "redeclared-variable",
+               "redeclaration of variable '" + Name + "'")
+            .addNote(Current->Vars[Previous].Loc,
+                     "previous declaration is here");
         return false;
       }
-      Current->Vars.push_back(VarInfo{Name, IsReal});
+      Current->Vars.push_back(VarInfo{Name, IsReal, NameLoc});
     } while (match(Token::Kind::Comma));
     return expect(Token::Kind::Semi, "';' after variable declaration");
   }
@@ -153,9 +181,14 @@ private:
       fail("expected procedure name");
       return false;
     }
+    SourceLoc NameLoc = here();
     std::string Name = advance().Text;
-    if (Current->findProc(Name) != ~0u) {
-      fail("redefinition of procedure '" + Name + "'");
+    unsigned Previous = Current->findProc(Name);
+    if (Previous != ~0u) {
+      failAt(NameLoc, "redefined-procedure",
+             "redefinition of procedure '" + Name + "'")
+          .addNote(Current->Procs[Previous].Loc,
+                   "previous definition is here");
       return false;
     }
     if (!expect(Token::Kind::LParen, "'('") ||
@@ -164,7 +197,8 @@ private:
     Stmt::Ptr Body = parseBlock();
     if (!Body)
       return false;
-    Current->Procs.push_back(Procedure{std::move(Name), std::move(Body)});
+    Current->Procs.push_back(
+        Procedure{std::move(Name), std::move(Body), NameLoc});
     return true;
   }
 
@@ -173,6 +207,7 @@ private:
   //===--------------------------------------------------------------------===//
 
   Stmt::Ptr parseBlock() {
+    SourceLoc BraceLoc = here();
     if (!expect(Token::Kind::LBrace, "'{'"))
       return nullptr;
     std::vector<Stmt::Ptr> Stmts;
@@ -184,27 +219,41 @@ private:
     }
     if (!expect(Token::Kind::RBrace, "'}'"))
       return nullptr;
-    return Stmt::makeBlock(std::move(Stmts));
+    Stmt::Ptr Block = Stmt::makeBlock(std::move(Stmts));
+    Block->setLoc(BraceLoc);
+    return Block;
   }
 
   Stmt::Ptr parseStmt() {
+    SourceLoc StmtLoc = here();
+    Stmt::Ptr S = parseStmtImpl();
+    if (S)
+      S->setLoc(StmtLoc);
+    return S;
+  }
+
+  Stmt::Ptr parseStmtImpl() {
     if (matchKeyword("skip")) {
       if (!expect(Token::Kind::Semi, "';'"))
         return nullptr;
       return Stmt::makeSkip();
     }
-    if (matchKeyword("break")) {
+    if (checkKeyword("break")) {
+      SourceLoc Loc = here();
+      advance();
       if (LoopDepth == 0) {
-        fail("'break' outside of a loop");
+        failAt(Loc, "misplaced-jump", "'break' outside of a loop");
         return nullptr;
       }
       if (!expect(Token::Kind::Semi, "';'"))
         return nullptr;
       return Stmt::makeBreak();
     }
-    if (matchKeyword("continue")) {
+    if (checkKeyword("continue")) {
+      SourceLoc Loc = here();
+      advance();
       if (LoopDepth == 0) {
-        fail("'continue' outside of a loop");
+        failAt(Loc, "misplaced-jump", "'continue' outside of a loop");
         return nullptr;
       }
       if (!expect(Token::Kind::Semi, "';'"))
@@ -228,12 +277,13 @@ private:
     if (matchKeyword("reward")) {
       if (!expect(Token::Kind::LParen, "'('"))
         return nullptr;
+      SourceLoc AmountLoc = here();
       std::optional<Rational> Amount = parseConstant();
       if (!Amount || !expect(Token::Kind::RParen, "')'") ||
           !expect(Token::Kind::Semi, "';'"))
         return nullptr;
       if (Amount->sign() < 0) {
-        fail("rewards must be nonnegative");
+        failAt(AmountLoc, "reward-range", "rewards must be nonnegative");
         return nullptr;
       }
       return Stmt::makeReward(std::move(*Amount));
@@ -255,6 +305,7 @@ private:
       fail("expected a statement");
       return nullptr;
     }
+    SourceLoc NameLoc = here();
     std::string Name = advance().Text;
     if (match(Token::Kind::LParen)) {
       // Procedure call.
@@ -265,7 +316,8 @@ private:
     }
     unsigned VarIndex = Current->findVar(Name);
     if (VarIndex == ~0u) {
-      fail("use of undeclared variable '" + Name + "'");
+      failAt(NameLoc, "undefined-variable",
+             "use of undeclared variable '" + Name + "'");
       return nullptr;
     }
     if (match(Token::Kind::Assign)) {
@@ -285,6 +337,7 @@ private:
   }
 
   Stmt::Ptr parseIf() {
+    SourceLoc IfLoc = here();
     Guard G;
     if (!parseGuard(G))
       return nullptr;
@@ -301,10 +354,14 @@ private:
       if (!Else)
         return nullptr;
     }
-    return Stmt::makeIf(std::move(G), std::move(Then), std::move(Else));
+    Stmt::Ptr S =
+        Stmt::makeIf(std::move(G), std::move(Then), std::move(Else));
+    S->setLoc(IfLoc);
+    return S;
   }
 
   bool parseGuard(Guard &G) {
+    G.Loc = here();
     if (matchKeyword("star")) {
       G.TheKind = Guard::Kind::Ndet;
       return true;
@@ -312,11 +369,12 @@ private:
     if (matchKeyword("prob")) {
       if (!expect(Token::Kind::LParen, "'('"))
         return false;
+      SourceLoc ProbLoc = here();
       std::optional<Rational> P = parseConstant();
       if (!P || !expect(Token::Kind::RParen, "')'"))
         return false;
       if (P->sign() < 0 || *P > Rational(1)) {
-        fail("probability must lie in [0, 1]");
+        failAt(ProbLoc, "prob-range", "probability must lie in [0, 1]");
         return false;
       }
       G.TheKind = Guard::Kind::Prob;
@@ -342,8 +400,10 @@ private:
       fail("expected a distribution name");
       return std::nullopt;
     }
+    SourceLoc NameLoc = here();
     std::string Name = advance().Text;
     Dist D;
+    D.Loc = NameLoc;
     unsigned Arity = 0;
     if (Name == "bernoulli") {
       D.TheKind = Dist::Kind::Bernoulli;
@@ -360,7 +420,7 @@ private:
     } else if (Name == "discrete") {
       D.TheKind = Dist::Kind::Discrete;
     } else {
-      fail("unknown distribution '" + Name + "'");
+      failAt(NameLoc, "parse-error", "unknown distribution '" + Name + "'");
       return std::nullopt;
     }
     if (!expect(Token::Kind::LParen, "'('"))
@@ -369,22 +429,28 @@ private:
       // discrete(v1: p1, v2: p2, ...)
       Rational Total(0);
       do {
+        SourceLoc EntryLoc = here();
         std::optional<Rational> Value = parseConstant();
         if (!Value || !expect(Token::Kind::Colon, "':'"))
           return std::nullopt;
+        SourceLoc WeightLoc = here();
         std::optional<Rational> Weight = parseConstant();
         if (!Weight)
           return std::nullopt;
         if (Weight->sign() < 0) {
-          fail("discrete weights must be nonnegative");
+          failAt(WeightLoc, "prob-range",
+                 "discrete weights must be nonnegative");
           return std::nullopt;
         }
-        D.Params.push_back(Expr::makeNumber(std::move(*Value)));
+        Expr::Ptr ValueExpr = Expr::makeNumber(std::move(*Value));
+        ValueExpr->setLoc(EntryLoc);
+        D.Params.push_back(std::move(ValueExpr));
         D.Weights.push_back(*Weight);
         Total += *Weight;
       } while (match(Token::Kind::Comma));
       if (Total > Rational(1)) {
-        fail("discrete weights must sum to at most 1");
+        failAt(NameLoc, "prob-range",
+               "discrete weights must sum to at most 1");
         return std::nullopt;
       }
     } else {
@@ -414,7 +480,9 @@ private:
       Cond::Ptr Rhs = parseCondAnd();
       if (!Rhs)
         return nullptr;
+      SourceLoc Loc = Lhs->loc();
       Lhs = Cond::makeOr(std::move(Lhs), std::move(Rhs));
+      Lhs->setLoc(Loc);
     }
     return Lhs;
   }
@@ -425,26 +493,38 @@ private:
       Cond::Ptr Rhs = parseCondUnary();
       if (!Rhs)
         return nullptr;
+      SourceLoc Loc = Lhs->loc();
       Lhs = Cond::makeAnd(std::move(Lhs), std::move(Rhs));
+      Lhs->setLoc(Loc);
     }
     return Lhs;
   }
 
   Cond::Ptr parseCondUnary() {
+    SourceLoc Loc = here();
     if (match(Token::Kind::Bang)) {
       Cond::Ptr Operand = parseCondUnary();
       if (!Operand)
         return nullptr;
-      return Cond::makeNot(std::move(Operand));
+      Cond::Ptr C = Cond::makeNot(std::move(Operand));
+      C->setLoc(Loc);
+      return C;
     }
     return parseCondAtom();
   }
 
   Cond::Ptr parseCondAtom() {
-    if (matchKeyword("true"))
-      return Cond::makeTrue();
-    if (matchKeyword("false"))
-      return Cond::makeFalse();
+    SourceLoc Loc = here();
+    if (matchKeyword("true")) {
+      Cond::Ptr C = Cond::makeTrue();
+      C->setLoc(Loc);
+      return C;
+    }
+    if (matchKeyword("false")) {
+      Cond::Ptr C = Cond::makeFalse();
+      C->setLoc(Loc);
+      return C;
+    }
     if (check(Token::Kind::LParen)) {
       // Ambiguity: '(' may open a nested condition or a parenthesized
       // arithmetic operand of a comparison. Try the condition reading
@@ -452,13 +532,15 @@ private:
       // cheap position reset).
       size_t Saved = Pos;
       std::string SavedError = Error;
+      Diagnostic SavedDiag = Diag;
       advance();
       Cond::Ptr Inner = parseCond();
       if (Inner && match(Token::Kind::RParen) && !startsComparisonTail()) {
         return Inner;
       }
       Pos = Saved;
-      Error = SavedError;
+      Error = std::move(SavedError);
+      Diag = std::move(SavedDiag);
     }
     // Comparison or Boolean variable.
     Expr::Ptr Lhs = parseExpr();
@@ -469,11 +551,16 @@ private:
       Expr::Ptr Rhs = parseExpr();
       if (!Rhs)
         return nullptr;
-      return Cond::makeCmp(*Op, std::move(Lhs), std::move(Rhs));
+      Cond::Ptr C = Cond::makeCmp(*Op, std::move(Lhs), std::move(Rhs));
+      C->setLoc(Loc);
+      return C;
     }
     if (Lhs->kind() == Expr::Kind::Var &&
-        !Current->Vars[Lhs->varIndex()].IsReal)
-      return Cond::makeBoolVar(Lhs->varIndex());
+        !Current->Vars[Lhs->varIndex()].IsReal) {
+      Cond::Ptr C = Cond::makeBoolVar(Lhs->varIndex());
+      C->setLoc(Loc);
+      return C;
+    }
     fail("expected a comparison or a Boolean variable");
     return nullptr;
   }
@@ -520,6 +607,16 @@ private:
 
   Expr::Ptr parseExpr() { return parseAdditive(); }
 
+  /// Builds a located binary expression whose position is its left
+  /// operand's.
+  static Expr::Ptr makeLocatedBinary(Expr::Kind Op, Expr::Ptr Lhs,
+                                     Expr::Ptr Rhs) {
+    SourceLoc Loc = Lhs->loc();
+    Expr::Ptr E = Expr::makeBinary(Op, std::move(Lhs), std::move(Rhs));
+    E->setLoc(Loc);
+    return E;
+  }
+
   Expr::Ptr parseAdditive() {
     Expr::Ptr Lhs = parseMultiplicative();
     while (Lhs) {
@@ -527,14 +624,14 @@ private:
         Expr::Ptr Rhs = parseMultiplicative();
         if (!Rhs)
           return nullptr;
-        Lhs = Expr::makeBinary(Expr::Kind::Add, std::move(Lhs),
-                               std::move(Rhs));
+        Lhs = makeLocatedBinary(Expr::Kind::Add, std::move(Lhs),
+                                std::move(Rhs));
       } else if (match(Token::Kind::Minus)) {
         Expr::Ptr Rhs = parseMultiplicative();
         if (!Rhs)
           return nullptr;
-        Lhs = Expr::makeBinary(Expr::Kind::Sub, std::move(Lhs),
-                               std::move(Rhs));
+        Lhs = makeLocatedBinary(Expr::Kind::Sub, std::move(Lhs),
+                                std::move(Rhs));
       } else {
         break;
       }
@@ -549,14 +646,14 @@ private:
         Expr::Ptr Rhs = parseUnaryExpr();
         if (!Rhs)
           return nullptr;
-        Lhs = Expr::makeBinary(Expr::Kind::Mul, std::move(Lhs),
-                               std::move(Rhs));
+        Lhs = makeLocatedBinary(Expr::Kind::Mul, std::move(Lhs),
+                                std::move(Rhs));
       } else if (match(Token::Kind::Slash)) {
         Expr::Ptr Rhs = parseUnaryExpr();
         if (!Rhs)
           return nullptr;
-        Lhs = Expr::makeBinary(Expr::Kind::Div, std::move(Lhs),
-                               std::move(Rhs));
+        Lhs = makeLocatedBinary(Expr::Kind::Div, std::move(Lhs),
+                                std::move(Rhs));
       } else {
         break;
       }
@@ -565,31 +662,49 @@ private:
   }
 
   Expr::Ptr parseUnaryExpr() {
+    SourceLoc Loc = here();
     if (match(Token::Kind::Minus)) {
       Expr::Ptr Operand = parseUnaryExpr();
       if (!Operand)
         return nullptr;
-      return Expr::makeBinary(Expr::Kind::Sub, Expr::makeNumber(Rational(0)),
-                              std::move(Operand));
+      Expr::Ptr Zero = Expr::makeNumber(Rational(0));
+      Zero->setLoc(Loc);
+      Expr::Ptr E = Expr::makeBinary(Expr::Kind::Sub, std::move(Zero),
+                                     std::move(Operand));
+      E->setLoc(Loc);
+      return E;
     }
     return parsePrimaryExpr();
   }
 
   Expr::Ptr parsePrimaryExpr() {
-    if (check(Token::Kind::Number))
-      return Expr::makeNumber(Rational::fromString(advance().Text));
-    if (matchKeyword("true"))
-      return Expr::makeBool(true);
-    if (matchKeyword("false"))
-      return Expr::makeBool(false);
+    SourceLoc Loc = here();
+    if (check(Token::Kind::Number)) {
+      Expr::Ptr E = Expr::makeNumber(Rational::fromString(advance().Text));
+      E->setLoc(Loc);
+      return E;
+    }
+    if (matchKeyword("true")) {
+      Expr::Ptr E = Expr::makeBool(true);
+      E->setLoc(Loc);
+      return E;
+    }
+    if (matchKeyword("false")) {
+      Expr::Ptr E = Expr::makeBool(false);
+      E->setLoc(Loc);
+      return E;
+    }
     if (check(Token::Kind::Ident)) {
       std::string Name = advance().Text;
       unsigned VarIndex = Current->findVar(Name);
       if (VarIndex == ~0u) {
-        fail("use of undeclared variable '" + Name + "'");
+        failAt(Loc, "undefined-variable",
+               "use of undeclared variable '" + Name + "'");
         return nullptr;
       }
-      return Expr::makeVar(VarIndex);
+      Expr::Ptr E = Expr::makeVar(VarIndex);
+      E->setLoc(Loc);
+      return E;
     }
     if (match(Token::Kind::LParen)) {
       Expr::Ptr Inner = parseExpr();
@@ -620,7 +735,8 @@ private:
     case Stmt::Kind::Call: {
       unsigned Index = Current->findProc(S.callee());
       if (Index == ~0u) {
-        Error = "call to undefined procedure '" + S.callee() + "'";
+        failAt(S.loc(), "undefined-procedure",
+               "call to undefined procedure '" + S.callee() + "'");
         return false;
       }
       S.setCalleeIndex(Index);
@@ -656,6 +772,7 @@ private:
   Program *Current = nullptr;
   unsigned LoopDepth = 0;
   std::string Error;
+  Diagnostic Diag;
 };
 
 } // namespace
@@ -664,10 +781,21 @@ ParseResult lang::parseProgram(const std::string &Source) {
   return ParserImpl(Source).run();
 }
 
+ParseResult lang::parseProgram(const std::string &Source,
+                               DiagnosticEngine &Diags) {
+  ParseResult Result = parseProgram(Source);
+  if (!Result)
+    Diags.report(Result.Diag);
+  return Result;
+}
+
 std::unique_ptr<Program> lang::parseProgramOrDie(const std::string &Source) {
   ParseResult Result = parseProgram(Source);
   if (!Result) {
-    std::fprintf(stderr, "parse error: %s\n", Result.Error.c_str());
+    DiagnosticEngine Diags;
+    Diags.setSource("<input>", Source);
+    std::fprintf(stderr, "parse error: %s\n%s", Result.Error.c_str(),
+                 Diags.render(Result.Diag).c_str());
     std::abort();
   }
   return std::move(Result.Prog);

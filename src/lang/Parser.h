@@ -38,6 +38,7 @@
 #define PMAF_LANG_PARSER_H
 
 #include "lang/Ast.h"
+#include "support/Diagnostics.h"
 
 #include <memory>
 #include <string>
@@ -49,6 +50,13 @@ namespace lang {
 struct ParseResult {
   std::unique_ptr<Program> Prog;
   std::string Error; ///< "line:col: message" when Prog is null.
+  /// Structured form of the error (severity, stable code, location,
+  /// notes); meaningful only when Prog is null. Codes: "parse-error" for
+  /// syntax errors, and "undefined-variable", "undefined-procedure",
+  /// "redeclared-variable", "redefined-procedure", "misplaced-jump",
+  /// "prob-range", "no-procedures" for the semantic checks the parser
+  /// performs itself.
+  Diagnostic Diag;
 
   explicit operator bool() const { return Prog != nullptr; }
 };
@@ -57,8 +65,12 @@ struct ParseResult {
 /// resolution, break/continue placement, probability ranges).
 ParseResult parseProgram(const std::string &Source);
 
-/// Convenience wrapper that aborts with the diagnostic on failure; for
-/// trusted embedded benchmark sources and tests.
+/// As above, but additionally reports the failure into \p Diags (which
+/// renders `file:line:col` with a caret when its source is set).
+ParseResult parseProgram(const std::string &Source, DiagnosticEngine &Diags);
+
+/// Convenience wrapper that aborts with a caret-rendered diagnostic on
+/// failure; for trusted embedded benchmark sources and tests.
 std::unique_ptr<Program> parseProgramOrDie(const std::string &Source);
 
 } // namespace lang

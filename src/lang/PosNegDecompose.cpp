@@ -32,16 +32,16 @@ public:
                        "real-valued programs only";
         return Result;
       }
-      Out->Vars.push_back(VarInfo{Var.Name + "__p", true});
-      Out->Vars.push_back(VarInfo{Var.Name + "__n", true});
+      Out->Vars.push_back(VarInfo{Var.Name + "__p", true, {}});
+      Out->Vars.push_back(VarInfo{Var.Name + "__n", true, {}});
     }
     NumOriginal = static_cast<unsigned>(Original.Vars.size());
     TempIndex = 2 * NumOriginal;      // __t: sampling offset
     ScratchP = 2 * NumOriginal + 1;   // __s: staged positive component
     ScratchN = 2 * NumOriginal + 2;   // __u: staged negative component
-    Out->Vars.push_back(VarInfo{"__t", true});
-    Out->Vars.push_back(VarInfo{"__s", true});
-    Out->Vars.push_back(VarInfo{"__u", true});
+    Out->Vars.push_back(VarInfo{"__t", true, {}});
+    Out->Vars.push_back(VarInfo{"__s", true, {}});
+    Out->Vars.push_back(VarInfo{"__u", true, {}});
 
     for (const Procedure &Proc : Original.Procs) {
       Stmt::Ptr Body = rewriteStmt(*Proc.Body);
@@ -49,7 +49,7 @@ public:
         Result.Error = Error;
         return Result;
       }
-      Out->Procs.push_back(Procedure{Proc.Name, std::move(Body)});
+      Out->Procs.push_back(Procedure{Proc.Name, std::move(Body), {}});
     }
     Result.Prog = std::move(Out);
     return Result;

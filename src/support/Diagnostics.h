@@ -1,0 +1,145 @@
+//===- support/Diagnostics.h - Diagnostics engine ---------------*- C++ -*-===//
+//
+// Part of the PMAF reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A reusable diagnostics engine shared by the lexer, parser, semantic lint
+/// passes, and domain-precondition checks: every layer reports through one
+/// channel, so the user always sees `file:line:col: severity: message
+/// [code]` with a caret rendering against the original source buffer.
+///
+/// Diagnostics carry a stable machine-readable code (kebab-case, e.g.
+/// "prob-range") so tests and tooling can match on kind rather than on
+/// message wording; `DiagnosticEngine::renderJson` emits the whole batch in
+/// a machine-readable form for editor/CI integration.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PMAF_SUPPORT_DIAGNOSTICS_H
+#define PMAF_SUPPORT_DIAGNOSTICS_H
+
+#include <string>
+#include <vector>
+
+namespace pmaf {
+
+/// A position in a source buffer. Lines and columns are 1-based; a
+/// default-constructed location (line 0) means "unknown" and suppresses
+/// the caret rendering.
+struct SourceLoc {
+  unsigned Line = 0;
+  unsigned Col = 0;
+
+  bool isValid() const { return Line != 0; }
+
+  /// Lexicographic order, unknown locations first.
+  bool operator<(const SourceLoc &Other) const {
+    return Line != Other.Line ? Line < Other.Line : Col < Other.Col;
+  }
+  bool operator==(const SourceLoc &Other) const {
+    return Line == Other.Line && Col == Other.Col;
+  }
+};
+
+/// Diagnostic severity. Notes never appear top-level; they are attached to
+/// a warning or error to point at related source (e.g. a previous
+/// declaration).
+enum class Severity { Note, Warning, Error };
+
+const char *toString(Severity Sev);
+
+/// One diagnostic: severity, stable code, message, location, and attached
+/// notes.
+struct Diagnostic {
+  Severity Sev = Severity::Error;
+  std::string Code;    ///< Stable machine code, e.g. "prob-range".
+  std::string Message; ///< Human-readable, no trailing newline.
+  SourceLoc Loc;
+  std::vector<Diagnostic> Notes;
+
+  Diagnostic &addNote(SourceLoc NoteLoc, std::string NoteMessage);
+};
+
+/// Collects diagnostics against one source buffer and renders them.
+///
+/// Typical use:
+/// \code
+///   DiagnosticEngine DE;
+///   DE.setSource("prog.pp", Source);
+///   DE.setWarningsAsErrors(Werror);
+///   ... passes call DE.report(...) ...
+///   std::fputs(DE.renderAll().c_str(), stderr);
+///   if (DE.errorCount()) return 1;
+/// \endcode
+class DiagnosticEngine {
+public:
+  DiagnosticEngine() = default;
+
+  /// Associates the engine with a named source buffer; the buffer is
+  /// copied so caret rendering stays valid after the caller's string dies.
+  void setSource(std::string FileName, std::string Buffer);
+
+  const std::string &fileName() const { return File; }
+
+  /// When set, subsequently reported warnings are promoted to errors
+  /// (the `--werror` switch).
+  void setWarningsAsErrors(bool Enable) { WarningsAsErrors = Enable; }
+
+  /// Reports a diagnostic; returns a reference valid until the next
+  /// report, for attaching notes.
+  Diagnostic &report(Severity Sev, SourceLoc Loc, std::string Code,
+                     std::string Message);
+
+  /// Moves an already-built diagnostic into the engine (applies the
+  /// warnings-as-errors promotion and counting).
+  Diagnostic &report(Diagnostic Diag);
+
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+  bool empty() const { return Diags.empty(); }
+  unsigned errorCount() const { return NumErrors; }
+  unsigned warningCount() const { return NumWarnings; }
+  bool hasErrors() const { return NumErrors != 0; }
+
+  /// Stable-sorts the batch by source location (unknown locations first).
+  void sortByLocation();
+
+  /// Renders one diagnostic in caret style:
+  /// \code
+  ///   prog.pp:3:11: error: probability must lie in [0, 1] [prob-range]
+  ///     if prob(1.5) { skip; }
+  ///             ^
+  /// \endcode
+  /// Notes follow, indented the same way. The source excerpt is omitted
+  /// when the location is unknown or out of range of the buffer.
+  std::string render(const Diagnostic &Diag) const;
+
+  /// Renders every diagnostic plus a trailing "N errors, M warnings"
+  /// summary line (omitted when the batch is empty).
+  std::string renderAll() const;
+
+  /// Machine-readable rendering of the whole batch:
+  /// \code
+  ///   {"file": "prog.pp",
+  ///    "diagnostics": [{"line": 3, "col": 11, "severity": "error",
+  ///                     "code": "prob-range", "message": "...",
+  ///                     "notes": [...]}, ...],
+  ///    "errors": 1, "warnings": 0}
+  /// \endcode
+  std::string renderJson() const;
+
+private:
+  std::string renderOne(const Diagnostic &Diag, bool IsNote) const;
+
+  std::string File = "<input>";
+  std::string Buffer;
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+  unsigned NumWarnings = 0;
+  bool WarningsAsErrors = false;
+};
+
+} // namespace pmaf
+
+#endif // PMAF_SUPPORT_DIAGNOSTICS_H

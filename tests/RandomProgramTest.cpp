@@ -116,12 +116,12 @@ std::unique_ptr<Program> randomBoolProgram(Rng &R, unsigned NumVars,
                                            unsigned NumStmts) {
   auto Prog = std::make_unique<Program>();
   for (unsigned I = 0; I != NumVars; ++I)
-    Prog->Vars.push_back(VarInfo{"b" + std::to_string(I), false});
+    Prog->Vars.push_back(VarInfo{"b" + std::to_string(I), false, {}});
   std::vector<Stmt::Ptr> Stmts;
   for (unsigned I = 0; I != NumStmts; ++I)
     Stmts.push_back(randomBoolStmt(R, NumVars, 2));
   Prog->Procs.push_back(
-      Procedure{"main", Stmt::makeBlock(std::move(Stmts))});
+      Procedure{"main", Stmt::makeBlock(std::move(Stmts)), {}});
   return Prog;
 }
 
@@ -244,7 +244,7 @@ TEST(RandomProgramTest, MdpAgreesWithEquationSolver) {
     for (int I = 0; I != 3; ++I)
       Stmts.push_back(randomRewardStmt(R, 3));
     Prog->Procs.push_back(
-        Procedure{"main", Stmt::makeBlock(std::move(Stmts))});
+        Procedure{"main", Stmt::makeBlock(std::move(Stmts)), {}});
     cfg::ProgramGraph Graph = cfg::ProgramGraph::build(*Prog);
 
     MdpDomain Dom;
@@ -320,13 +320,13 @@ TEST(RandomProgramTest, LeiaExpectationsMatchMonteCarlo) {
   Rng R(31337);
   for (int Round = 0; Round != 8; ++Round) {
     auto Prog = std::make_unique<Program>();
-    Prog->Vars.push_back(VarInfo{"x", true});
-    Prog->Vars.push_back(VarInfo{"y", true});
+    Prog->Vars.push_back(VarInfo{"x", true, {}});
+    Prog->Vars.push_back(VarInfo{"y", true, {}});
     std::vector<Stmt::Ptr> Stmts;
     for (int I = 0; I != 4; ++I)
       Stmts.push_back(randomArithStmt(R, 2));
     Prog->Procs.push_back(
-        Procedure{"main", Stmt::makeBlock(std::move(Stmts))});
+        Procedure{"main", Stmt::makeBlock(std::move(Stmts)), {}});
 
     cfg::ProgramGraph Graph = cfg::ProgramGraph::build(*Prog);
     LeiaDomain Dom(*Prog);

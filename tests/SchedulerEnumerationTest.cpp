@@ -135,7 +135,7 @@ void expectExactLowerBound(const char *Source) {
     size_t NextSite = 0;
     for (const Procedure &Proc : Prog->Procs)
       Resolved.Procs.push_back(Procedure{
-          Proc.Name, resolveStmt(*Proc.Body, Choices, NextSite)});
+          Proc.Name, resolveStmt(*Proc.Body, Choices, NextSite), {}});
     ASSERT_EQ(NextSite, Sites);
     Matrix ResolvedSummary = analyzeBi(Resolved);
     EXPECT_TRUE(Bound.leqAll(ResolvedSummary, 1e-7))
@@ -256,7 +256,7 @@ TEST(SchedulerEnumerationTest, MdpMaxEqualsBestPositionalScheduler) {
       size_t NextSite = 0;
       for (const Procedure &Proc : Prog->Procs)
         Resolved.Procs.push_back(Procedure{
-            Proc.Name, resolveStmt(*Proc.Body, Choices, NextSite)});
+            Proc.Name, resolveStmt(*Proc.Body, Choices, NextSite), {}});
       cfg::ProgramGraph ResolvedGraph =
           cfg::ProgramGraph::build(Resolved);
       auto Rewards =

@@ -1,6 +1,7 @@
 //===- tests/SupportTest.cpp - BigInt and Rational unit tests -------------===//
 
 #include "support/BigInt.h"
+#include "support/Diagnostics.h"
 #include "support/Rational.h"
 #include "support/Rng.h"
 
@@ -234,4 +235,81 @@ TEST(RngTest, UniformMeanRoughlyHalf) {
   for (int I = 0; I != N; ++I)
     Sum += R.uniform();
   EXPECT_NEAR(Sum / N, 0.5, 0.02);
+}
+
+//===----------------------------------------------------------------------===//
+// DiagnosticEngine
+//===----------------------------------------------------------------------===//
+
+TEST(DiagnosticsTest, CaretRendering) {
+  DiagnosticEngine Diags;
+  Diags.setSource("demo.pp", "real x;\nproc main() {\n  x := 1;\n}\n");
+  Diags.report(Severity::Error, {3, 8}, "demo-code", "something is off");
+  EXPECT_EQ(Diags.renderAll(),
+            "demo.pp:3:8: error: something is off [demo-code]\n"
+            "    x := 1;\n"
+            "         ^\n"
+            "1 error, 0 warnings\n");
+}
+
+TEST(DiagnosticsTest, TabsPreservedInCaretPadding) {
+  DiagnosticEngine Diags;
+  Diags.setSource("t.pp", "\tx := 1;\n");
+  std::string Out =
+      Diags.render(Diags.report(Severity::Warning, {1, 2}, "c", "m"));
+  EXPECT_NE(Out.find("\n  \t^\n"), std::string::npos) << Out;
+}
+
+TEST(DiagnosticsTest, UnknownLocationSkipsExcerpt) {
+  DiagnosticEngine Diags;
+  Diags.setSource("u.pp", "real x;\n");
+  std::string Out =
+      Diags.render(Diags.report(Severity::Error, {}, "c", "boom"));
+  EXPECT_EQ(Out, "u.pp: error: boom [c]\n");
+}
+
+TEST(DiagnosticsTest, WarningsAsErrorsPromotes) {
+  DiagnosticEngine Diags;
+  Diags.setWarningsAsErrors(true);
+  Diags.report(Severity::Warning, {1, 1}, "w", "warned");
+  EXPECT_EQ(Diags.errorCount(), 1u);
+  EXPECT_EQ(Diags.warningCount(), 0u);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(DiagnosticsTest, NotesRenderAfterParent) {
+  DiagnosticEngine Diags;
+  Diags.setSource("n.pp", "real x;\nreal x;\n");
+  Diagnostic &D =
+      Diags.report(Severity::Error, {2, 6}, "redeclared-variable",
+                   "redeclaration of 'x'");
+  D.addNote({1, 6}, "previous declaration is here");
+  std::string Out = Diags.render(D);
+  EXPECT_NE(Out.find("n.pp:2:6: error:"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("n.pp:1:6: note: previous declaration is here"),
+            std::string::npos)
+      << Out;
+}
+
+TEST(DiagnosticsTest, SortByLocationIsStable) {
+  DiagnosticEngine Diags;
+  Diags.report(Severity::Error, {3, 1}, "b", "late");
+  Diags.report(Severity::Error, {1, 2}, "a", "early");
+  Diags.report(Severity::Error, {3, 1}, "c", "late too");
+  Diags.sortByLocation();
+  EXPECT_EQ(Diags.diagnostics()[0].Code, "a");
+  EXPECT_EQ(Diags.diagnostics()[1].Code, "b");
+  EXPECT_EQ(Diags.diagnostics()[2].Code, "c");
+}
+
+TEST(DiagnosticsTest, JsonEscapesAndCounts) {
+  DiagnosticEngine Diags;
+  Diags.setSource("j\"s.pp", "x\n");
+  Diags.report(Severity::Warning, {1, 1}, "quote", "say \"hi\"\n");
+  std::string Json = Diags.renderJson();
+  EXPECT_NE(Json.find("\"file\": \"j\\\"s.pp\""), std::string::npos)
+      << Json;
+  EXPECT_NE(Json.find("say \\\"hi\\\"\\n"), std::string::npos) << Json;
+  EXPECT_NE(Json.find("\"errors\": 0"), std::string::npos) << Json;
+  EXPECT_NE(Json.find("\"warnings\": 1"), std::string::npos) << Json;
 }

@@ -3,8 +3,11 @@
 // Analyze a probabilistic program from the command line:
 //
 //   pmaf <file.pp> [--domain=leia|bi|mdp|termination] [--decompose]
-//                  [--dot] [--stats] [--strategy=wto|round-robin|worklist]
+//                  [--dot] [--stats] [--werror] [--diag-format=text|json]
+//                  [--strategy=wto|round-robin|worklist]
 //                  [--widening-delay=<n>] [--max-updates=<n>]
+//   pmaf check <file.pp>... [--domain=leia|bi|mdp|termination]
+//                  [--decompose] [--werror] [--diag-format=text|json]
 //
 // With --domain=leia (default) prints the expectation invariants of every
 // procedure summary; bi prints the posterior from the all-false prior;
@@ -12,6 +15,13 @@
 // on termination probabilities. --decompose applies the positive-negative
 // decomposition (§6.2) first, for programs with signed variables. --dot
 // prints the control-flow hyper-graphs in Graphviz syntax.
+//
+// Every analysis is preceded by the semantic lint (analysis/Lint.h):
+// warnings go to stderr and the analysis proceeds; errors (including
+// domain-precondition failures) abort with a nonzero exit. --werror
+// promotes warnings to errors. `pmaf check` runs only the lint, over any
+// number of files, and exits nonzero when any file has errors;
+// --diag-format=json renders machine-readable diagnostics.
 //
 // The solver knobs map onto core::SolverOptions: --strategy selects the
 // chaotic-iteration scheduler (core/Schedule.h), --widening-delay the
@@ -21,6 +31,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/Lint.h"
 #include "cfg/HyperGraph.h"
 #include "core/Instrumentation.h"
 #include "core/Schedule.h"
@@ -42,6 +53,7 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 using namespace pmaf;
 using namespace pmaf::core;
@@ -85,10 +97,14 @@ public:
 int usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s <file.pp | -> [--domain=leia|bi|mdp|termination]"
-               " [--decompose] [--dot] [--stats]"
+               " [--decompose] [--dot] [--stats] [--werror]"
+               " [--diag-format=text|json]"
                " [--strategy=wto|round-robin|worklist]"
-               " [--widening-delay=<n>] [--max-updates=<n>]\n",
-               Argv0);
+               " [--widening-delay=<n>] [--max-updates=<n>]\n"
+               "       %s check <file.pp>..."
+               " [--domain=leia|bi|mdp|termination] [--decompose]"
+               " [--werror] [--diag-format=text|json]\n",
+               Argv0, Argv0);
   return 2;
 }
 
@@ -120,19 +136,118 @@ struct CliSolverConfig {
   }
 };
 
+analysis::TargetDomain domainFromName(const std::string &Name) {
+  if (Name == "leia")
+    return analysis::TargetDomain::Leia;
+  if (Name == "bi")
+    return analysis::TargetDomain::Bi;
+  if (Name == "mdp")
+    return analysis::TargetDomain::Mdp;
+  if (Name == "termination")
+    return analysis::TargetDomain::Termination;
+  return analysis::TargetDomain::None;
+}
+
+bool readSource(const std::string &Path, std::string &Source) {
+  if (Path == "-") {
+    std::ostringstream Buffer;
+    Buffer << std::cin.rdbuf();
+    Source = Buffer.str();
+    return true;
+  }
+  std::ifstream In(Path);
+  if (!In)
+    return false;
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  Source = Buffer.str();
+  return true;
+}
+
+/// Parse + decompose + lint one source into \p Diags. \returns the linted
+/// program, or null when parsing or decomposition failed (the failure has
+/// been reported into \p Diags).
+std::unique_ptr<lang::Program>
+parseAndLint(const std::string &Path, const std::string &Source,
+             DiagnosticEngine &Diags, const std::string &DomainName,
+             bool Decompose) {
+  Diags.setSource(Path, Source);
+  lang::ParseResult Parsed = lang::parseProgram(Source, Diags);
+  if (!Parsed)
+    return nullptr;
+  std::unique_ptr<lang::Program> Prog = std::move(Parsed.Prog);
+  if (Decompose) {
+    lang::DecomposeResult D = lang::decomposePosNeg(*Prog);
+    if (!D) {
+      Diags.report(Severity::Error, {}, "decompose-error",
+                   "cannot decompose: " + D.Error);
+      return nullptr;
+    }
+    Prog = std::move(D.Prog);
+  }
+  analysis::LintOptions Opts;
+  Opts.Domain = domainFromName(DomainName);
+  Opts.Decomposed = Decompose;
+  analysis::lintProgram(*Prog, Diags, Opts);
+  Diags.sortByLocation();
+  return Prog;
+}
+
+/// `pmaf check`: lint-only over any number of files; diagnostics go to
+/// stdout, exit 1 when any file has errors.
+int runCheck(const std::vector<std::string> &Files,
+             const std::string &DomainName, bool Decompose, bool Werror,
+             bool Json) {
+  if (Files.empty()) {
+    std::fprintf(stderr, "error: pmaf check requires at least one file\n");
+    return 2;
+  }
+  bool AnyErrors = false;
+  for (const std::string &Path : Files) {
+    std::string Source;
+    if (!readSource(Path, Source)) {
+      std::fprintf(stderr, "error: cannot open %s\n", Path.c_str());
+      AnyErrors = true;
+      continue;
+    }
+    DiagnosticEngine Diags;
+    Diags.setWarningsAsErrors(Werror);
+    parseAndLint(Path, Source, Diags, DomainName, Decompose);
+    if (Json)
+      std::printf("%s\n", Diags.renderJson().c_str());
+    else
+      std::printf("%s", Diags.renderAll().c_str());
+    if (Diags.hasErrors())
+      AnyErrors = true;
+  }
+  return AnyErrors ? 1 : 0;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
-  std::string Path, Domain = "leia";
-  bool Decompose = false, EmitDot = false;
+  bool CheckMode = argc > 1 && std::strcmp(argv[1], "check") == 0;
+  std::vector<std::string> Paths;
+  std::string Domain = "leia";
+  bool DomainExplicit = false;
+  bool Decompose = false, EmitDot = false, Werror = false, Json = false;
   CliSolverConfig Config;
-  for (int I = 1; I < argc; ++I) {
+  for (int I = CheckMode ? 2 : 1; I < argc; ++I) {
     std::string Arg = argv[I];
-    if (Arg.rfind("--domain=", 0) == 0)
+    if (Arg.rfind("--domain=", 0) == 0) {
       Domain = Arg.substr(9);
-    else if (Arg == "--decompose")
+      DomainExplicit = true;
+    } else if (Arg == "--decompose")
       Decompose = true;
-    else if (Arg == "--dot")
+    else if (Arg == "--werror")
+      Werror = true;
+    else if (Arg.rfind("--diag-format=", 0) == 0) {
+      std::string Format = Arg.substr(14);
+      if (Format == "json")
+        Json = true;
+      else if (Format != "text")
+        return usage(argv[0]);
+    } else if (Arg == "--dot")
       EmitDot = true;
     else if (Arg == "--stats")
       Config.Stats = true;
@@ -151,43 +266,38 @@ int main(int argc, char **argv) {
     else if (Arg[0] == '-' && Arg != "-")
       return usage(argv[0]);
     else
-      Path = Arg;
+      Paths.push_back(Arg);
   }
-  if (Path.empty())
+
+  if (CheckMode)
+    return runCheck(Paths, DomainExplicit ? Domain : std::string(),
+                    Decompose, Werror, Json);
+
+  if (Paths.size() != 1)
     return usage(argv[0]);
+  const std::string &Path = Paths[0];
 
   std::string Source;
-  if (Path == "-") {
-    std::ostringstream Buffer;
-    Buffer << std::cin.rdbuf();
-    Source = Buffer.str();
-  } else {
-    std::ifstream In(Path);
-    if (!In) {
-      std::fprintf(stderr, "error: cannot open %s\n", Path.c_str());
-      return 1;
-    }
-    std::ostringstream Buffer;
-    Buffer << In.rdbuf();
-    Source = Buffer.str();
-  }
-
-  lang::ParseResult Parsed = lang::parseProgram(Source);
-  if (!Parsed) {
-    std::fprintf(stderr, "%s: parse error: %s\n", Path.c_str(),
-                 Parsed.Error.c_str());
+  if (!readSource(Path, Source)) {
+    std::fprintf(stderr, "error: cannot open %s\n", Path.c_str());
     return 1;
   }
-  std::unique_ptr<lang::Program> Prog = std::move(Parsed.Prog);
-  if (Decompose) {
-    lang::DecomposeResult D = lang::decomposePosNeg(*Prog);
-    if (!D) {
-      std::fprintf(stderr, "%s: cannot decompose: %s\n", Path.c_str(),
-                   D.Error.c_str());
-      return 1;
-    }
-    Prog = std::move(D.Prog);
+
+  // Pre-analysis lint: warnings are advisory, errors (parse failures,
+  // type errors, domain-precondition violations) stop the analysis.
+  DiagnosticEngine Diags;
+  Diags.setWarningsAsErrors(Werror);
+  std::unique_ptr<lang::Program> Prog =
+      parseAndLint(Path, Source, Diags, Domain, Decompose);
+  if (!Diags.empty()) {
+    if (Json)
+      std::fprintf(stderr, "%s\n", Diags.renderJson().c_str());
+    else
+      std::fprintf(stderr, "%s", Diags.renderAll().c_str());
   }
+  if (!Prog || Diags.hasErrors())
+    return 1;
+
   cfg::ProgramGraph Graph = cfg::ProgramGraph::build(*Prog);
   if (EmitDot)
     std::printf("%s", Graph.toDot().c_str());
@@ -261,5 +371,6 @@ int main(int argc, char **argv) {
     Config.printReport(Counters, Opts);
     return Result.Stats.Converged ? 0 : 1;
   }
+  std::fprintf(stderr, "error: unknown domain %s\n", Domain.c_str());
   return usage(argv[0]);
 }
