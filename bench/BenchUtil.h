@@ -19,10 +19,13 @@
 #ifndef PMAF_BENCH_BENCHUTIL_H
 #define PMAF_BENCH_BENCHUTIL_H
 
+#include "support/ThreadPool.h"
+
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -81,6 +84,35 @@ inline std::string extractJsonPath(int &Argc, char **Argv) {
   }
   Argc = Out;
   return Path;
+}
+
+/// Removes `--jobs=<n>` from argv and returns n, or \p Default when
+/// absent. `--jobs=0` means one worker per hardware thread. The caller
+/// decides what to do with the value — typically SolverOptions::Jobs plus
+/// support::setSharedParallelism for the matrix kernels.
+inline unsigned extractJobs(int &Argc, char **Argv, unsigned Default = 1) {
+  unsigned Jobs = Default;
+  int Out = 1;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strncmp(Argv[I], "--jobs=", 7) == 0)
+      Jobs = static_cast<unsigned>(std::strtoul(Argv[I] + 7, nullptr, 10));
+    else
+      Argv[Out++] = Argv[I];
+  }
+  Argc = Out;
+  return Jobs;
+}
+
+/// The standard `--jobs` wiring of a bench main: extract the flag, resolve
+/// 0 to the hardware thread count, and size the process-wide shared pool
+/// the dense-matrix kernels use. \returns the resolved count, destined for
+/// SolverOptions::Jobs where the bench owns the SolverOptions.
+inline unsigned configureJobs(int &Argc, char **Argv) {
+  unsigned Jobs = extractJobs(Argc, Argv);
+  if (Jobs == 0)
+    Jobs = support::ThreadPool::hardwareConcurrency();
+  support::setSharedParallelism(Jobs);
+  return Jobs;
 }
 
 /// Collects BenchRecords and writes them as a JSON array of objects.

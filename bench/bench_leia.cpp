@@ -21,11 +21,16 @@ using namespace pmaf::domains;
 
 namespace {
 
+/// Resolved --jobs value (1 = sequential); set once in main before any
+/// analysis runs.
+unsigned BenchJobs = 1;
+
 AnalysisResult<LeiaValue> analyzeOnce(const cfg::ProgramGraph &Graph,
                                       const lang::Program &Prog) {
   LeiaDomain Dom(Prog);
   SolverOptions Opts;
   Opts.WideningDelay = 2;
+  Opts.Jobs = BenchJobs;
   return solve(Graph, Dom, Opts);
 }
 
@@ -46,6 +51,7 @@ void registerTimingBenchmarks() {
 } // namespace
 
 int main(int argc, char **argv) {
+  BenchJobs = bench::configureJobs(argc, argv);
   std::string JsonPath = bench::extractJsonPath(argc, argv);
   bench::JsonEmitter Json;
   std::printf("Table 1: linear expectation-invariant analysis (§5.3)\n");

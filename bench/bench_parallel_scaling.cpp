@@ -1,0 +1,141 @@
+//===- bench/bench_parallel_scaling.cpp - Parallel engine scaling ---------===//
+//
+// Measures the parallel analysis engine: analysis time and speedup vs
+// worker count for
+//
+//  (i)  Bayesian inference, where the parallel win is concurrent
+//       transformer precompilation plus the block-parallel dense-matrix
+//       kernels (the shared pool), and
+//  (ii) LEIA under the parallel per-SCC scheduler
+//       (IterationStrategy::ParallelScc), where independent strongly
+//       connected components of the dependence graph stabilize
+//       concurrently.
+//
+// Speedup is reported relative to the same configuration at one job.
+// Both schedules are deterministic — the parallel fixpoints are
+// bit-identical to the sequential ones (tests/SchedulerParityTest.cpp) —
+// so the comparison is purely about wall clock. Actual speedup is bounded
+// by the hardware thread count of the machine (printed in the header;
+// job counts beyond it measure oversubscription overhead only) and by
+// how much cross-SCC parallelism the benchmark programs expose.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "benchmarks/Programs.h"
+#include "cfg/HyperGraph.h"
+#include "core/Solver.h"
+#include "domains/BiDomain.h"
+#include "domains/LeiaDomain.h"
+#include "lang/Parser.h"
+
+#include <benchmark/benchmark.h>
+
+#include <iterator>
+
+using namespace pmaf;
+using namespace pmaf::core;
+using namespace pmaf::domains;
+
+namespace {
+
+constexpr unsigned JobCounts[] = {1, 2, 4, 8};
+
+struct ScalingRow {
+  double Seconds[4] = {0, 0, 0, 0};
+  SolverStats Stats[4];
+};
+
+/// Times one (program, jobs) configuration; the shared pool is resized to
+/// match so the matrix kernels see the same parallelism as the solver.
+template <typename AnalyzeFn>
+ScalingRow measure(AnalyzeFn &&Analyze) {
+  ScalingRow Row;
+  for (size_t J = 0; J != std::size(JobCounts); ++J) {
+    support::setSharedParallelism(JobCounts[J]);
+    Row.Stats[J] = Analyze(JobCounts[J]).Stats;
+    // 3 runs (median survives the trim): the 4 job counts quadruple the
+    // measurement matrix relative to the single-configuration benches.
+    Row.Seconds[J] =
+        bench::timedTrimmedMean([&] { Analyze(JobCounts[J]); }, 3);
+  }
+  support::setSharedParallelism(1);
+  return Row;
+}
+
+void printRow(const char *Family, const char *Name, const ScalingRow &Row,
+              bench::JsonEmitter &Json) {
+  std::printf("%-6s %-14s", Family, Name);
+  for (size_t J = 0; J != std::size(JobCounts); ++J) {
+    double Speedup = Row.Seconds[J] > 0.0 && Row.Seconds[0] > 0.0
+                         ? Row.Seconds[0] / Row.Seconds[J]
+                         : 1.0;
+    std::printf(" %9.4f %5.2fx", Row.Seconds[J], Speedup);
+    char RecordName[128];
+    std::snprintf(RecordName, sizeof(RecordName), "%s/%s/jobs=%u", Family,
+                  Name, JobCounts[J]);
+    Json.add({RecordName, Row.Seconds[J], Row.Stats[J].NodeUpdates,
+              Row.Stats[J].WideningApplications,
+              Row.Stats[J].InterpretCalls,
+              Row.Stats[J].InterpretCacheHits});
+  }
+  std::printf("\n");
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string JsonPath = bench::extractJsonPath(argc, argv);
+  bench::JsonEmitter Json;
+
+  std::printf("Parallel-engine scaling: analysis time vs --jobs "
+              "(%u hardware threads)\n",
+              support::ThreadPool::hardwareConcurrency());
+  bench::printRule(100);
+  std::printf("%-6s %-14s", "family", "program");
+  for (unsigned Jobs : JobCounts)
+    std::printf("   jobs=%-2u speedup", Jobs);
+  std::printf("\n");
+  bench::printRule(100);
+
+  // (i) BI: precompilation and the dense kernels parallelize; the
+  // WTO-recursive schedule itself stays sequential.
+  for (const auto &Bench : benchmarks::biPrograms()) {
+    auto Prog = lang::parseProgramOrDie(Bench.Source);
+    cfg::ProgramGraph Graph = cfg::ProgramGraph::build(*Prog);
+    BoolStateSpace Space(*Prog);
+    BiDomain Dom(Space);
+    ScalingRow Row = measure([&](unsigned Jobs) {
+      SolverOptions Opts;
+      Opts.UseWidening = false;
+      Opts.Jobs = Jobs;
+      BiDomain Copy = Dom;
+      return solve(Graph, Copy, Opts);
+    });
+    printRow("BI", Bench.Name, Row, Json);
+  }
+
+  // (ii) LEIA under the parallel per-SCC scheduler: procedures and
+  // independent loop nests stabilize concurrently.
+  for (const auto &Bench : benchmarks::leiaPrograms()) {
+    auto Prog = lang::parseProgramOrDie(Bench.Source);
+    cfg::ProgramGraph Graph = cfg::ProgramGraph::build(*Prog);
+    ScalingRow Row = measure([&](unsigned Jobs) {
+      LeiaDomain Dom(*Prog);
+      SolverOptions Opts;
+      Opts.Strategy = IterationStrategy::ParallelScc;
+      Opts.Jobs = Jobs;
+      return solve(Graph, Dom, Opts);
+    });
+    printRow("LEIA", Bench.Name, Row, Json);
+  }
+
+  bench::printRule(100);
+  std::printf("\n");
+  if (!Json.writeTo(JsonPath))
+    std::fprintf(stderr, "warning: cannot write %s\n", JsonPath.c_str());
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

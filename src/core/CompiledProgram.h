@@ -15,7 +15,18 @@
 ///    indexed by hyper-edge id — the *interpret-cache invariant*. The
 ///    monolithic solver used to re-interpret on every node update, which
 ///    for LEIA meant rebuilding the same polyhedra thousands of times per
-///    fixpoint.
+///    fixpoint. Cache slots guard their first fill with a `std::once_flag`,
+///    so concurrent transformer() calls (parallel SCC workers, a
+///    precompile racing a sequential solve) are safe for any domain whose
+///    interpret is thread-safe, and the invariant holds under concurrency:
+///    exactly one interpret per edge, ever.
+///  * **Precompilation.** precompile() interprets every `seq` edge up
+///    front. Interpreting edges is embarrassingly parallel — for LEIA and
+///    BI each interpret builds polyhedra/matrices from scratch — so when
+///    given a thread pool and a `ThreadSafeInterpret` domain it fans the
+///    edges out with parallelFor; otherwise it fills the cache
+///    sequentially. The lazy transformer() path remains for sequential
+///    use.
 ///  * **Right-hand sides.** evalRhs() evaluates one inequality of the
 ///    system against a value vector, using the cached transformers; no
 ///    later layer walks the AST.
@@ -35,9 +46,12 @@
 #include "cfg/HyperGraph.h"
 #include "core/Domain.h"
 #include "core/Instrumentation.h"
+#include "support/ThreadPool.h"
 
+#include <atomic>
 #include <cassert>
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -71,23 +85,54 @@ public:
 
   /// The abstract transformer of `seq` hyper-edge \p EdgeIndex; interprets
   /// the edge's data action on first request and serves the cached value
-  /// afterwards.
+  /// afterwards. Concurrent first requests are serialized per slot, so
+  /// exactly one thread interprets and the rest observe a cache hit; with
+  /// a thread pool in play, onInterpret may fire from worker threads.
   const Value &transformer(unsigned EdgeIndex) {
-    std::optional<Value> &Slot = Transformers[EdgeIndex];
-    if (!Slot) {
+    Slot &S = Transformers[EdgeIndex];
+    bool Interpreted = false;
+    std::call_once(S.Once, [&] {
       assert(Graph.edges()[EdgeIndex].Ctrl.TheKind ==
                  cfg::ControlAction::Kind::Seq &&
              "only seq edges carry data actions");
-      Slot.emplace(Dom.interpret(Graph.edges()[EdgeIndex].Ctrl.DataAction));
-      ++InterpretCallCount;
+      S.Stored.emplace(
+          Dom.interpret(Graph.edges()[EdgeIndex].Ctrl.DataAction));
+      Interpreted = true;
+    });
+    if (Interpreted) {
+      InterpretCallCount.fetch_add(1, std::memory_order_relaxed);
       if (Observer)
         Observer->onInterpret(EdgeIndex, /*CacheHit=*/false);
     } else {
-      ++InterpretCacheHitCount;
+      InterpretCacheHitCount.fetch_add(1, std::memory_order_relaxed);
       if (Observer)
         Observer->onInterpret(EdgeIndex, /*CacheHit=*/true);
     }
-    return *Slot;
+    return *S.Stored;
+  }
+
+  /// Fills the transformer cache for every `seq` edge up front, in
+  /// parallel over \p Pool when the domain declares ThreadSafeInterpret
+  /// (sequentially otherwise, or when \p Pool is null). Idempotent — edges
+  /// an earlier solve already interpreted are cache hits — and safe to
+  /// race against concurrent transformer() calls. \returns the number of
+  /// `seq` edges in the program (filled slots, not fresh interprets).
+  unsigned precompile(support::ThreadPool *Pool = nullptr) {
+    std::vector<unsigned> SeqEdges;
+    const auto &Edges = Graph.edges();
+    for (unsigned E = 0; E != Edges.size(); ++E)
+      if (Edges[E].Ctrl.TheKind == cfg::ControlAction::Kind::Seq)
+        SeqEdges.push_back(E);
+    if constexpr (threadSafeInterpret<D>()) {
+      if (Pool) {
+        Pool->parallelFor(0, SeqEdges.size(),
+                          [&](size_t I) { transformer(SeqEdges[I]); });
+        return static_cast<unsigned>(SeqEdges.size());
+      }
+    }
+    for (unsigned E : SeqEdges)
+      transformer(E);
+    return static_cast<unsigned>(SeqEdges.size());
   }
 
   /// Right-hand side of node \p V's inequality (§4.3), evaluated against
@@ -118,17 +163,28 @@ public:
 
   /// Lifetime totals of the transformer cache (across every solve this
   /// compiled program served).
-  uint64_t interpretCalls() const { return InterpretCallCount; }
-  uint64_t interpretCacheHits() const { return InterpretCacheHitCount; }
+  uint64_t interpretCalls() const {
+    return InterpretCallCount.load(std::memory_order_relaxed);
+  }
+  uint64_t interpretCacheHits() const {
+    return InterpretCacheHitCount.load(std::memory_order_relaxed);
+  }
 
 private:
+  /// A transformer cache slot; the once_flag makes the first fill safe
+  /// against concurrent requests (call_once publishes Stored).
+  struct Slot {
+    std::once_flag Once;
+    std::optional<Value> Stored;
+  };
+
   const cfg::ProgramGraph &Graph;
   D &Dom;
   SolverObserver *Observer = nullptr;
   std::vector<std::vector<unsigned>> Dependents;
-  std::vector<std::optional<Value>> Transformers;
-  uint64_t InterpretCallCount = 0;
-  uint64_t InterpretCacheHitCount = 0;
+  std::vector<Slot> Transformers;
+  std::atomic<uint64_t> InterpretCallCount{0};
+  std::atomic<uint64_t> InterpretCacheHitCount{0};
 };
 
 } // namespace core

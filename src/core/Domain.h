@@ -67,6 +67,29 @@ concept PreMarkovAlgebra = requires(
   { Dom.toString(A) } -> std::same_as<std::string>;
 };
 
+/// Opt-in declaration of the thread-safety trait: a domain that defines
+/// `static constexpr bool ThreadSafeInterpret = true` promises that
+/// concurrent calls of its const operations (interpret, extend, the
+/// choices, leq/equal, the widenings) on a single instance are data-race
+/// free. The parallel engine consults this before precompiling
+/// transformers concurrently or running the per-SCC parallel scheduler;
+/// domains with shared mutable internals (e.g. AddBiDomain's hash-consing
+/// AddManager) declare false — or nothing, since absent means unsafe —
+/// and are iterated sequentially.
+template <typename D>
+concept DeclaresThreadSafeInterpret = requires {
+  { D::ThreadSafeInterpret } -> std::convertible_to<bool>;
+};
+
+/// Whether the engine may touch \p D from several threads at once.
+/// Conservative default: domains that do not opt in are treated as unsafe.
+template <typename D> consteval bool threadSafeInterpret() {
+  if constexpr (DeclaresThreadSafeInterpret<D>)
+    return D::ThreadSafeInterpret;
+  else
+    return false;
+}
+
 } // namespace core
 } // namespace pmaf
 

@@ -15,11 +15,20 @@
 /// `--stats`, the bench binaries' JSON emitters, future tracing backends)
 /// can share the single hook without touching the solver or the domains.
 ///
+/// **Concurrency.** When the solver runs with a thread pool (Jobs > 1),
+/// per-node and per-edge callbacks — onNodeUpdate, onWidening,
+/// onComponentStabilized, onInterpret — may arrive concurrently from
+/// worker threads; observers must make those handlers data-race free.
+/// Begin/end bracket events (onSolveBegin, onPrecompileEnd, onSolveEnd)
+/// always come from the coordinating thread, before workers start or
+/// after they quiesce. The stock SolverInstrumentation below is safe.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PMAF_CORE_INSTRUMENTATION_H
 #define PMAF_CORE_INSTRUMENTATION_H
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -60,27 +69,60 @@ public:
 
   /// The transformer of `seq` edge \p EdgeIndex was requested; \p CacheHit
   /// is false exactly when Dom.interpret ran (at most once per edge per
-  /// compiled program — the interpret-cache invariant).
+  /// compiled program — the interpret-cache invariant). May fire from a
+  /// pool worker during parallel precompilation or a parallel solve.
   virtual void onInterpret(unsigned EdgeIndex, bool CacheHit) {
     (void)EdgeIndex;
     (void)CacheHit;
+  }
+
+  /// The up-front transformer precompilation pass finished: the cache now
+  /// covers all \p Transformers `seq` edges, after \p Seconds of wall
+  /// clock. Emitted (from the coordinating thread, before iteration
+  /// begins) only when the solve requested precompilation (Jobs > 1).
+  virtual void onPrecompileEnd(unsigned Transformers, double Seconds) {
+    (void)Transformers;
+    (void)Seconds;
   }
 };
 
 /// The stock timing/counter observer: tallies every event and the
 /// wall-clock time between onSolveBegin and onSolveEnd. Counters
 /// accumulate across solves; reset() starts a fresh measurement.
+///
+/// The per-event tallies are atomics (relaxed increments — they are
+/// independent counters, not synchronization), so this observer may be
+/// handed to a parallel solve as-is. The timing fields stay plain: they
+/// are only touched by the bracket events, which the solver emits from
+/// the coordinating thread.
 class SolverInstrumentation : public SolverObserver {
 public:
-  uint64_t Solves = 0;
-  uint64_t NodeUpdates = 0;
-  uint64_t ValueChanges = 0;
-  uint64_t WideningApplications = 0;
-  uint64_t ComponentStabilizations = 0;
-  uint64_t InterpretCalls = 0;
-  uint64_t InterpretCacheHits = 0;
+  std::atomic<uint64_t> Solves{0};
+  std::atomic<uint64_t> NodeUpdates{0};
+  std::atomic<uint64_t> ValueChanges{0};
+  std::atomic<uint64_t> WideningApplications{0};
+  std::atomic<uint64_t> ComponentStabilizations{0};
+  std::atomic<uint64_t> InterpretCalls{0};
+  std::atomic<uint64_t> InterpretCacheHits{0};
   double SolveSeconds = 0.0;
+  /// Wall clock and coverage of the up-front precompilation passes
+  /// (zero unless some solve ran with Jobs > 1).
+  double PrecompileSeconds = 0.0;
+  uint64_t PrecompiledTransformers = 0;
   bool LastConverged = true;
+
+  SolverInstrumentation() = default;
+  /// Copyable despite the atomics (snapshot semantics) so harnesses can
+  /// return instrumentation by value; take the snapshot only while no
+  /// solve is running.
+  SolverInstrumentation(const SolverInstrumentation &Other)
+      : SolverObserver(Other) {
+    copyFrom(Other);
+  }
+  SolverInstrumentation &operator=(const SolverInstrumentation &Other) {
+    copyFrom(Other);
+    return *this;
+  }
 
   void onSolveBegin(unsigned) override {
     Start = std::chrono::steady_clock::now();
@@ -89,48 +131,76 @@ public:
     SolveSeconds += std::chrono::duration<double>(
                         std::chrono::steady_clock::now() - Start)
                         .count();
-    ++Solves;
+    Solves.fetch_add(1, std::memory_order_relaxed);
     LastConverged = Converged;
   }
   void onNodeUpdate(unsigned, bool Changed) override {
-    ++NodeUpdates;
-    ValueChanges += Changed;
+    NodeUpdates.fetch_add(1, std::memory_order_relaxed);
+    if (Changed)
+      ValueChanges.fetch_add(1, std::memory_order_relaxed);
   }
-  void onWidening(unsigned) override { ++WideningApplications; }
+  void onWidening(unsigned) override {
+    WideningApplications.fetch_add(1, std::memory_order_relaxed);
+  }
   void onComponentStabilized(unsigned, unsigned) override {
-    ++ComponentStabilizations;
+    ComponentStabilizations.fetch_add(1, std::memory_order_relaxed);
   }
   void onInterpret(unsigned, bool CacheHit) override {
     if (CacheHit)
-      ++InterpretCacheHits;
+      InterpretCacheHits.fetch_add(1, std::memory_order_relaxed);
     else
-      ++InterpretCalls;
+      InterpretCalls.fetch_add(1, std::memory_order_relaxed);
+  }
+  void onPrecompileEnd(unsigned Transformers, double Seconds) override {
+    PrecompiledTransformers += Transformers;
+    PrecompileSeconds += Seconds;
   }
 
   void reset() { *this = SolverInstrumentation(); }
 
   /// Multi-line human-readable dump (the CLI's `--stats` body).
   std::string report() const {
-    char Buffer[512];
-    std::snprintf(
+    char Buffer[640];
+    int Len = std::snprintf(
         Buffer, sizeof(Buffer),
         "; solver: %llu updates (%llu changed), %llu widenings, "
         "%llu components stabilized, converged=%s\n"
         "; interpret cache: %llu misses (= distinct seq edges evaluated), "
         "%llu hits\n"
         "; wall clock: %.6f s over %llu solve(s)\n",
-        static_cast<unsigned long long>(NodeUpdates),
-        static_cast<unsigned long long>(ValueChanges),
-        static_cast<unsigned long long>(WideningApplications),
-        static_cast<unsigned long long>(ComponentStabilizations),
+        static_cast<unsigned long long>(NodeUpdates.load()),
+        static_cast<unsigned long long>(ValueChanges.load()),
+        static_cast<unsigned long long>(WideningApplications.load()),
+        static_cast<unsigned long long>(ComponentStabilizations.load()),
         LastConverged ? "yes" : "NO",
-        static_cast<unsigned long long>(InterpretCalls),
-        static_cast<unsigned long long>(InterpretCacheHits), SolveSeconds,
-        static_cast<unsigned long long>(Solves));
+        static_cast<unsigned long long>(InterpretCalls.load()),
+        static_cast<unsigned long long>(InterpretCacheHits.load()),
+        SolveSeconds, static_cast<unsigned long long>(Solves.load()));
+    if (PrecompiledTransformers > 0 && Len > 0 &&
+        static_cast<size_t>(Len) < sizeof(Buffer))
+      std::snprintf(Buffer + Len, sizeof(Buffer) - Len,
+                    "; precompile: %llu transformers in %.6f s\n",
+                    static_cast<unsigned long long>(PrecompiledTransformers),
+                    PrecompileSeconds);
     return Buffer;
   }
 
 private:
+  void copyFrom(const SolverInstrumentation &Other) {
+    Solves.store(Other.Solves.load());
+    NodeUpdates.store(Other.NodeUpdates.load());
+    ValueChanges.store(Other.ValueChanges.load());
+    WideningApplications.store(Other.WideningApplications.load());
+    ComponentStabilizations.store(Other.ComponentStabilizations.load());
+    InterpretCalls.store(Other.InterpretCalls.load());
+    InterpretCacheHits.store(Other.InterpretCacheHits.load());
+    SolveSeconds = Other.SolveSeconds;
+    PrecompileSeconds = Other.PrecompileSeconds;
+    PrecompiledTransformers = Other.PrecompiledTransformers;
+    LastConverged = Other.LastConverged;
+    Start = Other.Start;
+  }
+
   std::chrono::steady_clock::time_point Start;
 };
 

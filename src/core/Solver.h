@@ -23,15 +23,23 @@
 ///     cached `seq`-edge transformers (one Dom.interpret per edge),
 ///     right-hand-side evaluation, dependence structure;
 ///   * core/Schedule.h — pluggable iteration strategies (WTO-recursive,
-///     round-robin, dependency-driven worklist) behind a domain-free
-///     Scheduler interface;
+///     round-robin, dependency-driven worklist, parallel per-SCC) behind a
+///     domain-free Scheduler interface;
 ///   * core/Instrumentation.h — passive observers of solver events.
 ///
 /// The facade itself owns what is neither program structure nor iteration
 /// order: the value vector, widening (at widening points the operator is
 /// chosen by the control action of the node's unique outgoing hyper-edge,
 /// §4.4, which maintains the invariant of Obs 4.9 — old ⊑ new at every
-/// `old ∇ new`), convergence accounting, and the update budget.
+/// `old ∇ new`), convergence accounting, and the update budget — plus the
+/// parallel-engine plumbing: when SolverOptions::Jobs asks for more than
+/// one worker and the domain declares ThreadSafeInterpret, solve() owns a
+/// per-solve thread pool, precompiles all `seq`-edge transformers on it
+/// before iteration starts, and hands it to the scheduler (only
+/// IterationStrategy::ParallelScc uses it). Update accounting switches to
+/// atomics so concurrent SCC workers can share the counters; per-node
+/// state (values, update counts) needs no locks because each node is
+/// written by exactly one worker (see ParallelSccScheduler).
 ///
 /// The value computed at a procedure's entry node is that procedure's
 /// summary (§2.3).
@@ -47,8 +55,12 @@
 #include "core/Domain.h"
 #include "core/Instrumentation.h"
 #include "core/Schedule.h"
+#include "support/ThreadPool.h"
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 namespace pmaf {
@@ -71,6 +83,14 @@ struct SolverOptions {
 
   /// Safety valve: abort (Converged=false) after this many node updates.
   uint64_t MaxUpdates = 5'000'000;
+
+  /// Worker threads for the parallel engine: up-front transformer
+  /// precompilation and the ParallelScc scheduler. 1 (the default) keeps
+  /// the solve fully sequential and pool-free; 0 means one worker per
+  /// hardware thread. Domains that do not declare ThreadSafeInterpret
+  /// (core/Domain.h) are always solved sequentially — Jobs > 1 then still
+  /// precompiles transformers up front, just on the calling thread.
+  unsigned Jobs = 1;
 };
 
 /// Counters reported by the solver (a built-in summary; richer event
@@ -85,6 +105,17 @@ struct SolverStats {
   uint64_t InterpretCalls = 0;
   /// Transformer-cache hits during this solve.
   uint64_t InterpretCacheHits = 0;
+  /// `seq` edges covered by the up-front precompilation pass (zero when
+  /// the solve was lazy, i.e. Jobs == 1).
+  uint64_t PrecompiledTransformers = 0;
+  /// Wall-clock seconds of the precompilation pass.
+  double PrecompileSeconds = 0.0;
+  /// Cumulative busy seconds across pool workers; utilization over the
+  /// whole solve is ThreadBusySeconds / (JobsUsed * wall seconds).
+  double ThreadBusySeconds = 0.0;
+  /// Worker threads the solve actually used (1 = sequential, either by
+  /// request or because the domain is not ThreadSafeInterpret).
+  unsigned JobsUsed = 1;
   bool Converged = true;
 };
 
@@ -129,14 +160,52 @@ AnalysisResult<typename D::Value> solve(CompiledProgram<D> &Compiled,
     Roots.push_back(Graph.proc(P).Exit);
   cfg::Wto Order = cfg::Wto::compute(Compiled.dependents(), Roots);
 
+  // Parallel engine setup. The pool is per-solve (distinct from the
+  // process-wide shared pool the matrix kernels use) and only exists when
+  // both the caller asked for parallelism and the domain allows it.
+  const unsigned Jobs = Opts.Jobs == 0
+                            ? support::ThreadPool::hardwareConcurrency()
+                            : Opts.Jobs;
+  constexpr bool ParallelSafe = threadSafeInterpret<D>();
+  std::unique_ptr<support::ThreadPool> Pool;
+  if (Jobs > 1 && ParallelSafe)
+    Pool = std::make_unique<support::ThreadPool>(Jobs);
+  Result.Stats.JobsUsed = Pool ? Pool->size() : 1;
+
+  // With more than one job requested, pay for every transformer up front
+  // (in parallel when the domain permits) so the iteration phase never
+  // stalls on an interpret.
+  if (Jobs > 1) {
+    auto PrecompileStart = std::chrono::steady_clock::now();
+    Result.Stats.PrecompiledTransformers = Compiled.precompile(Pool.get());
+    Result.Stats.PrecompileSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      PrecompileStart)
+            .count();
+    if (Observer)
+      Observer->onPrecompileEnd(
+          static_cast<unsigned>(Result.Stats.PrecompiledTransformers),
+          Result.Stats.PrecompileSeconds);
+  }
+
   std::vector<unsigned> UpdateCount(NumNodes, 0);
 
-  // Updates node V; returns true if its value changed.
+  // Shared update accounting. Atomics because ParallelScc runs Update from
+  // several workers at once; relaxed ordering suffices — these are pure
+  // counters, and the scheduler orders the value vector itself.
+  std::atomic<uint64_t> NodeUpdates{0};
+  std::atomic<uint64_t> WideningApplications{0};
+  std::atomic<bool> Converged{true};
+
+  // Updates node V; returns true if its value changed. Safe to call
+  // concurrently for nodes in different SCCs: per-node state (Values,
+  // UpdateCount) is only ever touched by the worker that owns V's SCC.
   auto Update = [&](unsigned V) -> bool {
     if (!Graph.outgoing(V))
       return false; // Exit nodes are pinned at 1.
-    if (++Result.Stats.NodeUpdates > Opts.MaxUpdates) {
-      Result.Stats.Converged = false;
+    if (NodeUpdates.fetch_add(1, std::memory_order_relaxed) + 1 >
+        Opts.MaxUpdates) {
+      Converged.store(false, std::memory_order_relaxed);
       return false;
     }
     Value New = Compiled.evalRhs(V, Result.Values);
@@ -144,7 +213,7 @@ AnalysisResult<typename D::Value> solve(CompiledProgram<D> &Compiled,
                  UpdateCount[V] >= Opts.WideningDelay;
     ++UpdateCount[V];
     if (Widen) {
-      ++Result.Stats.WideningApplications;
+      WideningApplications.fetch_add(1, std::memory_order_relaxed);
       if (Observer)
         Observer->onWidening(V);
       const Value &Old = Result.Values[V];
@@ -182,19 +251,35 @@ AnalysisResult<typename D::Value> solve(CompiledProgram<D> &Compiled,
     return true;
   };
 
+  // The worklist scheduler's priority key, hoisted here so it is computed
+  // once per solve rather than once per scheduler run.
+  std::vector<unsigned> Positions = Order.positions();
+
   ScheduleContext Ctx;
   Ctx.NumNodes = NumNodes;
   Ctx.Order = &Order;
   Ctx.Dependents = &Compiled.dependents();
+  Ctx.Positions = &Positions;
   Ctx.Update = Update;
-  Ctx.Exhausted = [&Result] { return !Result.Stats.Converged; };
+  Ctx.Exhausted = [&Converged] {
+    return !Converged.load(std::memory_order_relaxed);
+  };
   Ctx.Observer = Observer;
+  Ctx.Pool = Pool.get();
+  Ctx.ParallelSafe = ParallelSafe;
   makeScheduler(Opts.Strategy)->run(Ctx);
 
+  Result.Stats.NodeUpdates = NodeUpdates.load(std::memory_order_relaxed);
+  Result.Stats.WideningApplications =
+      WideningApplications.load(std::memory_order_relaxed);
+  Result.Stats.Converged = Converged.load(std::memory_order_relaxed);
   Result.Stats.InterpretCalls =
       Compiled.interpretCalls() - InterpretCallsBefore;
   Result.Stats.InterpretCacheHits =
       Compiled.interpretCacheHits() - InterpretHitsBefore;
+  if (Pool)
+    for (double Busy : Pool->workerBusySeconds())
+      Result.Stats.ThreadBusySeconds += Busy;
   if (Observer)
     Observer->onSolveEnd(Result.Stats.Converged);
   return Result;

@@ -47,6 +47,15 @@ class AddBiDomain {
 public:
   using Value = add::NodeRef;
 
+  /// NOT thread-safe: every operation hash-conses nodes and memoizes apply
+  /// results in the shared AddManager's unique/apply tables (Add.h), so
+  /// concurrent interprets would race the manager. The engine therefore
+  /// precompiles and iterates this domain sequentially. The alternative —
+  /// a thread-local manager per precompile task with a merge step — is
+  /// sketched in DESIGN.md §Parallel execution but not worth the rename
+  /// traffic until ADD workloads dominate.
+  static constexpr bool ThreadSafeInterpret = false;
+
   explicit AddBiDomain(const BoolStateSpace &Space,
                        double Tolerance = 1e-12);
 

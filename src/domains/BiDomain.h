@@ -42,6 +42,11 @@ class BiDomain {
 public:
   using Value = Matrix;
 
+  /// Every operation reads only the immutable state space: concurrent
+  /// interpret/extend/equal calls on one instance are safe, so the engine
+  /// may precompile transformers and stabilize SCCs in parallel.
+  static constexpr bool ThreadSafeInterpret = true;
+
   /// \param Space Boolean state space of the program under analysis.
   /// \param Tolerance equality tolerance for fixpoint detection.
   explicit BiDomain(const BoolStateSpace &Space, double Tolerance = 1e-12)
@@ -61,12 +66,17 @@ public:
 
   Value probChoice(const Rational &P, const Value &A, const Value &B) const {
     double Prob = P.toDouble();
-    return A.scaled(Prob) + B.scaled(1.0 - Prob);
+    Value Result = A;
+    Result.scaleInPlace(Prob);
+    Result.addScaledInPlace(B, 1.0 - Prob);
+    return Result;
   }
 
   /// Pointwise min: lower bounds under demonic nondeterminism.
   Value ndetChoice(const Value &A, const Value &B) const {
-    return A.pointwiseMin(B);
+    Value Result = A;
+    Result.pointwiseMinInPlace(B);
+    return Result;
   }
 
   /// Semantic function ⟦·⟧_B: Boolean assignment, Bernoulli sampling,

@@ -58,6 +58,12 @@ class LeiaDomain {
 public:
   using Value = LeiaValue;
 
+  /// Polyhedra are value types over exact rationals with no shared caches,
+  /// and the domain itself only reads the program: concurrent interpret
+  /// and operator calls are safe (the LEIA precompile win — every `seq`
+  /// edge rebuilds polyhedra from scratch).
+  static constexpr bool ThreadSafeInterpret = true;
+
   /// \param Prog program under analysis (all variables must be real-valued
   /// and are assumed nonnegative, after the paper's positive-negative
   /// decomposition).

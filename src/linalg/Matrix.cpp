@@ -2,11 +2,21 @@
 
 #include "linalg/Matrix.h"
 
+#include "support/ThreadPool.h"
+
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
 
 using namespace pmaf;
+
+namespace {
+
+/// Parallelize a product only when it is worth a trip through the pool:
+/// below ~64^3 multiply-adds the fork/join overhead dominates.
+constexpr size_t ParallelFlopThreshold = size_t(1) << 18;
+
+} // namespace
 
 Matrix Matrix::identity(size_t Size) {
   Matrix Result(Size, Size);
@@ -18,60 +28,102 @@ Matrix Matrix::identity(size_t Size) {
 Matrix Matrix::operator*(const Matrix &Other) const {
   assert(NumCols == Other.NumRows && "matrix product dimension mismatch");
   Matrix Result(NumRows, Other.NumCols);
-  for (size_t I = 0; I != NumRows; ++I) {
-    for (size_t K = 0; K != NumCols; ++K) {
-      double Lhs = Data[I * NumCols + K];
-      if (Lhs == 0.0)
-        continue;
-      const double *OtherRow = &Other.Data[K * Other.NumCols];
-      double *OutRow = &Result.Data[I * Other.NumCols];
-      for (size_t J = 0; J != Other.NumCols; ++J)
-        OutRow[J] += Lhs * OtherRow[J];
+  // One row block, rows [RowBegin, RowEnd). The i-k-j loop order streams
+  // both Other and the output row-major; the zero test skips the sparse
+  // bulk of transformer matrices. Each output row is accumulated in the
+  // same k-order no matter how rows are blocked, so sequential and
+  // parallel products agree bit-for-bit.
+  auto RowBlock = [&](size_t RowBegin, size_t RowEnd) {
+    for (size_t I = RowBegin; I != RowEnd; ++I) {
+      for (size_t K = 0; K != NumCols; ++K) {
+        double Lhs = Data[I * NumCols + K];
+        if (Lhs == 0.0)
+          continue;
+        const double *OtherRow = &Other.Data[K * Other.NumCols];
+        double *OutRow = &Result.Data[I * Other.NumCols];
+        for (size_t J = 0; J != Other.NumCols; ++J)
+          OutRow[J] += Lhs * OtherRow[J];
+      }
     }
-  }
+  };
+  support::ThreadPool *Pool = support::sharedPool();
+  if (Pool && NumRows > 1 &&
+      NumRows * NumCols * Other.NumCols >= ParallelFlopThreshold)
+    Pool->parallelForChunks(0, NumRows, RowBlock);
+  else
+    RowBlock(0, NumRows);
   return Result;
 }
 
-Matrix Matrix::operator+(const Matrix &Other) const {
+Matrix &Matrix::operator+=(const Matrix &Other) {
   assert(NumRows == Other.NumRows && NumCols == Other.NumCols &&
          "matrix sum dimension mismatch");
-  Matrix Result = *this;
   for (size_t I = 0; I != Data.size(); ++I)
-    Result.Data[I] += Other.Data[I];
+    Data[I] += Other.Data[I];
+  return *this;
+}
+
+Matrix &Matrix::operator-=(const Matrix &Other) {
+  assert(NumRows == Other.NumRows && NumCols == Other.NumCols &&
+         "matrix difference dimension mismatch");
+  for (size_t I = 0; I != Data.size(); ++I)
+    Data[I] -= Other.Data[I];
+  return *this;
+}
+
+Matrix Matrix::operator+(const Matrix &Other) const {
+  Matrix Result = *this;
+  Result += Other;
   return Result;
 }
 
 Matrix Matrix::operator-(const Matrix &Other) const {
-  assert(NumRows == Other.NumRows && NumCols == Other.NumCols &&
-         "matrix difference dimension mismatch");
   Matrix Result = *this;
-  for (size_t I = 0; I != Data.size(); ++I)
-    Result.Data[I] -= Other.Data[I];
+  Result -= Other;
   return Result;
+}
+
+void Matrix::scaleInPlace(double Factor) {
+  for (double &Entry : Data)
+    Entry *= Factor;
+}
+
+void Matrix::addScaledInPlace(const Matrix &Other, double Factor) {
+  assert(NumRows == Other.NumRows && NumCols == Other.NumCols &&
+         "addScaledInPlace dimension mismatch");
+  for (size_t I = 0; I != Data.size(); ++I)
+    Data[I] += Other.Data[I] * Factor;
 }
 
 Matrix Matrix::scaled(double Factor) const {
   Matrix Result = *this;
-  for (double &Entry : Result.Data)
-    Entry *= Factor;
+  Result.scaleInPlace(Factor);
   return Result;
 }
 
-Matrix Matrix::pointwiseMin(const Matrix &Other) const {
+void Matrix::pointwiseMinInPlace(const Matrix &Other) {
   assert(NumRows == Other.NumRows && NumCols == Other.NumCols &&
          "pointwiseMin dimension mismatch");
-  Matrix Result = *this;
   for (size_t I = 0; I != Data.size(); ++I)
-    Result.Data[I] = std::min(Result.Data[I], Other.Data[I]);
+    Data[I] = std::min(Data[I], Other.Data[I]);
+}
+
+void Matrix::pointwiseMaxInPlace(const Matrix &Other) {
+  assert(NumRows == Other.NumRows && NumCols == Other.NumCols &&
+         "pointwiseMax dimension mismatch");
+  for (size_t I = 0; I != Data.size(); ++I)
+    Data[I] = std::max(Data[I], Other.Data[I]);
+}
+
+Matrix Matrix::pointwiseMin(const Matrix &Other) const {
+  Matrix Result = *this;
+  Result.pointwiseMinInPlace(Other);
   return Result;
 }
 
 Matrix Matrix::pointwiseMax(const Matrix &Other) const {
-  assert(NumRows == Other.NumRows && NumCols == Other.NumCols &&
-         "pointwiseMax dimension mismatch");
   Matrix Result = *this;
-  for (size_t I = 0; I != Data.size(); ++I)
-    Result.Data[I] = std::max(Result.Data[I], Other.Data[I]);
+  Result.pointwiseMaxInPlace(Other);
   return Result;
 }
 

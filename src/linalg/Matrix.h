@@ -52,7 +52,11 @@ public:
     return Data[Row * NumCols + Col];
   }
 
-  /// Matrix product; asserts inner dimensions agree.
+  /// Matrix product; asserts inner dimensions agree. Above a size
+  /// threshold the row blocks are computed in parallel on the shared pool
+  /// (support::setSharedParallelism); each row's accumulation order is the
+  /// same in both paths, so the result is bit-identical regardless of the
+  /// thread count.
   Matrix operator*(const Matrix &Other) const;
 
   /// Pointwise sum; asserts dimensions agree.
@@ -61,14 +65,29 @@ public:
   /// Pointwise difference; asserts dimensions agree.
   Matrix operator-(const Matrix &Other) const;
 
+  /// In-place pointwise sum/difference — the temporary-free forms the hot
+  /// node-update paths use.
+  Matrix &operator+=(const Matrix &Other);
+  Matrix &operator-=(const Matrix &Other);
+
   /// Scalar multiple.
   Matrix scaled(double Factor) const;
+
+  /// In-place scalar multiple.
+  void scaleInPlace(double Factor);
+
+  /// this += Other * Factor, without materializing Other.scaled(Factor).
+  void addScaledInPlace(const Matrix &Other, double Factor);
 
   /// Pointwise minimum; asserts dimensions agree.
   Matrix pointwiseMin(const Matrix &Other) const;
 
   /// Pointwise maximum; asserts dimensions agree.
   Matrix pointwiseMax(const Matrix &Other) const;
+
+  /// In-place pointwise minimum/maximum.
+  void pointwiseMinInPlace(const Matrix &Other);
+  void pointwiseMaxInPlace(const Matrix &Other);
 
   /// \returns true if every entry of *this is <= the corresponding entry of
   /// \p Other plus \p Tolerance.

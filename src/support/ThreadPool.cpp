@@ -1,0 +1,83 @@
+//===- support/ThreadPool.cpp - Fixed-size worker pool --------------------===//
+
+#include "support/ThreadPool.h"
+
+using namespace pmaf;
+using namespace pmaf::support;
+
+ThreadPool::ThreadPool(unsigned Threads) {
+  unsigned N = Threads ? Threads : 1;
+  Busy = std::make_unique<BusyCounter[]>(N);
+  Workers.reserve(N);
+  for (unsigned I = 0; I != N; ++I)
+    Workers.emplace_back([this, I] { workerMain(I); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(QueueMutex);
+    Stopping = true;
+  }
+  QueueCv.notify_all();
+  for (std::thread &Worker : Workers)
+    Worker.join();
+}
+
+void ThreadPool::enqueue(std::function<void()> Fn) {
+  {
+    std::lock_guard<std::mutex> Lock(QueueMutex);
+    Queue.push_back(std::move(Fn));
+  }
+  QueueCv.notify_one();
+}
+
+void ThreadPool::workerMain(unsigned Index) {
+  for (;;) {
+    std::function<void()> Task;
+    {
+      std::unique_lock<std::mutex> Lock(QueueMutex);
+      QueueCv.wait(Lock, [this] { return Stopping || !Queue.empty(); });
+      if (Queue.empty())
+        return; // Stopping and drained.
+      Task = std::move(Queue.front());
+      Queue.pop_front();
+    }
+    auto Start = std::chrono::steady_clock::now();
+    Task(); // packaged_task captures exceptions; post() tasks must not throw.
+    auto Nanos = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                     std::chrono::steady_clock::now() - Start)
+                     .count();
+    Busy[Index].Nanos.fetch_add(static_cast<uint64_t>(Nanos),
+                                std::memory_order_relaxed);
+  }
+}
+
+std::vector<double> ThreadPool::workerBusySeconds() const {
+  std::vector<double> Seconds(Workers.size(), 0.0);
+  for (size_t I = 0; I != Workers.size(); ++I)
+    Seconds[I] =
+        Busy[I].Nanos.load(std::memory_order_relaxed) * 1e-9;
+  return Seconds;
+}
+
+namespace {
+/// The shared pool is intentionally leaked: worker threads idle until
+/// process exit, and tearing them down from static destructors races with
+/// other static teardown.
+ThreadPool *SharedPool = nullptr;
+unsigned SharedN = 1;
+} // namespace
+
+ThreadPool *pmaf::support::sharedPool() { return SharedPool; }
+
+unsigned pmaf::support::sharedParallelism() { return SharedN; }
+
+void pmaf::support::setSharedParallelism(unsigned N) {
+  if (N == SharedN)
+    return;
+  delete SharedPool; // Joins idle workers; callers must not hold tasks.
+  SharedPool = nullptr;
+  SharedN = N > 1 ? N : 1;
+  if (SharedN > 1)
+    SharedPool = new ThreadPool(SharedN);
+}

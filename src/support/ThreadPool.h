@@ -1,0 +1,218 @@
+//===- support/ThreadPool.h - Fixed-size worker pool ------------*- C++ -*-===//
+//
+// Part of the PMAF reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small fixed-size thread pool for the parallel analysis engine: task
+/// submission with futures, and a deadlock-free `parallelFor`.
+///
+/// Design constraints, in order:
+///
+///  * **No waiting inside workers.** Pool tasks (per-SCC stabilization,
+///    transformer precompilation, matrix row blocks) never block on other
+///    pool tasks; completion is signalled through atomics, so the pool
+///    cannot deadlock however tasks are nested.
+///  * **Caller participation.** `parallelFor` lets the calling thread claim
+///    chunks alongside the workers (work is parcelled out by an atomic
+///    cursor, so every index is executed exactly once, by exactly one
+///    thread). A pool of size N therefore provides N-way parallelism with
+///    the caller counted in, and a loop submitted to a busy or size-1 pool
+///    degrades gracefully to sequential execution on the caller.
+///  * **Exception transparency.** `submit` transports exceptions through
+///    the returned future; `parallelFor` rethrows the first exception a
+///    chunk raised after the loop has quiesced.
+///
+/// Per-worker busy time is tallied so the solver can report thread
+/// utilization (core::SolverStats::ThreadBusySeconds).
+///
+/// A process-wide pool (`sharedPool`/`setSharedParallelism`) serves
+/// libraries that cannot thread a pool handle through their interface —
+/// notably the dense matrix kernels of linalg/Matrix.cpp. It defaults to
+/// size 1 (no threads, `sharedPool()` returns nullptr) so sequential
+/// builds pay nothing; `--jobs N` CLIs call `setSharedParallelism(N)`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PMAF_SUPPORT_THREADPOOL_H
+#define PMAF_SUPPORT_THREADPOOL_H
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace pmaf {
+namespace support {
+
+/// A fixed-size pool of worker threads with a shared FIFO task queue.
+class ThreadPool {
+public:
+  /// Spawns \p Threads workers (clamped to at least 1). Workers idle on a
+  /// condition variable until tasks arrive.
+  explicit ThreadPool(unsigned Threads);
+
+  /// Drains nothing: outstanding tasks finish, queued tasks still run, then
+  /// the workers join.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Number of worker threads.
+  unsigned size() const { return static_cast<unsigned>(Workers.size()); }
+
+  /// `std::thread::hardware_concurrency`, clamped to at least 1.
+  static unsigned hardwareConcurrency() {
+    unsigned N = std::thread::hardware_concurrency();
+    return N ? N : 1;
+  }
+
+  /// Enqueues \p Fn; the future transports its result or exception. Safe to
+  /// call from within a pool task (the queue never blocks submitters).
+  template <typename F>
+  std::future<std::invoke_result_t<F>> submit(F &&Fn) {
+    using R = std::invoke_result_t<F>;
+    auto Task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(Fn));
+    std::future<R> Result = Task->get_future();
+    enqueue([Task] { (*Task)(); });
+    return Result;
+  }
+
+  /// Fire-and-forget submission (the parallel scheduler tracks completion
+  /// itself through atomics; skipping the future skips an allocation).
+  void post(std::function<void()> Fn) { enqueue(std::move(Fn)); }
+
+  /// Runs Fn(I) for every I in [Begin, End) across the workers and the
+  /// calling thread; every index executes exactly once. Returns when all
+  /// indices have finished; rethrows the first chunk exception.
+  template <typename F>
+  void parallelFor(size_t Begin, size_t End, F &&Fn) {
+    parallelForChunks(Begin, End,
+                      [&Fn](size_t ChunkBegin, size_t ChunkEnd) {
+                        for (size_t I = ChunkBegin; I != ChunkEnd; ++I)
+                          Fn(I);
+                      });
+  }
+
+  /// Chunked variant: Fn(ChunkBegin, ChunkEnd) over a partition of
+  /// [Begin, End) into contiguous chunks — the shape the blocked matrix
+  /// kernels want (one chunk = one row block).
+  template <typename F>
+  void parallelForChunks(size_t Begin, size_t End, F &&Fn) {
+    if (Begin >= End)
+      return;
+    const size_t N = End - Begin;
+    const unsigned Lanes = size() + 1; // workers + caller
+    if (Lanes <= 2 || N == 1) {
+      Fn(Begin, End);
+      return;
+    }
+    // ~4 chunks per lane balances load without flooding the queue.
+    const size_t Chunk = std::max<size_t>(1, N / (4 * Lanes));
+    auto State = std::make_shared<LoopState>();
+    State->Next.store(Begin, std::memory_order_relaxed);
+    State->End = End;
+    const unsigned Helpers = static_cast<unsigned>(
+        std::min<size_t>(size(), (N + Chunk - 1) / Chunk));
+    State->Pending.store(Helpers, std::memory_order_relaxed);
+    auto Drain = [State, Chunk, &Fn] {
+      size_t I;
+      while ((I = State->Next.fetch_add(Chunk,
+                                        std::memory_order_relaxed)) <
+             State->End) {
+        size_t ChunkEnd = std::min(I + Chunk, State->End);
+        try {
+          Fn(I, ChunkEnd);
+        } catch (...) {
+          State->recordException(std::current_exception());
+          // Poison the cursor so other lanes stop claiming work.
+          State->Next.store(State->End, std::memory_order_relaxed);
+        }
+      }
+    };
+    for (unsigned H = 0; H != Helpers; ++H)
+      enqueue([State, Drain] {
+        Drain();
+        if (State->Pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          std::lock_guard<std::mutex> Lock(State->DoneMutex);
+          State->DoneCv.notify_all();
+        }
+      });
+    Drain(); // The caller is a lane too.
+    {
+      std::unique_lock<std::mutex> Lock(State->DoneMutex);
+      State->DoneCv.wait(Lock, [&State] {
+        return State->Pending.load(std::memory_order_acquire) == 0;
+      });
+    }
+    if (State->FirstException)
+      std::rethrow_exception(State->FirstException);
+  }
+
+  /// Seconds each worker has spent executing tasks since construction
+  /// (index = worker number). Approximate: read without synchronizing
+  /// against in-flight tasks.
+  std::vector<double> workerBusySeconds() const;
+
+private:
+  struct LoopState {
+    std::atomic<size_t> Next{0};
+    size_t End = 0;
+    std::atomic<unsigned> Pending{0};
+    std::mutex DoneMutex;
+    std::condition_variable DoneCv;
+    std::exception_ptr FirstException;
+    std::mutex ExceptionMutex;
+
+    void recordException(std::exception_ptr E) {
+      std::lock_guard<std::mutex> Lock(ExceptionMutex);
+      if (!FirstException)
+        FirstException = E;
+    }
+  };
+
+  void enqueue(std::function<void()> Fn);
+  void workerMain(unsigned Index);
+
+  mutable std::mutex QueueMutex;
+  std::condition_variable QueueCv;
+  std::deque<std::function<void()>> Queue;
+  bool Stopping = false;
+  std::vector<std::thread> Workers;
+  /// Busy-nanosecond tally per worker, padded out of false sharing range.
+  struct alignas(64) BusyCounter {
+    std::atomic<uint64_t> Nanos{0};
+  };
+  std::unique_ptr<BusyCounter[]> Busy;
+};
+
+/// The process-wide pool used by code that cannot accept a pool parameter
+/// (the matrix kernels). nullptr until `setSharedParallelism(N)` with
+/// N > 1; the final instance is leaked so its idle workers never race
+/// static teardown.
+ThreadPool *sharedPool();
+
+/// Sets the shared parallelism level. N <= 1 disables the shared pool;
+/// N > 1 (re)creates it with N workers. Not thread-safe against concurrent
+/// sharedPool() users — call it at startup (the `--jobs` handlers do).
+void setSharedParallelism(unsigned N);
+
+/// The currently configured shared parallelism (1 when disabled).
+unsigned sharedParallelism();
+
+} // namespace support
+} // namespace pmaf
+
+#endif // PMAF_SUPPORT_THREADPOOL_H

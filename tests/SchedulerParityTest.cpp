@@ -2,12 +2,23 @@
 //
 // The scheduler layer (core/Schedule.h) promises that chaotic-iteration
 // order is a performance knob, not a semantics knob: WTO-recursive,
-// round-robin, and the dependency-driven worklist must reach Dom.equal
-// fixpoints. This suite checks that node-by-node on every benchmark
-// program of §6.2 (src/benchmarks/Programs.cpp) across all four domains —
-// BI, ADD-backed BI, MDP, and LEIA — and additionally checks the
-// interpret-cache invariant: each solve calls Dom.interpret at most once
-// per `seq` edge, and only cache hits follow.
+// round-robin, the dependency-driven worklist, and the parallel per-SCC
+// scheduler must reach Dom.equal fixpoints. This suite checks that
+// node-by-node on every benchmark program of §6.2
+// (src/benchmarks/Programs.cpp) across all four domains — BI, ADD-backed
+// BI, MDP, and LEIA — and additionally checks the interpret-cache
+// invariant: each solve calls Dom.interpret at most once per `seq` edge,
+// and only cache hits follow.
+//
+// The parallel scheduler promises more than tolerance-equality: because
+// each SCC is stabilized by a single worker replaying the sequential
+// WTO-recursive update sequence, and cross-SCC reads only see finalized
+// upstream components, its fixpoint is *bit-identical* to the
+// WTO-recursive one. The BitIdentical* tests pin that down with exact
+// comparisons (no tolerance): Matrix::operator== for BI, double == for
+// MDP, exact rational toString for LEIA, and NodeRef identity (shared
+// hash-consing manager) for ADD-BI — the latter also covering the
+// sequential fallback of a domain without ThreadSafeInterpret.
 //
 // Two numeric subtleties the setup accounts for:
 //  * Each solve stops when successive iterates agree to the domain's
@@ -44,6 +55,7 @@ constexpr IterationStrategy AllStrategies[] = {
     IterationStrategy::WtoRecursive,
     IterationStrategy::RoundRobin,
     IterationStrategy::Worklist,
+    IterationStrategy::ParallelScc,
 };
 
 /// Counts the `seq` hyper-edges of \p Graph (the interpret-cache key set).
@@ -72,6 +84,9 @@ void expectParity(const char *Name, const cfg::ProgramGraph &Graph,
   for (IterationStrategy Strategy : AllStrategies) {
     decltype(auto) Dom = MakeDomain();
     Opts.Strategy = Strategy;
+    // The parallel scheduler actually runs multi-threaded (for domains
+    // that allow it); the others stay sequential.
+    Opts.Jobs = Strategy == IterationStrategy::ParallelScc ? 4 : 1;
     auto Result = solve(Graph, Dom, Opts);
     ASSERT_TRUE(Result.Stats.Converged)
         << Name << " under " << toString(Strategy);
@@ -87,6 +102,32 @@ void expectParity(const char *Name, const cfg::ProgramGraph &Graph,
           << toString(Strategy) << ": "
           << CompareDom.toString(Result.Values[V]);
   }
+}
+
+/// Solves under WTO-recursive (sequential) and ParallelScc with four
+/// workers, and checks the fixpoints are bit-identical under the exact
+/// predicate \p Identical (no tolerance involved).
+template <typename MakeDomainFn, typename IdenticalFn>
+void expectBitIdentical(const char *Name, const cfg::ProgramGraph &Graph,
+                        SolverOptions Opts, MakeDomainFn MakeDomain,
+                        IdenticalFn Identical) {
+  decltype(auto) SeqDom = MakeDomain();
+  Opts.Strategy = IterationStrategy::WtoRecursive;
+  Opts.Jobs = 1;
+  auto Sequential = solve(Graph, SeqDom, Opts);
+  ASSERT_TRUE(Sequential.Stats.Converged) << Name;
+
+  decltype(auto) ParDom = MakeDomain();
+  Opts.Strategy = IterationStrategy::ParallelScc;
+  Opts.Jobs = 4;
+  auto Parallel = solve(Graph, ParDom, Opts);
+  ASSERT_TRUE(Parallel.Stats.Converged) << Name;
+
+  ASSERT_EQ(Sequential.Values.size(), Parallel.Values.size());
+  for (unsigned V = 0; V != Sequential.Values.size(); ++V)
+    EXPECT_TRUE(Identical(Sequential.Values[V], Parallel.Values[V]))
+        << Name << ": node " << V
+        << " is not bit-identical to the sequential fixpoint";
 }
 
 } // namespace
@@ -139,5 +180,60 @@ TEST(SchedulerParityTest, LeiaDomainOnAllLeiaPrograms) {
     LeiaDomain CompareDom(*Prog, /*Tolerance=*/1e-6);
     expectParity(Bench.Name, Graph, Opts,
                  [&] { return LeiaDomain(*Prog); }, CompareDom);
+  }
+}
+
+TEST(SchedulerParityTest, BitIdenticalBiDomain) {
+  for (const auto &Bench : benchmarks::biPrograms()) {
+    auto Prog = lang::parseProgramOrDie(Bench.Source);
+    cfg::ProgramGraph Graph = cfg::ProgramGraph::build(*Prog);
+    BoolStateSpace Space(*Prog);
+    SolverOptions Opts;
+    Opts.UseWidening = false;
+    expectBitIdentical(Bench.Name, Graph, Opts,
+                       [&] { return BiDomain(Space); },
+                       [](const Matrix &A, const Matrix &B) { return A == B; });
+  }
+}
+
+TEST(SchedulerParityTest, BitIdenticalAddBiDomain) {
+  for (const auto &Bench : benchmarks::biPrograms()) {
+    auto Prog = lang::parseProgramOrDie(Bench.Source);
+    cfg::ProgramGraph Graph = cfg::ProgramGraph::build(*Prog);
+    BoolStateSpace Space(*Prog);
+    SolverOptions Opts;
+    Opts.UseWidening = false;
+    // One shared manager makes NodeRef identity meaningful; ParallelScc
+    // falls back to its sequential schedule here (no ThreadSafeInterpret).
+    AddBiDomain Shared(Space);
+    expectBitIdentical(Bench.Name, Graph, Opts,
+                       [&]() -> AddBiDomain & { return Shared; },
+                       [](add::NodeRef A, add::NodeRef B) { return A == B; });
+  }
+}
+
+TEST(SchedulerParityTest, BitIdenticalMdpDomain) {
+  for (const auto &Bench : benchmarks::mdpPrograms()) {
+    auto Prog = lang::parseProgramOrDie(Bench.Source);
+    cfg::ProgramGraph Graph = cfg::ProgramGraph::build(*Prog);
+    SolverOptions Opts;
+    Opts.WideningDelay = 10000;
+    expectBitIdentical(Bench.Name, Graph, Opts, [] { return MdpDomain(); },
+                       [](double A, double B) { return A == B; });
+  }
+}
+
+TEST(SchedulerParityTest, BitIdenticalLeiaDomain) {
+  for (const auto &Bench : benchmarks::leiaPrograms()) {
+    auto Prog = lang::parseProgramOrDie(Bench.Source);
+    cfg::ProgramGraph Graph = cfg::ProgramGraph::build(*Prog);
+    SolverOptions Opts;
+    Opts.WideningDelay = 2;
+    LeiaDomain Printer(*Prog);
+    expectBitIdentical(
+        Bench.Name, Graph, Opts, [&] { return LeiaDomain(*Prog); },
+        [&](const LeiaValue &A, const LeiaValue &B) {
+          return Printer.toString(A) == Printer.toString(B);
+        });
   }
 }

@@ -1,0 +1,161 @@
+//===- tests/ThreadPoolTest.cpp - Fixed-size pool unit tests --------------===//
+//
+// The support::ThreadPool contract the parallel engine leans on:
+//
+//  * construction spawns exactly the requested workers (clamped to >= 1)
+//    and destruction joins them, draining already-queued work first;
+//  * submit() returns a future that carries the task's value or its
+//    exception;
+//  * parallelFor visits every index of the range exactly once — no skips,
+//    no duplicates — including the empty and single-element ranges and
+//    ranges much larger than the worker count;
+//  * an exception thrown by one iteration is rethrown to the caller and
+//    leaves the pool usable for later loops;
+//  * the process-wide shared pool (the matrix kernels' pool) can be
+//    resized and torn back down via setSharedParallelism.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+using namespace pmaf;
+
+TEST(ThreadPoolTest, StartupAndShutdownAcrossSizes) {
+  for (unsigned N : {0u, 1u, 2u, 4u, 8u}) {
+    support::ThreadPool Pool(N);
+    EXPECT_EQ(Pool.size(), std::max(N, 1u));
+  }
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedWork) {
+  std::atomic<int> Ran{0};
+  {
+    support::ThreadPool Pool(2);
+    for (int I = 0; I != 64; ++I)
+      Pool.post([&Ran] { Ran.fetch_add(1, std::memory_order_relaxed); });
+  }
+  EXPECT_EQ(Ran.load(), 64);
+}
+
+TEST(ThreadPoolTest, SubmitReturnsValueThroughFuture) {
+  support::ThreadPool Pool(2);
+  auto Future = Pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(Future.get(), 42);
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesExceptionThroughFuture) {
+  support::ThreadPool Pool(2);
+  auto Future =
+      Pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(Future.get(), std::runtime_error);
+  // The worker survives its task's exception.
+  EXPECT_EQ(Pool.submit([] { return 1; }).get(), 1);
+}
+
+TEST(ThreadPoolTest, NestedSubmitFromInsideTask) {
+  support::ThreadPool Pool(2);
+  auto Outer = Pool.submit([&Pool] { return Pool.submit([] { return 7; }); });
+  EXPECT_EQ(Outer.get().get(), 7);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  for (unsigned N : {1u, 2u, 4u}) {
+    support::ThreadPool Pool(N);
+    constexpr size_t Size = 10'000;
+    std::vector<std::atomic<unsigned>> Visits(Size);
+    Pool.parallelFor(0, Size, [&](size_t I) {
+      Visits[I].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (size_t I = 0; I != Size; ++I)
+      ASSERT_EQ(Visits[I].load(), 1u) << "index " << I << " with " << N
+                                      << " workers";
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyAndSingleRanges) {
+  support::ThreadPool Pool(4);
+  std::atomic<int> Count{0};
+  Pool.parallelFor(0, 0, [&](size_t) { Count.fetch_add(1); });
+  EXPECT_EQ(Count.load(), 0);
+  Pool.parallelFor(5, 6, [&](size_t I) {
+    EXPECT_EQ(I, 5u);
+    Count.fetch_add(1);
+  });
+  EXPECT_EQ(Count.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForChunksPartitionTheRange) {
+  support::ThreadPool Pool(4);
+  constexpr size_t Size = 4'321;
+  std::vector<std::atomic<unsigned>> Visits(Size);
+  Pool.parallelForChunks(0, Size, [&](size_t Begin, size_t End) {
+    ASSERT_LE(Begin, End);
+    for (size_t I = Begin; I != End; ++I)
+      Visits[I].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t I = 0; I != Size; ++I)
+    ASSERT_EQ(Visits[I].load(), 1u) << "index " << I;
+}
+
+TEST(ThreadPoolTest, ParallelForRethrowsAndPoolStaysUsable) {
+  support::ThreadPool Pool(4);
+  EXPECT_THROW(Pool.parallelFor(0, 1'000,
+                                [&](size_t I) {
+                                  if (I == 137)
+                                    throw std::runtime_error("iteration 137");
+                                }),
+               std::runtime_error);
+
+  // The failed loop must not wedge the pool: a fresh loop still covers
+  // its range.
+  std::atomic<size_t> Count{0};
+  Pool.parallelFor(0, 100, [&](size_t) {
+    Count.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(Count.load(), 100u);
+}
+
+TEST(ThreadPoolTest, SharedPoolConfiguration) {
+  // Sequential by default (and after reset): no pool at all.
+  support::setSharedParallelism(1);
+  EXPECT_EQ(support::sharedPool(), nullptr);
+  EXPECT_EQ(support::sharedParallelism(), 1u);
+
+  support::setSharedParallelism(4);
+  ASSERT_NE(support::sharedPool(), nullptr);
+  EXPECT_EQ(support::sharedPool()->size(), 4u);
+  EXPECT_EQ(support::sharedParallelism(), 4u);
+
+  std::atomic<int> Count{0};
+  support::sharedPool()->parallelFor(0, 256, [&](size_t) {
+    Count.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(Count.load(), 256);
+
+  support::setSharedParallelism(1);
+  EXPECT_EQ(support::sharedPool(), nullptr);
+}
+
+TEST(ThreadPoolTest, WorkerBusySecondsAreTallied) {
+  support::ThreadPool Pool(2);
+  for (int I = 0; I != 8; ++I)
+    Pool.submit([] {
+      volatile double X = 1.0;
+      for (int K = 0; K != 100'000; ++K)
+        X = X * 1.0000001;
+      return X;
+    }).get();
+  std::vector<double> Busy = Pool.workerBusySeconds();
+  EXPECT_EQ(Busy.size(), Pool.size());
+  double Total = 0.0;
+  for (double B : Busy)
+    Total += B;
+  EXPECT_GT(Total, 0.0);
+}

@@ -4,8 +4,8 @@
 //
 //   pmaf <file.pp> [--domain=leia|bi|mdp|termination] [--decompose]
 //                  [--dot] [--stats] [--werror] [--diag-format=text|json]
-//                  [--strategy=wto|round-robin|worklist]
-//                  [--widening-delay=<n>] [--max-updates=<n>]
+//                  [--strategy=wto|round-robin|worklist|parallel-scc]
+//                  [--widening-delay=<n>] [--max-updates=<n>] [--jobs=<n>]
 //   pmaf check <file.pp>... [--domain=leia|bi|mdp|termination]
 //                  [--decompose] [--werror] [--diag-format=text|json]
 //
@@ -26,8 +26,12 @@
 // The solver knobs map onto core::SolverOptions: --strategy selects the
 // chaotic-iteration scheduler (core/Schedule.h), --widening-delay the
 // number of plain updates before widening kicks in, and --max-updates the
-// node-update budget. --stats prints the instrumentation counters
-// (core/Instrumentation.h), including the interpret-cache traffic.
+// node-update budget. --jobs=<n> runs the parallel engine with n worker
+// threads (0 = one per hardware thread): transformers precompile
+// concurrently, the dense-matrix kernels block-parallelize, and
+// --strategy=parallel-scc stabilizes independent SCCs concurrently.
+// --stats prints the instrumentation counters (core/Instrumentation.h),
+// including the interpret-cache traffic and precompile timing.
 //
 //===----------------------------------------------------------------------===//
 
@@ -41,6 +45,7 @@
 #include "domains/MdpDomain.h"
 #include "lang/Parser.h"
 #include "lang/PosNegDecompose.h"
+#include "support/ThreadPool.h"
 
 #include <algorithm>
 #include <cmath>
@@ -92,6 +97,8 @@ public:
   Value widenNdet(const Value &, const Value &New) const { return New; }
   Value widenCall(const Value &, const Value &New) const { return New; }
   std::string toString(const Value &A) const { return std::to_string(A); }
+  /// Stateless over scalar doubles: safe to run from any thread.
+  static constexpr bool ThreadSafeInterpret = true;
 };
 
 int usage(const char *Argv0) {
@@ -99,8 +106,8 @@ int usage(const char *Argv0) {
                "usage: %s <file.pp | -> [--domain=leia|bi|mdp|termination]"
                " [--decompose] [--dot] [--stats] [--werror]"
                " [--diag-format=text|json]"
-               " [--strategy=wto|round-robin|worklist]"
-               " [--widening-delay=<n>] [--max-updates=<n>]\n"
+               " [--strategy=wto|round-robin|worklist|parallel-scc]"
+               " [--widening-delay=<n>] [--max-updates=<n>] [--jobs=<n>]\n"
                "       %s check <file.pp>..."
                " [--domain=leia|bi|mdp|termination] [--decompose]"
                " [--werror] [--diag-format=text|json]\n",
@@ -114,6 +121,7 @@ struct CliSolverConfig {
   std::optional<IterationStrategy> Strategy;
   std::optional<unsigned> WideningDelay;
   std::optional<uint64_t> MaxUpdates;
+  std::optional<unsigned> Jobs;
   bool Stats = false;
 
   void apply(SolverOptions &Opts) const {
@@ -123,15 +131,19 @@ struct CliSolverConfig {
       Opts.WideningDelay = *WideningDelay;
     if (MaxUpdates)
       Opts.MaxUpdates = *MaxUpdates;
+    if (Jobs)
+      Opts.Jobs = *Jobs;
   }
 
   void printReport(const SolverInstrumentation &Counters,
                    const SolverOptions &Opts) const {
     if (!Stats)
       return;
-    std::printf("; strategy: %s, widening delay %u, max updates %llu\n",
+    std::printf("; strategy: %s, widening delay %u, max updates %llu, "
+                "jobs %u\n",
                 core::toString(Opts.Strategy), Opts.WideningDelay,
-                static_cast<unsigned long long>(Opts.MaxUpdates));
+                static_cast<unsigned long long>(Opts.MaxUpdates),
+                Opts.Jobs);
     std::printf("%s", Counters.report().c_str());
   }
 };
@@ -263,6 +275,9 @@ int main(int argc, char **argv) {
           static_cast<unsigned>(std::strtoul(Arg.c_str() + 17, nullptr, 10));
     else if (Arg.rfind("--max-updates=", 0) == 0)
       Config.MaxUpdates = std::strtoull(Arg.c_str() + 14, nullptr, 10);
+    else if (Arg.rfind("--jobs=", 0) == 0)
+      Config.Jobs =
+          static_cast<unsigned>(std::strtoul(Arg.c_str() + 7, nullptr, 10));
     else if (Arg[0] == '-' && Arg != "-")
       return usage(argv[0]);
     else
@@ -272,6 +287,13 @@ int main(int argc, char **argv) {
   if (CheckMode)
     return runCheck(Paths, DomainExplicit ? Domain : std::string(),
                     Decompose, Werror, Json);
+
+  // --jobs also turns on the process-wide pool the dense-matrix kernels
+  // draw from (distinct from the solver's per-solve pool).
+  if (Config.Jobs)
+    support::setSharedParallelism(
+        *Config.Jobs == 0 ? support::ThreadPool::hardwareConcurrency()
+                          : *Config.Jobs);
 
   if (Paths.size() != 1)
     return usage(argv[0]);

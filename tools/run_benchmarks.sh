@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_solver.json (committed at the repo root) from the
+# benchmark binaries that support --json output: bench_bi, bench_leia, and
+# bench_parallel_scaling.
+#
+# Repetitions are fixed by the harness itself (bench/BenchUtil.h): each
+# analysis is timed over 5 runs with a 20% trimmed mean (3 runs for the
+# parallel-scaling matrix), so successive invocations of this script are
+# comparable trajectory points. The google-benchmark timing loops the
+# binaries also register are skipped (--benchmark_filter matching nothing)
+# — the JSON records come from the table harness, not from gbench.
+#
+# Usage: tools/run_benchmarks.sh [build-dir]   (default: build)
+
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+OUT="$REPO_ROOT/BENCH_solver.json"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+BENCHES=(bench_bi bench_leia bench_parallel_scaling)
+
+for BENCH in "${BENCHES[@]}"; do
+  BIN="$BUILD_DIR/bench/$BENCH"
+  if [ ! -x "$BIN" ]; then
+    echo "error: $BIN not built (cmake --build $BUILD_DIR first)" >&2
+    exit 1
+  fi
+  echo "== $BENCH"
+  "$BIN" --json="$TMP/$BENCH.json" --benchmark_filter='^$'
+done
+
+python3 - "$TMP" "$OUT" "${BENCHES[@]}" <<'EOF'
+import json, pathlib, sys
+
+tmp, out = pathlib.Path(sys.argv[1]), pathlib.Path(sys.argv[2])
+merged = {name: json.loads((tmp / f"{name}.json").read_text())
+          for name in sys.argv[3:]}
+out.write_text(json.dumps(merged, indent=2) + "\n")
+print(f"wrote {out}")
+EOF
