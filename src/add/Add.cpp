@@ -145,17 +145,108 @@ NodeRef AddManager::sumOut(NodeRef A, const std::vector<unsigned> &Levels) {
   return sumOutRec(A, Levels, 0, Cache);
 }
 
+std::vector<unsigned> AddManager::support(NodeRef A) const {
+  std::vector<NodeRef> Stack = {A};
+  std::unordered_map<NodeRef, bool> Seen;
+  std::vector<unsigned> Levels;
+  while (!Stack.empty()) {
+    NodeRef N = Stack.back();
+    Stack.pop_back();
+    bool &Visited = Seen[N];
+    if (Visited || isTerminal(N))
+      continue;
+    Visited = true;
+    Levels.push_back(levelOf(N));
+    Stack.push_back(lo(N));
+    Stack.push_back(hi(N));
+  }
+  std::sort(Levels.begin(), Levels.end());
+  Levels.erase(std::unique(Levels.begin(), Levels.end()), Levels.end());
+  return Levels;
+}
+
 NodeRef AddManager::rename(NodeRef A,
                            const std::function<unsigned(unsigned)> &Map) {
+  // The map only matters on the support; decide there whether the cheap
+  // order-preserving rebuild is sound. (A map that is non-monotone only on
+  // absent levels still takes the fast path.)
+  std::vector<unsigned> Support = support(A);
+  std::vector<unsigned> Mapped(Support.size());
+  for (size_t I = 0; I != Support.size(); ++I)
+    Mapped[I] = Map(Support[I]);
+#ifndef NDEBUG
+  {
+    std::vector<unsigned> Check = Mapped;
+    std::sort(Check.begin(), Check.end());
+    assert(std::adjacent_find(Check.begin(), Check.end()) == Check.end() &&
+           "rename map must be injective on the support");
+  }
+#endif
+  bool Monotone = std::is_sorted(Mapped.begin(), Mapped.end()) &&
+                  std::adjacent_find(Mapped.begin(), Mapped.end()) ==
+                      Mapped.end();
+
   std::unordered_map<NodeRef, NodeRef> Cache;
+  if (Monotone) {
+    // Order-preserving: a top-down structural rebuild keeps the node
+    // ordering invariant, so each source node maps to exactly one result
+    // node and the per-node memo is collision-free.
+    auto Rec = [&](const auto &Self, NodeRef N) -> NodeRef {
+      if (isTerminal(N))
+        return N;
+      auto It = Cache.find(N);
+      if (It != Cache.end())
+        return It->second;
+      NodeRef Result =
+          makeNode(Map(levelOf(N)), Self(Self, lo(N)), Self(Self, hi(N)));
+      Cache.emplace(N, Result);
+      return Result;
+    };
+    return Rec(Rec, A);
+  }
+
+  // General permutation (e.g. a swap of adjacent levels): the structural
+  // rebuild would emit nodes whose children test *smaller* levels —
+  // malformed diagrams whose unique-table entries collide with well-formed
+  // nodes of different functions. Rebuild through apply instead:
+  //   rename(x_L ? h : l) = ind(Map(L)) * rename(h)
+  //                       + (1 - ind(Map(L))) * rename(l),
+  // which re-sorts every decision and lands on the canonical diagram.
+  // Injectivity keeps the branches independent of ind(Map(L)). The memo
+  // stays keyed by source node: the result depends only on the subdiagram.
   auto Rec = [&](const auto &Self, NodeRef N) -> NodeRef {
     if (isTerminal(N))
       return N;
     auto It = Cache.find(N);
     if (It != Cache.end())
       return It->second;
+    NodeRef Lo = Self(Self, lo(N));
+    NodeRef Hi = Self(Self, hi(N));
+    NodeRef Ind = indicator(Map(levelOf(N)));
     NodeRef Result =
-        makeNode(Map(levelOf(N)), Self(Self, lo(N)), Self(Self, hi(N)));
+        apply(Op::Add, apply(Op::Mul, Ind, Hi),
+              apply(Op::Mul, affine(Ind, -1.0, 1.0), Lo));
+    Cache.emplace(N, Result);
+    return Result;
+  };
+  return Rec(Rec, A);
+}
+
+NodeRef AddManager::migrate(NodeRef A, const AddManager &From,
+                            MigrationCache &Cache) {
+  if (&From == this)
+    return A;
+  // Recursion depth is bounded by the number of decision levels (diagrams
+  // are ordered), not by the node count.
+  auto Rec = [&](const auto &Self, NodeRef N) -> NodeRef {
+    auto It = Cache.find(N);
+    if (It != Cache.end())
+      return It->second;
+    NodeRef Result =
+        From.isTerminal(N)
+            ? terminal(From.terminalValue(N))
+            : makeNode(From.levelOf(N), Self(Self, From.lo(N)),
+                       Self(Self, From.hi(N)));
     Cache.emplace(N, Result);
     return Result;
   };

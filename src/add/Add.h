@@ -18,7 +18,19 @@
 /// equality), memoizes the binary `apply` combinators, and provides the
 /// operations matrix algebra over 2^n x 2^n transformers needs:
 /// pointwise arithmetic, scalar scaling, existential summation (for the
-/// contraction in matrix products), and monotone level renaming.
+/// contraction in matrix products), and level renaming (a linear
+/// structural rebuild for order-preserving maps, an apply-based
+/// reconstruction for general injective permutations).
+///
+/// A manager is deliberately a single-threaded object: its unique table
+/// and operation caches are unsynchronized. Concurrency is layered above
+/// it by `migrate` — the rename-and-merge primitive of the parallel
+/// ADD-backed BI domain — which structurally copies a diagram from one
+/// manager into another, re-hash-consing every node so the copy is
+/// canonical in the destination (two migrations of extensionally equal
+/// functions land on the identical NodeRef). Each worker computes in a
+/// private manager and migrates results into the shared one under a lock
+/// (domains/AddBiDomain.cpp owns that protocol).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -39,6 +51,13 @@ using NodeRef = uint32_t;
 
 /// Pointwise binary combinators for apply().
 enum class Op { Add, Sub, Mul, Min, Max };
+
+/// Memo for repeated migrations between one fixed (source, destination)
+/// manager pair: source NodeRef -> destination NodeRef. Entries stay
+/// valid forever (managers never delete nodes), so callers that migrate
+/// many diagrams across the same pair keep one cache and each shared
+/// subgraph is copied exactly once over the cache's lifetime.
+using MigrationCache = std::unordered_map<NodeRef, NodeRef>;
 
 /// The node store and operation cache for a family of ADDs.
 class AddManager {
@@ -79,10 +98,34 @@ public:
   /// from a path contribute a factor of 2 as usual.
   NodeRef sumOut(NodeRef A, const std::vector<unsigned> &Levels);
 
-  /// Renames levels with a strictly monotone map (preserving the global
-  /// order): NewLevel = Map(OldLevel). Levels not in the map are kept.
+  /// Renames decision levels: NewLevel = Map(OldLevel). \p Map must be
+  /// injective on the levels \p A actually tests; it may otherwise reorder
+  /// them freely (e.g. swap adjacent levels). Maps that preserve the level
+  /// order on the support take a linear-time structural rebuild; general
+  /// permutations fall back to an apply-based reconstruction that re-sorts
+  /// the decisions, so the result is canonical either way.
   NodeRef rename(NodeRef A,
                  const std::function<unsigned(unsigned)> &Map);
+
+  /// Rename-and-merge: structurally copies the diagram rooted at \p A from
+  /// \p From into this manager and \returns the copy's root. Every node is
+  /// re-hash-consed here, so migration preserves canonicity: extensionally
+  /// equal diagrams — whether migrated from different managers or built
+  /// natively — land on the identical NodeRef, and terminal values are
+  /// preserved bit-for-bit. \p Cache memoizes the copy (see
+  /// MigrationCache); migrating from *this is the identity. Reads \p From
+  /// and writes *this: the caller synchronizes both sides when either is
+  /// shared across threads.
+  NodeRef migrate(NodeRef A, const AddManager &From, MigrationCache &Cache);
+
+  /// One-shot migrate with a throwaway cache.
+  NodeRef migrate(NodeRef A, const AddManager &From) {
+    MigrationCache Cache;
+    return migrate(A, From, Cache);
+  }
+
+  /// The sorted distinct levels the diagram rooted at \p A tests.
+  std::vector<unsigned> support(NodeRef A) const;
 
   /// Largest / smallest terminal value reachable from \p A.
   double maxTerminal(NodeRef A) const;

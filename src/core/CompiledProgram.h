@@ -125,6 +125,10 @@ public:
         SeqEdges.push_back(E);
     if constexpr (threadSafeInterpret<D>()) {
       if (Pool) {
+        // Bracket the fan-out for domains with parallel-phase hooks.
+        // solve() already holds an outer bracket around its precompile;
+        // brackets nest, so this also covers standalone precompilation.
+        ParallelPhase<D> Phase(Dom, Pool->size() + 1, true);
         Pool->parallelFor(0, SeqEdges.size(),
                           [&](size_t I) { transformer(SeqEdges[I]); });
         return static_cast<unsigned>(SeqEdges.size());

@@ -71,11 +71,12 @@ concept PreMarkovAlgebra = requires(
 /// `static constexpr bool ThreadSafeInterpret = true` promises that
 /// concurrent calls of its const operations (interpret, extend, the
 /// choices, leq/equal, the widenings) on a single instance are data-race
-/// free. The parallel engine consults this before precompiling
-/// transformers concurrently or running the per-SCC parallel scheduler;
-/// domains with shared mutable internals (e.g. AddBiDomain's hash-consing
-/// AddManager) declare false — or nothing, since absent means unsafe —
-/// and are iterated sequentially.
+/// free — for domains with parallel-phase hooks (below), within a
+/// bracketed parallel phase. The parallel engine consults this before
+/// precompiling transformers concurrently or running the per-SCC parallel
+/// scheduler; domains with unguarded shared mutable internals declare
+/// false — or nothing, since absent means unsafe — and are iterated
+/// sequentially.
 template <typename D>
 concept DeclaresThreadSafeInterpret = requires {
   { D::ThreadSafeInterpret } -> std::convertible_to<bool>;
@@ -89,6 +90,56 @@ template <typename D> consteval bool threadSafeInterpret() {
   else
     return false;
 }
+
+/// Optional parallel-phase hooks. A domain whose thread safety is not free
+/// (it must reroute work through per-thread state, start synchronizing a
+/// shared structure, ...) may declare
+///
+///   void parallelBegin(unsigned Workers);   // entering a parallel phase
+///   void parallelEnd();                     // phase over, all calls done
+///
+/// and the engine brackets every concurrent section (up-front transformer
+/// precompilation, the parallel per-SCC scheduler) with them: parallelBegin
+/// is called before the first concurrent domain call can be issued, and
+/// parallelEnd only after all of them have returned. Brackets nest
+/// (precompile inside solve brackets again); domains track the depth.
+/// AddBiDomain is the motivating client: between the hooks it computes in
+/// thread-local AddManager arenas and publishes results into its shared
+/// home manager by a lock-guarded migrate, and at the outermost
+/// parallelEnd it drops the arenas (whose pool threads are about to die).
+/// Outside any bracket such a domain runs its plain sequential path, so
+/// Jobs = 1 solves pay nothing.
+template <typename D>
+concept ParallelPhaseDomain = requires(D &Dom, unsigned Workers) {
+  { Dom.parallelBegin(Workers) };
+  { Dom.parallelEnd() };
+};
+
+/// RAII bracket for a parallel phase; no-op for domains without the hooks
+/// (their thread safety is unconditional) and when \p Enable is false
+/// (the engine is not actually going parallel).
+template <typename D> class ParallelPhase {
+public:
+  ParallelPhase(D &Dom, unsigned Workers, bool Enable)
+      : Dom(Dom), Active(Enable) {
+    if constexpr (ParallelPhaseDomain<D>) {
+      if (Active)
+        Dom.parallelBegin(Workers);
+    }
+  }
+  ~ParallelPhase() {
+    if constexpr (ParallelPhaseDomain<D>) {
+      if (Active)
+        Dom.parallelEnd();
+    }
+  }
+  ParallelPhase(const ParallelPhase &) = delete;
+  ParallelPhase &operator=(const ParallelPhase &) = delete;
+
+private:
+  D &Dom;
+  [[maybe_unused]] bool Active;
+};
 
 } // namespace core
 } // namespace pmaf

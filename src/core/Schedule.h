@@ -107,6 +107,11 @@ struct ScheduleContext {
   /// atomic. The facade sets this; schedulers must not parallelize
   /// without it.
   bool ParallelSafe = false;
+  /// Optional out-param: the parallel scheduler CAS-maxes the number of
+  /// simultaneously in-flight SCC stabilizations into it (the facade
+  /// reports it as SolverStats::MaxParallelSccs). Ignored by sequential
+  /// schedulers.
+  std::atomic<unsigned> *MaxParallelSccs = nullptr;
 };
 
 /// Interface all chaotic-iteration schedulers implement.
@@ -256,6 +261,7 @@ public:
       Pending[S].store(InDegree[S], std::memory_order_relaxed);
 
     std::atomic<unsigned> Remaining(NumSccs);
+    std::atomic<unsigned> InFlight(0);
     std::mutex DoneMutex;
     std::condition_variable DoneCv;
     std::mutex ExceptionMutex;
@@ -266,6 +272,15 @@ public:
     // without a coordinator round-trip; acq_rel on the in-degree makes the
     // finished SCC's values visible to the successors it unblocks.
     std::function<void(unsigned)> RunScc = [&](unsigned S) {
+      unsigned Now = InFlight.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (Ctx.MaxParallelSccs) {
+        unsigned Seen =
+            Ctx.MaxParallelSccs->load(std::memory_order_relaxed);
+        while (Seen < Now &&
+               !Ctx.MaxParallelSccs->compare_exchange_weak(
+                   Seen, Now, std::memory_order_relaxed))
+          ;
+      }
       try {
         stabilizeElement(Ctx, Sccs[S]);
       } catch (...) {
@@ -273,6 +288,7 @@ public:
         if (!FirstException)
           FirstException = std::current_exception();
       }
+      InFlight.fetch_sub(1, std::memory_order_relaxed);
       for (unsigned U : Members[S])
         for (unsigned V : (*Ctx.Dependents)[U]) {
           unsigned T = SccOf[V];

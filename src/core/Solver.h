@@ -116,6 +116,10 @@ struct SolverStats {
   /// Worker threads the solve actually used (1 = sequential, either by
   /// request or because the domain is not ThreadSafeInterpret).
   unsigned JobsUsed = 1;
+  /// High-water mark of simultaneously in-flight SCC stabilizations under
+  /// the ParallelScc scheduler (1 for every sequential strategy) — the
+  /// observed, not theoretical, SCC-level parallelism of the solve.
+  unsigned MaxParallelSccs = 1;
   bool Converged = true;
 };
 
@@ -171,6 +175,12 @@ AnalysisResult<typename D::Value> solve(CompiledProgram<D> &Compiled,
   if (Jobs > 1 && ParallelSafe)
     Pool = std::make_unique<support::ThreadPool>(Jobs);
   Result.Stats.JobsUsed = Pool ? Pool->size() : 1;
+
+  // Domains with parallel-phase hooks (core/Domain.h) reroute their
+  // operations through per-thread state between these brackets; the guard
+  // covers both the precompilation fan-out and the parallel scheduler, and
+  // closes only after the scheduler has quiesced. Workers = pool + caller.
+  ParallelPhase<D> Phase(Dom, Pool ? Pool->size() + 1 : 1, Pool != nullptr);
 
   // With more than one job requested, pay for every transformer up front
   // (in parallel when the domain permits) so the iteration phase never
@@ -255,6 +265,8 @@ AnalysisResult<typename D::Value> solve(CompiledProgram<D> &Compiled,
   // once per solve rather than once per scheduler run.
   std::vector<unsigned> Positions = Order.positions();
 
+  std::atomic<unsigned> MaxParallelSccs{1};
+
   ScheduleContext Ctx;
   Ctx.NumNodes = NumNodes;
   Ctx.Order = &Order;
@@ -267,8 +279,11 @@ AnalysisResult<typename D::Value> solve(CompiledProgram<D> &Compiled,
   Ctx.Observer = Observer;
   Ctx.Pool = Pool.get();
   Ctx.ParallelSafe = ParallelSafe;
+  Ctx.MaxParallelSccs = &MaxParallelSccs;
   makeScheduler(Opts.Strategy)->run(Ctx);
 
+  Result.Stats.MaxParallelSccs =
+      MaxParallelSccs.load(std::memory_order_relaxed);
   Result.Stats.NodeUpdates = NodeUpdates.load(std::memory_order_relaxed);
   Result.Stats.WideningApplications =
       WideningApplications.load(std::memory_order_relaxed);

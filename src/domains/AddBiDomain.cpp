@@ -9,142 +9,195 @@ using namespace pmaf::add;
 using namespace pmaf::domains;
 using namespace pmaf::lang;
 
+/// One thread's compute state during a parallel phase. The migration memos
+/// persist for the arena's lifetime: NodeRefs are never invalidated on
+/// either side (managers never delete nodes), so each diagram crosses the
+/// home/arena boundary at most once per direction however many operations
+/// reuse it.
+struct AddBiDomain::Arena {
+  AddManager Local;
+  MigrationCache In;  // home NodeRef -> Local NodeRef
+  MigrationCache Out; // Local NodeRef -> home NodeRef
+};
+
 AddBiDomain::AddBiDomain(const BoolStateSpace &Space, double Tolerance)
     : Space(&Space), Mgr(std::make_unique<AddManager>()),
       Tolerance(Tolerance) {
-  Identity = frameFactor(~0u);
+  Identity = frameFactorIn(*Mgr, ~0u);
+}
+
+AddBiDomain::~AddBiDomain() = default;
+
+//===----------------------------------------------------------------------===//
+// Parallel-phase plumbing
+//===----------------------------------------------------------------------===//
+
+void AddBiDomain::parallelBegin(unsigned /*Workers*/) const {
+  ParallelDepth.fetch_add(1, std::memory_order_acq_rel);
+}
+
+void AddBiDomain::parallelEnd() const {
+  if (ParallelDepth.fetch_sub(1, std::memory_order_acq_rel) == 1)
+    // Outermost bracket closed: the engine's pool threads are gone (or
+    // about to be), and per-solve pools spawn fresh threads every solve —
+    // keeping the arenas would only leak. Quiescence is the caller's
+    // contract, so dropping them here is safe.
+    Arenas.reset();
+}
+
+AddBiDomain::Arena &AddBiDomain::arena() const {
+  return Arenas.get([] { return std::make_unique<Arena>(); });
+}
+
+NodeRef AddBiDomain::importRef(Arena &Ar, NodeRef HomeRef) const {
+  std::lock_guard<std::mutex> Lock(HomeMutex);
+  size_t Before = Ar.In.size();
+  NodeRef Local = Ar.Local.migrate(HomeRef, *Mgr, Ar.In);
+  ImportedNodes.fetch_add(Ar.In.size() - Before,
+                          std::memory_order_relaxed);
+  return Local;
+}
+
+NodeRef AddBiDomain::exportRef(Arena &Ar, NodeRef LocalRef) const {
+  std::lock_guard<std::mutex> Lock(HomeMutex);
+  size_t Before = Ar.Out.size();
+  NodeRef Home = Mgr->migrate(LocalRef, Ar.Local, Ar.Out);
+  ExportedNodes.fetch_add(Ar.Out.size() - Before,
+                          std::memory_order_relaxed);
+  return Home;
 }
 
 //===----------------------------------------------------------------------===//
-// Indicator construction
+// Indicator construction (manager-parameterized)
 //===----------------------------------------------------------------------===//
 
-NodeRef AddBiDomain::exprIndicator(const Expr &E) const {
+NodeRef AddBiDomain::exprIndicatorIn(AddManager &M, const Expr &E) const {
   switch (E.kind()) {
   case Expr::Kind::BoolLit:
-    return E.boolValue() ? Mgr->one() : Mgr->zero();
+    return E.boolValue() ? M.one() : M.zero();
   case Expr::Kind::Var:
-    return Mgr->indicator(rowLevel(E.varIndex()));
+    return M.indicator(rowLevel(E.varIndex()));
   case Expr::Kind::Number:
-    return E.number().isZero() ? Mgr->zero() : Mgr->one();
+    return E.number().isZero() ? M.zero() : M.one();
   default:
     assert(false && "arithmetic expression in a Boolean program");
-    return Mgr->zero();
+    return M.zero();
   }
 }
 
-NodeRef AddBiDomain::condIndicator(const Cond &Phi) const {
+NodeRef AddBiDomain::condIndicatorIn(AddManager &M, const Cond &Phi) const {
   switch (Phi.kind()) {
   case Cond::Kind::True:
-    return Mgr->one();
+    return M.one();
   case Cond::Kind::False:
-    return Mgr->zero();
+    return M.zero();
   case Cond::Kind::BoolVar:
-    return Mgr->indicator(rowLevel(Phi.varIndex()));
+    return M.indicator(rowLevel(Phi.varIndex()));
   case Cond::Kind::Cmp: {
-    NodeRef A = exprIndicator(Phi.cmpLhs());
-    NodeRef B = exprIndicator(Phi.cmpRhs());
+    NodeRef A = exprIndicatorIn(M, Phi.cmpLhs());
+    NodeRef B = exprIndicatorIn(M, Phi.cmpRhs());
     // xor = a + b - 2ab over 0/1 indicators.
-    NodeRef Xor = Mgr->apply(
-        Op::Sub, Mgr->apply(Op::Add, A, B),
-        Mgr->scale(Mgr->apply(Op::Mul, A, B), 2.0));
+    NodeRef Xor = M.apply(
+        Op::Sub, M.apply(Op::Add, A, B),
+        M.scale(M.apply(Op::Mul, A, B), 2.0));
     switch (Phi.cmpOp()) {
     case CmpOp::Eq:
-      return Mgr->affine(Xor, -1.0, 1.0);
+      return M.affine(Xor, -1.0, 1.0);
     case CmpOp::Ne:
       return Xor;
     default:
       assert(false && "ordered comparison in a Boolean program");
-      return Mgr->zero();
+      return M.zero();
     }
   }
   case Cond::Kind::Not:
-    return Mgr->affine(condIndicator(Phi.operand()), -1.0, 1.0);
+    return M.affine(condIndicatorIn(M, Phi.operand()), -1.0, 1.0);
   case Cond::Kind::And:
-    return Mgr->apply(Op::Min, condIndicator(Phi.lhs()),
-                      condIndicator(Phi.rhs()));
+    return M.apply(Op::Min, condIndicatorIn(M, Phi.lhs()),
+                   condIndicatorIn(M, Phi.rhs()));
   case Cond::Kind::Or:
-    return Mgr->apply(Op::Max, condIndicator(Phi.lhs()),
-                      condIndicator(Phi.rhs()));
+    return M.apply(Op::Max, condIndicatorIn(M, Phi.lhs()),
+                   condIndicatorIn(M, Phi.rhs()));
   }
   assert(false && "unknown condition kind");
-  return Mgr->zero();
+  return M.zero();
 }
 
-NodeRef AddBiDomain::equalsFactor(unsigned Var, NodeRef Rhs) const {
+NodeRef AddBiDomain::equalsFactorIn(AddManager &M, unsigned Var,
+                                    NodeRef Rhs) const {
   // [col_Var == Rhs] = 1 - (col + rhs - 2 col rhs) over 0/1 indicators.
-  NodeRef Col = Mgr->indicator(colLevel(Var));
-  NodeRef Xor = Mgr->apply(
-      Op::Sub, Mgr->apply(Op::Add, Col, Rhs),
-      Mgr->scale(Mgr->apply(Op::Mul, Col, Rhs), 2.0));
-  return Mgr->affine(Xor, -1.0, 1.0);
+  NodeRef Col = M.indicator(colLevel(Var));
+  NodeRef Xor = M.apply(
+      Op::Sub, M.apply(Op::Add, Col, Rhs),
+      M.scale(M.apply(Op::Mul, Col, Rhs), 2.0));
+  return M.affine(Xor, -1.0, 1.0);
 }
 
-NodeRef AddBiDomain::bernoulliFactor(unsigned Var, double P) const {
+NodeRef AddBiDomain::bernoulliFactorIn(AddManager &M, unsigned Var,
+                                       double P) const {
   // p at col=true, 1-p at col=false: (2p-1) col + (1-p).
-  return Mgr->affine(Mgr->indicator(colLevel(Var)), 2.0 * P - 1.0,
-                     1.0 - P);
+  return M.affine(M.indicator(colLevel(Var)), 2.0 * P - 1.0, 1.0 - P);
 }
 
-NodeRef AddBiDomain::frameFactor(unsigned SkipVar) const {
-  NodeRef Result = Mgr->one();
+NodeRef AddBiDomain::frameFactorIn(AddManager &M, unsigned SkipVar) const {
+  NodeRef Result = M.one();
   for (unsigned V = 0; V != Space->numVars(); ++V) {
     if (V == SkipVar)
       continue;
-    Result = Mgr->apply(
+    Result = M.apply(
         Op::Mul, Result,
-        equalsFactor(V, Mgr->indicator(rowLevel(V))));
+        equalsFactorIn(M, V, M.indicator(rowLevel(V))));
   }
   return Result;
 }
 
 //===----------------------------------------------------------------------===//
-// Algebra operations
+// Algebra operations (manager-parameterized cores)
 //===----------------------------------------------------------------------===//
 
-NodeRef AddBiDomain::extend(const Value &A, const Value &B) const {
+NodeRef AddBiDomain::extendIn(AddManager &M, NodeRef A, NodeRef B) const {
   // (A ⊗ B)(x, x') = sum_t A(x, t) B(t, x'): move A's columns and B's rows
   // into the contraction slot (monotone renamings), multiply, sum out.
-  NodeRef LiftedA = Mgr->rename(A, [](unsigned Level) {
+  NodeRef LiftedA = M.rename(A, [](unsigned Level) {
     return Level % 3 == 2 ? Level - 1 : Level;
   });
-  NodeRef LiftedB = Mgr->rename(B, [](unsigned Level) {
+  NodeRef LiftedB = M.rename(B, [](unsigned Level) {
     return Level % 3 == 0 ? Level + 1 : Level;
   });
-  NodeRef Product = Mgr->apply(Op::Mul, LiftedA, LiftedB);
+  NodeRef Product = M.apply(Op::Mul, LiftedA, LiftedB);
   std::vector<unsigned> MidLevels;
   for (unsigned V = 0; V != Space->numVars(); ++V)
     MidLevels.push_back(midLevel(V));
-  return Mgr->sumOut(Product, MidLevels);
+  return M.sumOut(Product, MidLevels);
 }
 
-NodeRef AddBiDomain::condChoice(const Cond &Phi, const Value &A,
-                                const Value &B) const {
-  NodeRef Ind = condIndicator(Phi);
-  NodeRef NotInd = Mgr->affine(Ind, -1.0, 1.0);
-  return Mgr->apply(Op::Add, Mgr->apply(Op::Mul, Ind, A),
-                    Mgr->apply(Op::Mul, NotInd, B));
+NodeRef AddBiDomain::condChoiceIn(AddManager &M, const Cond &Phi,
+                                  NodeRef A, NodeRef B) const {
+  NodeRef Ind = condIndicatorIn(M, Phi);
+  NodeRef NotInd = M.affine(Ind, -1.0, 1.0);
+  return M.apply(Op::Add, M.apply(Op::Mul, Ind, A),
+                 M.apply(Op::Mul, NotInd, B));
 }
 
-NodeRef AddBiDomain::probChoice(const Rational &P, const Value &A,
-                                const Value &B) const {
+NodeRef AddBiDomain::probChoiceIn(AddManager &M, const Rational &P,
+                                  NodeRef A, NodeRef B) const {
   double Prob = P.toDouble();
-  return Mgr->apply(Op::Add, Mgr->scale(A, Prob),
-                    Mgr->scale(B, 1.0 - Prob));
+  return M.apply(Op::Add, M.scale(A, Prob), M.scale(B, 1.0 - Prob));
 }
 
-NodeRef AddBiDomain::interpret(const Stmt *Action) const {
+NodeRef AddBiDomain::interpretIn(AddManager &M, const Stmt *Action,
+                                 NodeRef IdentityIn) const {
   if (!Action)
-    return Identity;
+    return IdentityIn;
   switch (Action->kind()) {
   case Stmt::Kind::Skip:
   case Stmt::Kind::Reward:
-    return Identity;
+    return IdentityIn;
   case Stmt::Kind::Assign:
-    return Mgr->apply(
-        Op::Mul, frameFactor(Action->varIndex()),
-        equalsFactor(Action->varIndex(),
-                     exprIndicator(Action->value())));
+    return M.apply(
+        Op::Mul, frameFactorIn(M, Action->varIndex()),
+        equalsFactorIn(M, Action->varIndex(),
+                       exprIndicatorIn(M, Action->value())));
   case Stmt::Kind::Sample: {
     const Dist &D = Action->dist();
     unsigned X = Action->varIndex();
@@ -152,32 +205,108 @@ NodeRef AddBiDomain::interpret(const Stmt *Action) const {
     case Dist::Kind::Bernoulli: {
       assert(D.Params[0]->kind() == Expr::Kind::Number &&
              "Bernoulli parameter must be constant");
-      return Mgr->apply(
-          Op::Mul, frameFactor(X),
-          bernoulliFactor(X, D.Params[0]->number().toDouble()));
+      return M.apply(
+          Op::Mul, frameFactorIn(M, X),
+          bernoulliFactorIn(M, X, D.Params[0]->number().toDouble()));
     }
     case Dist::Kind::Discrete: {
       double TrueMass = 0.0, FalseMass = 0.0;
       for (size_t I = 0; I != D.Params.size(); ++I)
         (D.Params[I]->number().isZero() ? FalseMass : TrueMass) +=
             D.Weights[I].toDouble();
-      NodeRef Col = Mgr->indicator(colLevel(X));
-      NodeRef Factor =
-          Mgr->affine(Col, TrueMass - FalseMass, FalseMass);
-      return Mgr->apply(Op::Mul, frameFactor(X), Factor);
+      NodeRef Col = M.indicator(colLevel(X));
+      NodeRef Factor = M.affine(Col, TrueMass - FalseMass, FalseMass);
+      return M.apply(Op::Mul, frameFactorIn(M, X), Factor);
     }
     default:
       assert(false && "continuous distribution in a Boolean program");
-      return Identity;
+      return IdentityIn;
     }
   }
   case Stmt::Kind::Observe:
-    return Mgr->apply(Op::Mul, Identity,
-                      condIndicator(Action->observed()));
+    return M.apply(Op::Mul, IdentityIn,
+                   condIndicatorIn(M, Action->observed()));
   default:
     assert(false && "not a data action");
-    return Identity;
+    return IdentityIn;
   }
+}
+
+//===----------------------------------------------------------------------===//
+// Public operations: sequential path on the home manager, arena path
+// (import / compute / export) inside a parallel phase
+//===----------------------------------------------------------------------===//
+
+NodeRef AddBiDomain::extend(const Value &A, const Value &B) const {
+  if (!inParallel())
+    return extendIn(*Mgr, A, B);
+  Arena &Ar = arena();
+  NodeRef LA = importRef(Ar, A);
+  NodeRef LB = importRef(Ar, B);
+  return exportRef(Ar, extendIn(Ar.Local, LA, LB));
+}
+
+NodeRef AddBiDomain::condChoice(const Cond &Phi, const Value &A,
+                                const Value &B) const {
+  if (!inParallel())
+    return condChoiceIn(*Mgr, Phi, A, B);
+  Arena &Ar = arena();
+  NodeRef LA = importRef(Ar, A);
+  NodeRef LB = importRef(Ar, B);
+  return exportRef(Ar, condChoiceIn(Ar.Local, Phi, LA, LB));
+}
+
+NodeRef AddBiDomain::probChoice(const Rational &P, const Value &A,
+                                const Value &B) const {
+  if (!inParallel())
+    return probChoiceIn(*Mgr, P, A, B);
+  Arena &Ar = arena();
+  NodeRef LA = importRef(Ar, A);
+  NodeRef LB = importRef(Ar, B);
+  return exportRef(Ar, probChoiceIn(Ar.Local, P, LA, LB));
+}
+
+NodeRef AddBiDomain::ndetChoice(const Value &A, const Value &B) const {
+  if (!inParallel())
+    return Mgr->apply(Op::Min, A, B);
+  Arena &Ar = arena();
+  NodeRef LA = importRef(Ar, A);
+  NodeRef LB = importRef(Ar, B);
+  return exportRef(Ar, Ar.Local.apply(Op::Min, LA, LB));
+}
+
+NodeRef AddBiDomain::interpret(const Stmt *Action) const {
+  if (!inParallel())
+    return interpretIn(*Mgr, Action, Identity);
+  Arena &Ar = arena();
+  // The skip/observe cases thread the identity kernel through; importing
+  // it is memoized, and exporting it back lands on the original home ref
+  // (hash-consing makes migration round-trips the identity map).
+  NodeRef LocalIdentity = importRef(Ar, Identity);
+  return exportRef(Ar, interpretIn(Ar.Local, Action, LocalIdentity));
+}
+
+bool AddBiDomain::leq(const Value &A, const Value &B) const {
+  if (!inParallel())
+    return Mgr->maxTerminal(Mgr->apply(Op::Sub, A, B)) <= Tolerance;
+  Arena &Ar = arena();
+  NodeRef LA = importRef(Ar, A);
+  NodeRef LB = importRef(Ar, B);
+  return Ar.Local.maxTerminal(Ar.Local.apply(Op::Sub, LA, LB)) <=
+         Tolerance;
+}
+
+bool AddBiDomain::equal(const Value &A, const Value &B) const {
+  // Home refs are canonical (one node per function), so reference equality
+  // decides extensional equality — in both modes.
+  if (A == B)
+    return true;
+  if (!inParallel())
+    return Mgr->maxAbsDiff(A, B) <= Tolerance;
+  Arena &Ar = arena();
+  NodeRef LA = importRef(Ar, A);
+  NodeRef LB = importRef(Ar, B);
+  return Ar.Local.maxAbsDiff(LA, LB) <= Tolerance;
 }
 
 //===----------------------------------------------------------------------===//
@@ -185,39 +314,54 @@ NodeRef AddBiDomain::interpret(const Stmt *Action) const {
 //===----------------------------------------------------------------------===//
 
 std::vector<double>
-AddBiDomain::posterior(const Value &Summary,
-                       const std::vector<double> &Prior) const {
+AddBiDomain::posteriorIn(AddManager &M, NodeRef Summary,
+                         const std::vector<double> &Prior) const {
   assert(Prior.size() == Space->numStates() &&
          "prior dimension mismatch");
   unsigned N = Space->numVars();
   // Prior as an ADD over the row levels.
-  NodeRef PriorAdd = Mgr->zero();
+  NodeRef PriorAdd = M.zero();
   for (size_t State = 0; State != Prior.size(); ++State) {
     if (Prior[State] == 0.0)
       continue;
-    NodeRef Point = Mgr->terminal(Prior[State]);
+    NodeRef Point = M.terminal(Prior[State]);
     for (unsigned V = 0; V != N; ++V) {
-      NodeRef Ind = Mgr->indicator(rowLevel(V));
+      NodeRef Ind = M.indicator(rowLevel(V));
       if (!Space->get(State, V))
-        Ind = Mgr->affine(Ind, -1.0, 1.0);
-      Point = Mgr->apply(Op::Mul, Point, Ind);
+        Ind = M.affine(Ind, -1.0, 1.0);
+      Point = M.apply(Op::Mul, Point, Ind);
     }
-    PriorAdd = Mgr->apply(Op::Add, PriorAdd, Point);
+    PriorAdd = M.apply(Op::Add, PriorAdd, Point);
   }
-  NodeRef Product = Mgr->apply(Op::Mul, PriorAdd, Summary);
+  NodeRef Product = M.apply(Op::Mul, PriorAdd, Summary);
   std::vector<unsigned> RowLevels;
   for (unsigned V = 0; V != N; ++V)
     RowLevels.push_back(rowLevel(V));
-  NodeRef Marginal = Mgr->sumOut(Product, RowLevels);
+  NodeRef Marginal = M.sumOut(Product, RowLevels);
   std::vector<double> Result(Space->numStates());
   for (size_t State = 0; State != Result.size(); ++State)
-    Result[State] = Mgr->evaluate(Marginal, [&](unsigned Level) {
+    Result[State] = M.evaluate(Marginal, [&](unsigned Level) {
       return Space->get(State, Level / 3);
     });
   return Result;
 }
 
+std::vector<double>
+AddBiDomain::posterior(const Value &Summary,
+                       const std::vector<double> &Prior) const {
+  if (!inParallel())
+    return posteriorIn(*Mgr, Summary, Prior);
+  Arena &Ar = arena();
+  NodeRef Local = importRef(Ar, Summary);
+  return posteriorIn(Ar.Local, Local, Prior);
+}
+
 Matrix AddBiDomain::toMatrix(const Value &A) const {
+  // Pure read of the home diagram; lock out concurrent migrations (which
+  // grow the home node store) while a parallel phase is open.
+  std::unique_lock<std::mutex> Lock(HomeMutex, std::defer_lock);
+  if (inParallel())
+    Lock.lock();
   size_t N = Space->numStates();
   Matrix Result(N, N);
   for (size_t Row = 0; Row != N; ++Row)
@@ -230,6 +374,13 @@ Matrix AddBiDomain::toMatrix(const Value &A) const {
   return Result;
 }
 
+size_t AddBiDomain::nodeCount(const Value &A) const {
+  std::unique_lock<std::mutex> Lock(HomeMutex, std::defer_lock);
+  if (inParallel())
+    Lock.lock();
+  return Mgr->nodeCount(A);
+}
+
 std::string AddBiDomain::toString(const Value &A) const {
-  return "ADD with " + std::to_string(Mgr->nodeCount(A)) + " nodes";
+  return "ADD with " + std::to_string(nodeCount(A)) + " nodes";
 }

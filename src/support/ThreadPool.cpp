@@ -60,6 +60,12 @@ std::vector<double> ThreadPool::workerBusySeconds() const {
   return Seconds;
 }
 
+uint64_t pmaf::support::detail::nextWorkerLocalId() {
+  // Starts at 1 so 0 can never collide with a default-initialized key.
+  static std::atomic<uint64_t> Next{1};
+  return Next.fetch_add(1, std::memory_order_relaxed);
+}
+
 namespace {
 /// The shared pool is intentionally leaked: worker threads idle until
 /// process exit, and tearing them down from static destructors races with

@@ -33,6 +33,12 @@
 /// size 1 (no threads, `sharedPool()` returns nullptr) so sequential
 /// builds pay nothing; `--jobs N` CLIs call `setSharedParallelism(N)`.
 ///
+/// `WorkerLocal<T>` is the per-worker arena hook the parallel ADD-backed
+/// BI domain builds on: an owner of lazily created per-thread state that
+/// works with any mix of pool workers and caller threads (parallelFor's
+/// caller lane included), and whose slots the owner can drop between
+/// parallel phases.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PMAF_SUPPORT_THREADPOOL_H
@@ -42,7 +48,9 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
+#include <unordered_map>
 #include <exception>
 #include <functional>
 #include <future>
@@ -196,6 +204,98 @@ private:
     std::atomic<uint64_t> Nanos{0};
   };
   std::unique_ptr<BusyCounter[]> Busy;
+};
+
+namespace detail {
+/// Process-unique ids for WorkerLocal sets (never reused, so a stale
+/// thread-local cache entry for a destroyed set can never alias a live
+/// one).
+uint64_t nextWorkerLocalId();
+} // namespace detail
+
+/// Owner of lazily created per-thread state: the first `get()` on each
+/// thread creates that thread's slot through the supplied factory; later
+/// `get()`s on the same thread return the same slot through a
+/// thread-local cache (one hash probe, no lock). Slots are owned by the
+/// WorkerLocal — they outlive their creating threads (a pool may join its
+/// workers while the owner still wants the slots' contents) and die with
+/// the set or on `reset()`.
+///
+/// This is the per-worker arena hook of the parallel analysis engine:
+/// AddBiDomain keys its thread-local AddManager arenas off one
+/// WorkerLocal per domain instance, and `reset()` between parallel phases
+/// drops arenas whose threads (per-solve pool workers) are gone.
+///
+/// Thread safety: concurrent `get()` calls from distinct threads are
+/// safe. `reset()` and destruction require that no thread is concurrently
+/// calling `get()` or using a previously returned slot — the engine
+/// guarantees that by resetting only after its pools have quiesced.
+/// Stale cache entries (set destroyed or reset while a thread's cache
+/// still points at a dropped slot) are detected by an epoch stamp and
+/// refreshed on the next `get()`.
+template <typename T> class WorkerLocal {
+public:
+  WorkerLocal() : Id(detail::nextWorkerLocalId()) {}
+  WorkerLocal(const WorkerLocal &) = delete;
+  WorkerLocal &operator=(const WorkerLocal &) = delete;
+
+  /// This thread's slot, created by `Make()` (returning std::unique_ptr<T>)
+  /// on first use per (thread, epoch).
+  template <typename MakeFn> T &get(MakeFn &&Make) {
+    struct CacheEntry {
+      uint64_t Epoch = 0;
+      T *Slot = nullptr;
+    };
+    thread_local std::unordered_map<uint64_t, CacheEntry> Cache;
+    uint64_t Now = Epoch.load(std::memory_order_acquire);
+    CacheEntry &Entry = Cache[Id];
+    if (Entry.Slot && Entry.Epoch == Now)
+      return *Entry.Slot;
+    std::unique_ptr<T> Fresh = Make();
+    T *Raw = Fresh.get();
+    {
+      std::lock_guard<std::mutex> Lock(SlotsMutex);
+      Slots.push_back(std::move(Fresh));
+      ++Created;
+    }
+    Entry = {Now, Raw};
+    return *Raw;
+  }
+
+  /// Drops every slot and invalidates all thread-local caches. Callers
+  /// must ensure no thread concurrently holds or requests a slot.
+  void reset() {
+    std::lock_guard<std::mutex> Lock(SlotsMutex);
+    Epoch.fetch_add(1, std::memory_order_acq_rel);
+    Slots.clear();
+  }
+
+  /// Live slots (threads that called get() since the last reset).
+  size_t slotCount() const {
+    std::lock_guard<std::mutex> Lock(SlotsMutex);
+    return Slots.size();
+  }
+
+  /// Slots created over the set's lifetime (across resets).
+  uint64_t createdCount() const {
+    std::lock_guard<std::mutex> Lock(SlotsMutex);
+    return Created;
+  }
+
+  /// Visits every live slot under the set's lock; same quiescence
+  /// requirement as reset().
+  template <typename F> void forEach(F &&Fn) {
+    std::lock_guard<std::mutex> Lock(SlotsMutex);
+    for (auto &Slot : Slots)
+      Fn(*Slot);
+  }
+
+private:
+  uint64_t Id;
+  std::atomic<uint64_t> Epoch{0};
+  mutable std::mutex SlotsMutex;
+  std::vector<std::unique_ptr<T>> Slots;
+  uint64_t Created = 0;
 };
 
 /// The process-wide pool used by code that cannot accept a pool parameter

@@ -96,6 +96,190 @@ TEST(AddManagerTest, RenameMonotone) {
                    2.0);
 }
 
+namespace {
+
+/// Exhaustively compares two functions (possibly owned by different
+/// managers) over all assignments to levels [0, NumLevels).
+void expectSameFunction(const AddManager &MA, NodeRef A,
+                        const AddManager &MB, NodeRef B,
+                        unsigned NumLevels,
+                        const char *What) {
+  for (unsigned Bits = 0; Bits != (1u << NumLevels); ++Bits) {
+    auto Asg = [&](unsigned Level) {
+      return Level < NumLevels && ((Bits >> Level) & 1u) != 0;
+    };
+    EXPECT_DOUBLE_EQ(MA.evaluate(A, Asg), MB.evaluate(B, Asg))
+        << What << ", assignment bits " << Bits;
+  }
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// rename regressions: non-monotone permutations
+//===----------------------------------------------------------------------===//
+
+// Regression: a permutation swapping two *adjacent* levels must reorder
+// the decisions, not just relabel them in place. The structural fast path
+// is only sound for maps that preserve the level order on the support;
+// the manager has to detect the swap and take the apply-based rebuild.
+TEST(AddManagerTest, RenameAdjacentLevelSwap) {
+  AddManager Mgr;
+  // F = x0 + 2*x1: asymmetric in the two levels, so a silent relabel
+  // (keeping the old structure) computes the wrong function.
+  NodeRef F = Mgr.apply(Op::Add, Mgr.indicator(0),
+                        Mgr.scale(Mgr.indicator(1), 2.0));
+  NodeRef G = Mgr.rename(F, [](unsigned Level) { return 1 - Level; });
+  // G = x1 + 2*x0, built natively for the canonicity check.
+  NodeRef Expected = Mgr.apply(Op::Add, Mgr.indicator(1),
+                               Mgr.scale(Mgr.indicator(0), 2.0));
+  EXPECT_EQ(G, Expected) << "rename must re-canonicalize, not relabel";
+  expectSameFunction(Mgr, G, Mgr, Expected, 2, "adjacent swap");
+}
+
+TEST(AddManagerTest, RenameReversePermutation) {
+  AddManager Mgr;
+  // F = x0 + 2*x1 + 4*x2; reverse all three levels.
+  NodeRef F = Mgr.indicator(0);
+  F = Mgr.apply(Op::Add, F, Mgr.scale(Mgr.indicator(1), 2.0));
+  F = Mgr.apply(Op::Add, F, Mgr.scale(Mgr.indicator(2), 4.0));
+  NodeRef G = Mgr.rename(F, [](unsigned Level) { return 2 - Level; });
+  NodeRef Expected = Mgr.indicator(2);
+  Expected = Mgr.apply(Op::Add, Expected, Mgr.scale(Mgr.indicator(1), 2.0));
+  Expected = Mgr.apply(Op::Add, Expected, Mgr.scale(Mgr.indicator(0), 4.0));
+  EXPECT_EQ(G, Expected);
+  // Spot-check the semantics directly against the defining equation
+  // G(asg) = F(level -> asg(Map(level))).
+  for (unsigned Bits = 0; Bits != 8; ++Bits) {
+    auto Asg = [&](unsigned L) { return ((Bits >> L) & 1u) != 0; };
+    EXPECT_DOUBLE_EQ(Mgr.evaluate(G, Asg), Mgr.evaluate(F, [&](unsigned L) {
+                       return Asg(2 - L);
+                     })) << "bits " << Bits;
+  }
+}
+
+// Two renames of structurally *shared* subdiagrams through a swapping map:
+// memoization across the shared part must not conflate the two contexts.
+TEST(AddManagerTest, RenameSwapWithSharedSubgraph) {
+  AddManager Mgr;
+  NodeRef Shared = Mgr.apply(Op::Add, Mgr.indicator(2),
+                             Mgr.scale(Mgr.indicator(3), 2.0));
+  // F tests x0 above the shared subgraph and also adds it directly, so
+  // Shared appears in two contexts.
+  NodeRef F = Mgr.apply(Op::Add, Mgr.apply(Op::Mul, Mgr.indicator(0), Shared),
+                        Shared);
+  NodeRef G = Mgr.rename(F, [](unsigned Level) {
+    // Swap 2 <-> 3, keep 0 in place: non-monotone on the support.
+    if (Level == 2)
+      return 3u;
+    if (Level == 3)
+      return 2u;
+    return Level;
+  });
+  for (unsigned Bits = 0; Bits != 16; ++Bits) {
+    auto Asg = [&](unsigned L) { return ((Bits >> L) & 1u) != 0; };
+    EXPECT_DOUBLE_EQ(Mgr.evaluate(G, Asg), Mgr.evaluate(F, [&](unsigned L) {
+                       if (L == 2)
+                         return Asg(3);
+                       if (L == 3)
+                         return Asg(2);
+                       return Asg(L);
+                     })) << "bits " << Bits;
+  }
+}
+
+// A map that is non-monotone only on levels *off* the support must still
+// be handled (the fast path keys on the support, not the whole domain).
+TEST(AddManagerTest, RenameNonMonotoneOffSupport) {
+  AddManager Mgr;
+  NodeRef F = Mgr.apply(Op::Add, Mgr.indicator(1),
+                        Mgr.scale(Mgr.indicator(3), 2.0));
+  // On the support {1, 3} the map is monotone (1 -> 2, 3 -> 4); on the
+  // untested levels it swaps wildly.
+  NodeRef G = Mgr.rename(F, [](unsigned Level) {
+    switch (Level) {
+    case 0:
+      return 5u;
+    case 1:
+      return 2u;
+    case 2:
+      return 0u;
+    case 3:
+      return 4u;
+    default:
+      return Level;
+    }
+  });
+  NodeRef Expected = Mgr.apply(Op::Add, Mgr.indicator(2),
+                               Mgr.scale(Mgr.indicator(4), 2.0));
+  EXPECT_EQ(G, Expected);
+}
+
+//===----------------------------------------------------------------------===//
+// migrate: the rename-and-merge primitive
+//===----------------------------------------------------------------------===//
+
+TEST(AddManagerTest, MigratePreservesSemanticsAndSize) {
+  AddManager From, To;
+  NodeRef F = From.apply(
+      Op::Add, From.apply(Op::Mul, From.indicator(0), From.indicator(1)),
+      From.scale(From.indicator(2), 0.625));
+  NodeRef G = To.migrate(F, From);
+  expectSameFunction(From, F, To, G, 3, "migrate");
+  EXPECT_EQ(From.nodeCount(F), To.nodeCount(G));
+  // Terminal values must survive bit-for-bit (0.625 is exact, but check
+  // an awkward double too).
+  NodeRef T = From.terminal(0.1);
+  EXPECT_EQ(To.terminalValue(To.migrate(T, From)),
+            From.terminalValue(T));
+}
+
+TEST(AddManagerTest, MigrateIsCanonical) {
+  // Extensionally equal diagrams built in two different managers, in
+  // different construction orders, must migrate onto the identical
+  // NodeRef in the destination — and match the natively built diagram.
+  AddManager A, B, Dest;
+  NodeRef FA = A.apply(Op::Add, A.indicator(0),
+                       A.scale(A.indicator(1), 2.0));
+  NodeRef FB = B.apply(Op::Add, B.scale(B.indicator(1), 2.0),
+                       B.indicator(0));
+  NodeRef Native = Dest.apply(Op::Add, Dest.indicator(0),
+                              Dest.scale(Dest.indicator(1), 2.0));
+  EXPECT_EQ(Dest.migrate(FA, A), Native);
+  EXPECT_EQ(Dest.migrate(FB, B), Native);
+}
+
+TEST(AddManagerTest, MigrateSelfAndRoundTripAreIdentity) {
+  AddManager Home, Other;
+  NodeRef F = Home.apply(Op::Add, Home.indicator(0),
+                         Home.scale(Home.indicator(1), 3.0));
+  // Migrating within one manager is the identity on NodeRefs.
+  EXPECT_EQ(Home.migrate(F, Home), F);
+  // Round trip home -> other -> home lands back on the same NodeRef
+  // (hash-consing makes the second migration find the original nodes).
+  NodeRef Away = Other.migrate(F, Home);
+  EXPECT_EQ(Home.migrate(Away, Other), F);
+}
+
+TEST(AddManagerTest, MigrationCacheIsReusedAcrossCalls) {
+  AddManager From, To;
+  NodeRef Shared = From.apply(Op::Add, From.indicator(1),
+                              From.scale(From.indicator(2), 2.0));
+  NodeRef F = From.apply(Op::Mul, From.indicator(0), Shared);
+  MigrationCache Cache;
+  NodeRef G1 = To.migrate(F, From, Cache);
+  size_t CacheAfterFirst = Cache.size();
+  size_t NodesAfterFirst = To.totalNodes();
+  // Second migration of an overlapping diagram: the shared subgraph is
+  // served from the cache, no new destination nodes appear.
+  NodeRef G2 = To.migrate(Shared, From, Cache);
+  EXPECT_EQ(Cache.size(), CacheAfterFirst);
+  EXPECT_EQ(To.totalNodes(), NodesAfterFirst);
+  // And re-migrating the root is a pure cache hit.
+  EXPECT_EQ(To.migrate(F, From, Cache), G1);
+  expectSameFunction(From, Shared, To, G2, 3, "cached migrate");
+}
+
 TEST(AddManagerTest, SharingBeatsEnumeration) {
   // The parity-like function sum of 16 indicators has a linear-size ADD.
   AddManager Mgr;

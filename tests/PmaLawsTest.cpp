@@ -7,6 +7,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/LawCheck.h"
+#include "domains/AddBiDomain.h"
 #include "domains/BiDomain.h"
 #include "domains/LeiaDomain.h"
 #include "domains/MdpDomain.h"
@@ -102,6 +103,76 @@ TEST(PmaLawsTest, BiDomainSatisfiesMirroredLaws) {
     }
     In.Samples.push_back(M);
   }
+  In.Probs = sampleProbs();
+  CondPool Conds;
+  Conds.add(lang::Cond::makeBoolVar(0));
+  Conds.add(lang::Cond::makeAnd(lang::Cond::makeBoolVar(0),
+                                lang::Cond::makeBoolVar(1)));
+  Conds.add(lang::Cond::makeTrue());
+  In.Conds = Conds.Ptrs;
+
+  LawCheckOptions Opts;
+  Opts.ChoiceIsUpperBound = false; // Demonic under-abstraction.
+  auto Violations = checkPmaLaws(Dom, In, Opts);
+  EXPECT_TRUE(Violations.empty())
+      << Violations.size() << " violations, first: " << Violations.front();
+}
+
+//===----------------------------------------------------------------------===//
+// ADD-backed BI domain (§6.2): same mirrored laws as the dense BI domain —
+// with the operands deliberately constructed in *different* AddManagers
+// and migrated into the checked domain's home manager, so the laws are
+// exercised across rename-and-merge boundaries (the cross-thread hand-off
+// of the parallel engine, minus the threads).
+//===----------------------------------------------------------------------===//
+
+TEST(PmaLawsTest, AddBiDomainSatisfiesMirroredLawsAcrossManagers) {
+  auto Prog = lang::parseProgramOrDie(R"(
+    bool a, b;
+    proc main() { skip; }
+  )");
+  BoolStateSpace Space(*Prog);
+  AddBiDomain Dom(Space, 1e-9);
+  // Two donor domains: each owns an independent manager whose NodeRefs
+  // mean nothing in Dom's manager until migrated.
+  AddBiDomain DonorA(Space, 1e-9);
+  AddBiDomain DonorB(Space, 1e-9);
+
+  auto Assign = lang::Stmt::makeAssign(0, lang::Expr::makeBool(true));
+  auto Sample = lang::Stmt::makeSample(
+      1, [] {
+        lang::Dist D;
+        D.TheKind = lang::Dist::Kind::Bernoulli;
+        D.Params.push_back(lang::Expr::makeNumber(Rational(1, 3)));
+        return D;
+      }());
+
+  // Canonicity after rename-and-merge: a kernel built in a donor manager
+  // and migrated must land on the *identical* NodeRef as the same kernel
+  // built natively — hash-consing makes migration canonical, which is what
+  // lets the solver compare parallel-phase results by reference equality.
+  add::MigrationCache FromA, FromB;
+  add::AddManager &Home = Dom.manager();
+  add::NodeRef MigratedAssign =
+      Home.migrate(DonorA.interpret(Assign.get()), DonorA.manager(), FromA);
+  EXPECT_EQ(MigratedAssign, Dom.interpret(Assign.get()));
+  add::NodeRef MigratedSample =
+      Home.migrate(DonorB.interpret(Sample.get()), DonorB.manager(), FromB);
+  EXPECT_EQ(MigratedSample, Dom.interpret(Sample.get()));
+  EXPECT_EQ(Home.migrate(DonorA.one(), DonorA.manager(), FromA), Dom.one());
+  EXPECT_EQ(Home.migrate(DonorB.bottom(), DonorB.manager(), FromB),
+            Dom.bottom());
+
+  LawCheckInput<AddBiDomain> In;
+  In.Samples.push_back(MigratedAssign);
+  In.Samples.push_back(MigratedSample);
+  // A composite built in donor A from donor-A operands, then migrated.
+  In.Samples.push_back(Home.migrate(
+      DonorA.probChoice(Rational(1, 4), DonorA.interpret(Assign.get()),
+                        DonorA.one()),
+      DonorA.manager(), FromA));
+  In.Samples.push_back(Dom.one());
+  In.Samples.push_back(Dom.bottom());
   In.Probs = sampleProbs();
   CondPool Conds;
   Conds.add(lang::Cond::makeBoolVar(0));

@@ -14,6 +14,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "RandomProgramGen.h"
+
 #include "baselines/ClaretForward.h"
 #include "baselines/PolySystem.h"
 #include "cfg/HyperGraph.h"
@@ -34,98 +36,11 @@ using namespace pmaf::core;
 using namespace pmaf::domains;
 using namespace pmaf::lang;
 
-namespace {
-
-Rational randomProb(Rng &R, unsigned DenBound = 16) {
-  int64_t Den = 1 + static_cast<int64_t>(R.below(DenBound));
-  int64_t Num = static_cast<int64_t>(R.below(Den + 1));
-  return Rational(Num, Den);
-}
-
-//===----------------------------------------------------------------------===//
-// Random Boolean programs (no ndet, no recursion)
-//===----------------------------------------------------------------------===//
-
-Cond::Ptr randomBoolCond(Rng &R, unsigned NumVars, unsigned Depth) {
-  if (Depth == 0 || R.below(2) == 0)
-    return Cond::makeBoolVar(static_cast<unsigned>(R.below(NumVars)));
-  switch (R.below(3)) {
-  case 0:
-    return Cond::makeNot(randomBoolCond(R, NumVars, Depth - 1));
-  case 1:
-    return Cond::makeAnd(randomBoolCond(R, NumVars, Depth - 1),
-                         randomBoolCond(R, NumVars, Depth - 1));
-  default:
-    return Cond::makeOr(randomBoolCond(R, NumVars, Depth - 1),
-                        randomBoolCond(R, NumVars, Depth - 1));
-  }
-}
-
-Stmt::Ptr randomBoolStmt(Rng &R, unsigned NumVars, unsigned Depth) {
-  unsigned Kind = static_cast<unsigned>(R.below(Depth == 0 ? 3 : 6));
-  unsigned Var = static_cast<unsigned>(R.below(NumVars));
-  switch (Kind) {
-  case 0:
-    return Stmt::makeAssign(Var, Expr::makeBool(R.below(2) == 0));
-  case 1: {
-    Dist D;
-    D.TheKind = Dist::Kind::Bernoulli;
-    D.Params.push_back(Expr::makeNumber(randomProb(R)));
-    return Stmt::makeSample(Var, std::move(D));
-  }
-  case 2:
-    return Stmt::makeAssign(Var,
-                            Expr::makeVar(static_cast<unsigned>(
-                                R.below(NumVars))));
-  case 3: {
-    // observe on a disjunction-heavy condition (avoid rejecting all mass
-    // too often).
-    return Stmt::makeObserve(
-        Cond::makeOr(randomBoolCond(R, NumVars, 1),
-                     Cond::makeBoolVar(static_cast<unsigned>(
-                         R.below(NumVars)))));
-  }
-  case 4: {
-    Guard G;
-    if (R.below(2) == 0) {
-      G.TheKind = Guard::Kind::Cond;
-      G.Phi = randomBoolCond(R, NumVars, 2);
-    } else {
-      G.TheKind = Guard::Kind::Prob;
-      G.Prob = randomProb(R);
-    }
-    std::vector<Stmt::Ptr> Then, Else;
-    Then.push_back(randomBoolStmt(R, NumVars, Depth - 1));
-    Else.push_back(randomBoolStmt(R, NumVars, Depth - 1));
-    return Stmt::makeIf(std::move(G), Stmt::makeBlock(std::move(Then)),
-                        Stmt::makeBlock(std::move(Else)));
-  }
-  default: {
-    // Probabilistically terminating loop (guard probability <= 3/4).
-    Guard G;
-    G.TheKind = Guard::Kind::Prob;
-    G.Prob = Rational(static_cast<int64_t>(R.below(4)), 4);
-    std::vector<Stmt::Ptr> Body;
-    Body.push_back(randomBoolStmt(R, NumVars, Depth - 1));
-    return Stmt::makeWhile(std::move(G), Stmt::makeBlock(std::move(Body)));
-  }
-  }
-}
-
-std::unique_ptr<Program> randomBoolProgram(Rng &R, unsigned NumVars,
-                                           unsigned NumStmts) {
-  auto Prog = std::make_unique<Program>();
-  for (unsigned I = 0; I != NumVars; ++I)
-    Prog->Vars.push_back(VarInfo{"b" + std::to_string(I), false, {}});
-  std::vector<Stmt::Ptr> Stmts;
-  for (unsigned I = 0; I != NumStmts; ++I)
-    Stmts.push_back(randomBoolStmt(R, NumVars, 2));
-  Prog->Procs.push_back(
-      Procedure{"main", Stmt::makeBlock(std::move(Stmts)), {}});
-  return Prog;
-}
-
-} // namespace
+// The random Boolean-program generators (legacy no-ndet/no-call shape used
+// here, plus the configurable one DifferentialBiTest sweeps) live in
+// tests/RandomProgramGen.h, shared across the differential suites.
+using pmaf::testgen::randomBoolProgram;
+using pmaf::testgen::randomProb;
 
 TEST(RandomProgramTest, BiAgreesWithForwardBaseline) {
   Rng R(20260706);

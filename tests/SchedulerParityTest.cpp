@@ -17,8 +17,10 @@
 // WTO-recursive one. The BitIdentical* tests pin that down with exact
 // comparisons (no tolerance): Matrix::operator== for BI, double == for
 // MDP, exact rational toString for LEIA, and NodeRef identity (shared
-// hash-consing manager) for ADD-BI — the latter also covering the
-// sequential fallback of a domain without ThreadSafeInterpret.
+// hash-consing home manager) for ADD-BI — the latter now running truly
+// multi-threaded: workers compute in thread-local arena managers and
+// publish through canonical migration into the home manager, so the
+// parallel fixpoint's NodeRefs still match the sequential ones exactly.
 //
 // Two numeric subtleties the setup accounts for:
 //  * Each solve stops when successive iterates agree to the domain's
@@ -203,8 +205,10 @@ TEST(SchedulerParityTest, BitIdenticalAddBiDomain) {
     BoolStateSpace Space(*Prog);
     SolverOptions Opts;
     Opts.UseWidening = false;
-    // One shared manager makes NodeRef identity meaningful; ParallelScc
-    // falls back to its sequential schedule here (no ThreadSafeInterpret).
+    // One shared domain makes NodeRef identity meaningful: the parallel
+    // run computes in per-worker arenas but every published Value is a
+    // NodeRef in the same home manager, canonically migrated, so it must
+    // coincide with the sequential run's NodeRef exactly.
     AddBiDomain Shared(Space);
     expectBitIdentical(Bench.Name, Graph, Opts,
                        [&]() -> AddBiDomain & { return Shared; },

@@ -31,7 +31,8 @@
 // concurrently, the dense-matrix kernels block-parallelize, and
 // --strategy=parallel-scc stabilizes independent SCCs concurrently.
 // --stats prints the instrumentation counters (core/Instrumentation.h),
-// including the interpret-cache traffic and precompile timing.
+// including the interpret-cache traffic, precompile timing, the worker
+// count the solve actually used, and the peak number of SCCs in flight.
 //
 //===----------------------------------------------------------------------===//
 
@@ -136,7 +137,8 @@ struct CliSolverConfig {
   }
 
   void printReport(const SolverInstrumentation &Counters,
-                   const SolverOptions &Opts) const {
+                   const SolverOptions &Opts,
+                   const core::SolverStats &SolveStats) const {
     if (!Stats)
       return;
     std::printf("; strategy: %s, widening delay %u, max updates %llu, "
@@ -144,6 +146,8 @@ struct CliSolverConfig {
                 core::toString(Opts.Strategy), Opts.WideningDelay,
                 static_cast<unsigned long long>(Opts.MaxUpdates),
                 Opts.Jobs);
+    std::printf("; parallel: %u workers used, %u SCCs in flight at peak\n",
+                SolveStats.JobsUsed, SolveStats.MaxParallelSccs);
     std::printf("%s", Counters.report().c_str());
   }
 };
@@ -339,7 +343,7 @@ int main(int argc, char **argv) {
       for (const std::string &Inv : Invariants)
         std::printf("  %s\n", Inv.c_str());
     }
-    Config.printReport(Counters, Opts);
+    Config.printReport(Counters, Opts, Result.Stats);
     return Result.Stats.Converged ? 0 : 1;
   }
   if (Domain == "bi") {
@@ -365,7 +369,7 @@ int main(int argc, char **argv) {
       }
       std::printf("  terminating mass: %.6f\n", Mass);
     }
-    Config.printReport(Counters, Opts);
+    Config.printReport(Counters, Opts, Result.Stats);
     return Result.Stats.Converged ? 0 : 1;
   }
   if (Domain == "mdp") {
@@ -378,7 +382,7 @@ int main(int argc, char **argv) {
       std::printf("%s(): greatest expected reward = %g\n",
                   Prog->Procs[P].Name.c_str(),
                   Result.Values[Graph.proc(P).Entry]);
-    Config.printReport(Counters, Opts);
+    Config.printReport(Counters, Opts, Result.Stats);
     return Result.Stats.Converged ? 0 : 1;
   }
   if (Domain == "termination") {
@@ -390,7 +394,7 @@ int main(int argc, char **argv) {
       std::printf("%s(): P[termination] >= %.6f\n",
                   Prog->Procs[P].Name.c_str(),
                   Result.Values[Graph.proc(P).Entry]);
-    Config.printReport(Counters, Opts);
+    Config.printReport(Counters, Opts, Result.Stats);
     return Result.Stats.Converged ? 0 : 1;
   }
   std::fprintf(stderr, "error: unknown domain %s\n", Domain.c_str());
