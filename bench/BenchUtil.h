@@ -105,8 +105,11 @@ inline unsigned extractJobs(int &Argc, char **Argv, unsigned Default = 1) {
 
 /// The standard `--jobs` wiring of a bench main: extract the flag, resolve
 /// 0 to the hardware thread count, and size the process-wide shared pool
-/// the dense-matrix kernels use. \returns the resolved count, destined for
-/// SolverOptions::Jobs where the bench owns the SolverOptions.
+/// the dense-matrix kernels use — once, at startup, never per repetition
+/// (recreating the pool mid-run would both skew timings and race in-flight
+/// users; setSharedParallelism refuses while tasks are in flight).
+/// \returns the resolved count, destined for SolverOptions::Jobs where the
+/// bench owns the SolverOptions.
 inline unsigned configureJobs(int &Argc, char **Argv) {
   unsigned Jobs = extractJobs(Argc, Argv);
   if (Jobs == 0)

@@ -33,6 +33,13 @@
 ///  * **Dependents.** The dependence graph of Eqn 2 as successor lists
 ///    (dependents(u) = nodes whose right-hand side reads u), precomputed
 ///    from cfg::HyperGraph for the worklist scheduler and for the WTO.
+///  * **Iteration order.** The WTO of the dependence graph rooted at the
+///    procedure exits, with two derived artifacts: the widening-operator
+///    kind per widening point (the kinds of the component's guard edges,
+///    under the precedence ndet ▷ prob ▷ cond — see wideningKinds()),
+///    and the per-component conflict-free batch plans
+///    of the intra-component parallel scheduler (built lazily; only
+///    `--strategy=parallel-intra` pays for them).
 ///
 /// A CompiledProgram may be reused across repeated solve() calls over the
 /// same domain instance (the transformer cache then persists, which is
@@ -44,6 +51,7 @@
 #define PMAF_CORE_COMPILEDPROGRAM_H
 
 #include "cfg/HyperGraph.h"
+#include "cfg/Wto.h"
 #include "core/Domain.h"
 #include "core/Instrumentation.h"
 #include "support/ThreadPool.h"
@@ -68,7 +76,15 @@ public:
                   SolverObserver *Observer = nullptr)
       : Graph(Graph), Dom(Dom), Observer(Observer),
         Dependents(Graph.dependenceSuccessors()),
-        Transformers(Graph.edges().size()) {}
+        Transformers(Graph.edges().size()) {
+    // Iteration order: WTO of the dependence graph, rooted at the exits
+    // so that values flow leaf-to-root (§2.3). Invariant across solves.
+    std::vector<unsigned> Roots;
+    for (unsigned P = 0; P != Graph.numProcs(); ++P)
+      Roots.push_back(Graph.proc(P).Exit);
+    Order = cfg::Wto::compute(Dependents, Roots);
+    computeWideningKinds();
+  }
 
   const cfg::ProgramGraph &graph() const { return Graph; }
   D &domain() { return Dom; }
@@ -81,6 +97,41 @@ public:
   /// inequality right-hand side mentions S(u).
   const std::vector<std::vector<unsigned>> &dependents() const {
     return Dependents;
+  }
+
+  /// The WTO every solve over this program iterates by (§4.4): computed
+  /// over the dependence graph, rooted at the procedure exits.
+  const cfg::Wto &wto() const { return Order; }
+
+  /// The widening-operator kind per node: for a widening point, the
+  /// control-action kind that selects the operator at `old ∇ new`. A
+  /// component may be guarded by several branch kinds at once (a head can
+  /// close a conditional loop that also exits through a probabilistic
+  /// `break`), and which guard the head's own outgoing edge happens to be
+  /// is an accident of DFS order — so the kind is chosen from the
+  /// component's *guards* (branch edges with one destination inside the
+  /// component and one outside: the decisions that can re-enter the loop
+  /// or leave it) under the precedence ndet ▷ prob ▷ cond, falling back
+  /// to Call (the recursion-cut operator) for guard-free cycles. Branches
+  /// wholly inside the body — both arms continue around the loop — do not
+  /// guard it and must not influence the operator: Ex 5.8's conditional
+  /// loop around an internal probabilistic branch still needs the
+  /// pessimistic conditional widening to stabilize. This keeps Obs 4.9
+  /// (old ⊑ new at every widening) while making the operator a function
+  /// of the component, not of edge storage order.
+  const std::vector<cfg::ControlAction::Kind> &wideningKinds() const {
+    return WideningKinds;
+  }
+
+  /// Conflict-free intra-component batch plans (the ParallelIntra
+  /// scheduler's schedule), indexed by component-head node id. Built on
+  /// first request — only parallel-intra solves pay — and safe against
+  /// concurrent first requests.
+  const std::vector<cfg::IntraComponentPlan> &intraPlans() {
+    std::call_once(IntraPlansOnce, [&] {
+      IntraPlans = cfg::computeIntraPlans(Order, Dependents);
+    });
+    return IntraPlans;
   }
 
   /// The abstract transformer of `seq` hyper-edge \p EdgeIndex; interprets
@@ -182,11 +233,85 @@ private:
     std::optional<Value> Stored;
   };
 
+  /// Rank of a control-action kind in the widening-operator precedence
+  /// (higher wins); seq/call rank 0 so a branch kind always dominates.
+  static int branchPrecedence(cfg::ControlAction::Kind K) {
+    switch (K) {
+    case cfg::ControlAction::Kind::Ndet:
+      return 3;
+    case cfg::ControlAction::Kind::Prob:
+      return 2;
+    case cfg::ControlAction::Kind::Cond:
+      return 1;
+    case cfg::ControlAction::Kind::Seq:
+    case cfg::ControlAction::Kind::Call:
+      return 0;
+    }
+    return 0;
+  }
+
+  void computeWideningKinds() {
+    // Non-heads default to their own outgoing kind (only heads are ever
+    // consulted through the widening path); exits keep Seq.
+    WideningKinds.assign(Graph.numNodes(), cfg::ControlAction::Kind::Seq);
+    for (unsigned V = 0; V != Graph.numNodes(); ++V)
+      if (const cfg::HyperEdge *Edge = Graph.outgoing(V))
+        WideningKinds[V] = Edge->Ctrl.TheKind;
+    std::vector<char> InComponent(Graph.numNodes(), 0);
+    for (const cfg::WtoElement &Element : Order.Elements)
+      assignComponentKind(Element, InComponent);
+  }
+
+  void assignComponentKind(const cfg::WtoElement &Element,
+                           std::vector<char> &InComponent) {
+    if (!Element.IsComponent)
+      return;
+    std::vector<unsigned> Members;
+    auto Collect = [&](auto &&Self, const cfg::WtoElement &E) -> void {
+      Members.push_back(E.Node);
+      InComponent[E.Node] = 1;
+      for (const cfg::WtoElement &Child : E.Body)
+        Self(Self, Child);
+    };
+    Collect(Collect, Element);
+    // A guard is a member branch with one arm back into this component
+    // and one arm out of it — the decision that re-enters or leaves the
+    // loop. Branches wholly inside the body (including the guards of
+    // nested sub-components, whose exits continue around THIS loop) do
+    // not qualify.
+    int Best = 0;
+    cfg::ControlAction::Kind BestKind = cfg::ControlAction::Kind::Call;
+    for (unsigned M : Members) {
+      const cfg::HyperEdge *Edge = Graph.outgoing(M);
+      if (!Edge || Edge->Dsts.size() < 2)
+        continue;
+      bool Inside = false, Outside = false;
+      for (unsigned Dst : Edge->Dsts)
+        (InComponent[Dst] ? Inside : Outside) = true;
+      if (!Inside || !Outside)
+        continue;
+      int Rank = branchPrecedence(Edge->Ctrl.TheKind);
+      if (Rank > Best) {
+        Best = Rank;
+        BestKind = Edge->Ctrl.TheKind;
+      }
+    }
+    WideningKinds[Element.Node] = BestKind;
+    for (unsigned M : Members)
+      InComponent[M] = 0;
+    for (const cfg::WtoElement &Child : Element.Body)
+      assignComponentKind(Child, InComponent);
+  }
+
   const cfg::ProgramGraph &Graph;
   D &Dom;
   SolverObserver *Observer = nullptr;
   std::vector<std::vector<unsigned>> Dependents;
   std::vector<Slot> Transformers;
+  cfg::Wto Order;
+  std::vector<cfg::ControlAction::Kind> WideningKinds;
+  std::once_flag IntraPlansOnce;
+  std::vector<cfg::IntraComponentPlan> IntraPlans;
   std::atomic<uint64_t> InterpretCallCount{0};
   std::atomic<uint64_t> InterpretCacheHitCount{0};
 };

@@ -84,6 +84,19 @@ public:
     (void)Transformers;
     (void)Seconds;
   }
+
+  /// The intra-component parallel scheduler ran one conflict-free batch
+  /// of \p Width units inside the component headed by \p Head, and the
+  /// coordinator waited \p BarrierWaitSeconds at the closing barrier
+  /// after exhausting its own share of the work. Emitted from the
+  /// coordinating thread (batches close on it), only for batches that
+  /// actually fanned out (Width >= 2).
+  virtual void onIntraBatch(unsigned Head, unsigned Width,
+                            double BarrierWaitSeconds) {
+    (void)Head;
+    (void)Width;
+    (void)BarrierWaitSeconds;
+  }
 };
 
 /// The stock timing/counter observer: tallies every event and the
@@ -110,6 +123,13 @@ public:
   double PrecompileSeconds = 0.0;
   uint64_t PrecompiledTransformers = 0;
   bool LastConverged = true;
+  /// Intra-component batch traffic (parallel-intra solves only): batches
+  /// that fanned out, a width histogram (bucket = min(width, MaxWidthBucket)),
+  /// and cumulative coordinator barrier-wait time.
+  static constexpr unsigned MaxWidthBucket = 16;
+  std::atomic<uint64_t> IntraBatches{0};
+  std::atomic<uint64_t> IntraWidthHistogram[MaxWidthBucket + 1] = {};
+  std::atomic<uint64_t> IntraBarrierWaitNanos{0};
 
   SolverInstrumentation() = default;
   /// Copyable despite the atomics (snapshot semantics) so harnesses can
@@ -155,13 +175,22 @@ public:
     PrecompiledTransformers += Transformers;
     PrecompileSeconds += Seconds;
   }
+  void onIntraBatch(unsigned, unsigned Width,
+                    double BarrierWaitSeconds) override {
+    IntraBatches.fetch_add(1, std::memory_order_relaxed);
+    unsigned Bucket = Width < MaxWidthBucket ? Width : MaxWidthBucket;
+    IntraWidthHistogram[Bucket].fetch_add(1, std::memory_order_relaxed);
+    IntraBarrierWaitNanos.fetch_add(
+        static_cast<uint64_t>(BarrierWaitSeconds * 1e9),
+        std::memory_order_relaxed);
+  }
 
   void reset() { *this = SolverInstrumentation(); }
 
   /// Multi-line human-readable dump (the CLI's `--stats` body).
   std::string report() const {
     char Buffer[640];
-    int Len = std::snprintf(
+    std::snprintf(
         Buffer, sizeof(Buffer),
         "; solver: %llu updates (%llu changed), %llu widenings, "
         "%llu components stabilized, converged=%s\n"
@@ -176,13 +205,31 @@ public:
         static_cast<unsigned long long>(InterpretCalls.load()),
         static_cast<unsigned long long>(InterpretCacheHits.load()),
         SolveSeconds, static_cast<unsigned long long>(Solves.load()));
-    if (PrecompiledTransformers > 0 && Len > 0 &&
-        static_cast<size_t>(Len) < sizeof(Buffer))
-      std::snprintf(Buffer + Len, sizeof(Buffer) - Len,
+    std::string Out = Buffer;
+    if (PrecompiledTransformers > 0) {
+      std::snprintf(Buffer, sizeof(Buffer),
                     "; precompile: %llu transformers in %.6f s\n",
                     static_cast<unsigned long long>(PrecompiledTransformers),
                     PrecompileSeconds);
-    return Buffer;
+      Out += Buffer;
+    }
+    if (uint64_t Batches = IntraBatches.load()) {
+      std::snprintf(Buffer, sizeof(Buffer),
+                    "; intra-scc: %llu parallel batches, %.6f s barrier "
+                    "wait, widths:",
+                    static_cast<unsigned long long>(Batches),
+                    IntraBarrierWaitNanos.load() * 1e-9);
+      Out += Buffer;
+      for (unsigned W = 0; W <= MaxWidthBucket; ++W)
+        if (uint64_t N = IntraWidthHistogram[W].load()) {
+          std::snprintf(Buffer, sizeof(Buffer), " %u%s:%llu", W,
+                        W == MaxWidthBucket ? "+" : "",
+                        static_cast<unsigned long long>(N));
+          Out += Buffer;
+        }
+      Out += '\n';
+    }
+    return Out;
   }
 
 private:
@@ -198,6 +245,10 @@ private:
     PrecompileSeconds = Other.PrecompileSeconds;
     PrecompiledTransformers = Other.PrecompiledTransformers;
     LastConverged = Other.LastConverged;
+    IntraBatches.store(Other.IntraBatches.load());
+    for (unsigned W = 0; W <= MaxWidthBucket; ++W)
+      IntraWidthHistogram[W].store(Other.IntraWidthHistogram[W].load());
+    IntraBarrierWaitNanos.store(Other.IntraBarrierWaitNanos.load());
     Start = Other.Start;
   }
 

@@ -29,17 +29,20 @@
 ///
 /// The facade itself owns what is neither program structure nor iteration
 /// order: the value vector, widening (at widening points the operator is
-/// chosen by the control action of the node's unique outgoing hyper-edge,
-/// §4.4, which maintains the invariant of Obs 4.9 — old ⊑ new at every
-/// `old ∇ new`), convergence accounting, and the update budget — plus the
-/// parallel-engine plumbing: when SolverOptions::Jobs asks for more than
-/// one worker and the domain declares ThreadSafeInterpret, solve() owns a
-/// per-solve thread pool, precompiles all `seq`-edge transformers on it
-/// before iteration starts, and hands it to the scheduler (only
-/// IterationStrategy::ParallelScc uses it). Update accounting switches to
-/// atomics so concurrent SCC workers can share the counters; per-node
-/// state (values, update counts) needs no locks because each node is
-/// written by exactly one worker (see ParallelSccScheduler).
+/// chosen by the control-action kinds present in the node's component,
+/// under the precedence ndet ▷ prob ▷ cond — see
+/// CompiledProgram::wideningKinds — which maintains the invariant of
+/// Obs 4.9: old ⊑ new at every `old ∇ new`), convergence accounting, and
+/// the update budget — plus the parallel-engine plumbing: when
+/// SolverOptions::Jobs asks for more than one worker and the domain
+/// declares ThreadSafeInterpret, solve() owns a per-solve thread pool,
+/// precompiles all `seq`-edge transformers on it before iteration starts,
+/// and hands it to the scheduler (IterationStrategy::ParallelScc and
+/// ParallelIntra use it). Update accounting switches to atomics so
+/// concurrent workers can share the counters; per-node state (values,
+/// update counts) needs no locks because each node is written by exactly
+/// one worker at a time (see ParallelSccScheduler and
+/// ParallelIntraScheduler).
 ///
 /// The value computed at a procedure's entry node is that procedure's
 /// summary (§2.3).
@@ -120,6 +123,15 @@ struct SolverStats {
   /// the ParallelScc scheduler (1 for every sequential strategy) — the
   /// observed, not theoretical, SCC-level parallelism of the solve.
   unsigned MaxParallelSccs = 1;
+  /// Intra-component batches the ParallelIntra scheduler fanned out
+  /// (zero for every other strategy), the widest batch executed, and the
+  /// seconds the coordinator spent waiting at batch barriers.
+  uint64_t IntraBatchesRun = 0;
+  unsigned MaxIntraBatchWidth = 0;
+  double IntraBarrierWaitSeconds = 0.0;
+  /// False iff the update budget (MaxUpdates) ran out first, in which
+  /// case Values is a mid-iteration snapshot, not a post-fixpoint —
+  /// callers must not report it as the analysis answer.
   bool Converged = true;
 };
 
@@ -157,12 +169,9 @@ AnalysisResult<typename D::Value> solve(CompiledProgram<D> &Compiled,
   for (unsigned P = 0; P != Graph.numProcs(); ++P)
     Result.Values[Graph.proc(P).Exit] = Dom.one();
 
-  // Iteration order: WTO of the dependence graph, rooted at the exits so
-  // that values flow leaf-to-root (§2.3).
-  std::vector<unsigned> Roots;
-  for (unsigned P = 0; P != Graph.numProcs(); ++P)
-    Roots.push_back(Graph.proc(P).Exit);
-  cfg::Wto Order = cfg::Wto::compute(Compiled.dependents(), Roots);
+  // Iteration order: the WTO cached on the compiled program (invariant
+  // across solves; rooted at the exits so values flow leaf-to-root, §2.3).
+  const cfg::Wto &Order = Compiled.wto();
 
   // Parallel engine setup. The pool is per-solve (distinct from the
   // process-wide shared pool the matrix kernels use) and only exists when
@@ -178,9 +187,17 @@ AnalysisResult<typename D::Value> solve(CompiledProgram<D> &Compiled,
 
   // Domains with parallel-phase hooks (core/Domain.h) reroute their
   // operations through per-thread state between these brackets; the guard
-  // covers both the precompilation fan-out and the parallel scheduler, and
-  // closes only after the scheduler has quiesced. Workers = pool + caller.
-  ParallelPhase<D> Phase(Dom, Pool ? Pool->size() + 1 : 1, Pool != nullptr);
+  // covers the parallel schedulers' whole iteration (intra-component
+  // batches included) and closes only after they quiesce. Sequential
+  // strategies skip the solve-wide bracket even with Jobs > 1 — their
+  // iteration runs on the calling thread, and precompile() brackets its
+  // own fan-out — so they keep the domains' direct (arena-free) path.
+  // Workers = pool + caller.
+  const bool ParallelIteration =
+      Opts.Strategy == IterationStrategy::ParallelScc ||
+      Opts.Strategy == IterationStrategy::ParallelIntra;
+  ParallelPhase<D> Phase(Dom, Pool ? Pool->size() + 1 : 1,
+                         Pool != nullptr && ParallelIteration);
 
   // With more than one job requested, pay for every transformer up front
   // (in parallel when the domain permits) so the iteration phase never
@@ -215,6 +232,10 @@ AnalysisResult<typename D::Value> solve(CompiledProgram<D> &Compiled,
       return false; // Exit nodes are pinned at 1.
     if (NodeUpdates.fetch_add(1, std::memory_order_relaxed) + 1 >
         Opts.MaxUpdates) {
+      // Give the refused increment back so the final tally is exactly
+      // the budget, not budget + however many refusals happened before
+      // the schedulers noticed Exhausted().
+      NodeUpdates.fetch_sub(1, std::memory_order_relaxed);
       Converged.store(false, std::memory_order_relaxed);
       return false;
     }
@@ -230,7 +251,13 @@ AnalysisResult<typename D::Value> solve(CompiledProgram<D> &Compiled,
       if (Opts.UnifiedWidening) {
         New = Dom.widenNdet(Old, New);
       } else {
-        switch (Graph.outgoing(V)->Ctrl.TheKind) {
+        // The operator is a function of the component, not of V's own
+        // outgoing edge: a head can close loops guarded by several kinds
+        // at once, and which guard contributes the head's edge is an
+        // accident of DFS order (CompiledProgram::wideningKinds applies
+        // the precedence ndet ▷ prob ▷ cond over the component's guard
+        // edges — branches leading both back into and out of the loop).
+        switch (Compiled.wideningKinds()[V]) {
         case cfg::ControlAction::Kind::Cond:
           New = Dom.widenCond(Old, New);
           break;
@@ -242,11 +269,11 @@ AnalysisResult<typename D::Value> solve(CompiledProgram<D> &Compiled,
           break;
         case cfg::ControlAction::Kind::Seq:
         case cfg::ControlAction::Kind::Call:
-          // A widening point whose outgoing edge is seq/call is the cut of
-          // a recursion cycle (or a WTO head that is not a branch node);
-          // domains may use a dedicated operator here — rebuilding
-          // pessimistically as for ndet loops is sound but can destroy
-          // all relational information a recursive summary needs.
+          // A component with only seq/call edges is the cut of a
+          // recursion cycle; domains may use a dedicated operator here —
+          // rebuilding pessimistically as for ndet loops is sound but
+          // can destroy all relational information a recursive summary
+          // needs.
           New = Dom.widenCall(Old, New);
           break;
         }
@@ -266,6 +293,9 @@ AnalysisResult<typename D::Value> solve(CompiledProgram<D> &Compiled,
   std::vector<unsigned> Positions = Order.positions();
 
   std::atomic<unsigned> MaxParallelSccs{1};
+  std::atomic<uint64_t> IntraBatchesRun{0};
+  std::atomic<unsigned> MaxIntraBatchWidth{0};
+  std::atomic<uint64_t> IntraBarrierWaitNanos{0};
 
   ScheduleContext Ctx;
   Ctx.NumNodes = NumNodes;
@@ -280,10 +310,22 @@ AnalysisResult<typename D::Value> solve(CompiledProgram<D> &Compiled,
   Ctx.Pool = Pool.get();
   Ctx.ParallelSafe = ParallelSafe;
   Ctx.MaxParallelSccs = &MaxParallelSccs;
+  if (Opts.Strategy == IterationStrategy::ParallelIntra) {
+    Ctx.IntraPlans = &Compiled.intraPlans();
+    Ctx.IntraBatchesRun = &IntraBatchesRun;
+    Ctx.MaxIntraBatchWidth = &MaxIntraBatchWidth;
+    Ctx.IntraBarrierWaitNanos = &IntraBarrierWaitNanos;
+  }
   makeScheduler(Opts.Strategy)->run(Ctx);
 
   Result.Stats.MaxParallelSccs =
       MaxParallelSccs.load(std::memory_order_relaxed);
+  Result.Stats.IntraBatchesRun =
+      IntraBatchesRun.load(std::memory_order_relaxed);
+  Result.Stats.MaxIntraBatchWidth =
+      MaxIntraBatchWidth.load(std::memory_order_relaxed);
+  Result.Stats.IntraBarrierWaitSeconds =
+      IntraBarrierWaitNanos.load(std::memory_order_relaxed) * 1e-9;
   Result.Stats.NodeUpdates = NodeUpdates.load(std::memory_order_relaxed);
   Result.Stats.WideningApplications =
       WideningApplications.load(std::memory_order_relaxed);

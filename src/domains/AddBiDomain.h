@@ -74,8 +74,9 @@ public:
   /// and parallelEnd each thread hash-conses in its own arena manager and
   /// publishes through mutex-guarded migration into the home manager (see
   /// the file comment). The engine brackets every concurrent section with
-  /// the hooks (core::ParallelPhase), so concurrent precompilation and the
-  /// parallel per-SCC scheduler are both safe.
+  /// the hooks (core::ParallelPhase), so concurrent precompilation and
+  /// both parallel schedulers — the per-SCC one and the barrier-batched
+  /// intra-component one — are safe.
   static constexpr bool ThreadSafeInterpret = true;
 
   explicit AddBiDomain(const BoolStateSpace &Space,

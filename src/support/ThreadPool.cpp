@@ -2,6 +2,8 @@
 
 #include "support/ThreadPool.h"
 
+#include <cstdio>
+
 using namespace pmaf;
 using namespace pmaf::support;
 
@@ -24,6 +26,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::enqueue(std::function<void()> Fn) {
+  InFlight.fetch_add(1, std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> Lock(QueueMutex);
     Queue.push_back(std::move(Fn));
@@ -49,6 +52,7 @@ void ThreadPool::workerMain(unsigned Index) {
                      .count();
     Busy[Index].Nanos.fetch_add(static_cast<uint64_t>(Nanos),
                                 std::memory_order_relaxed);
+    InFlight.fetch_sub(1, std::memory_order_release);
   }
 }
 
@@ -78,12 +82,31 @@ ThreadPool *pmaf::support::sharedPool() { return SharedPool; }
 
 unsigned pmaf::support::sharedParallelism() { return SharedN; }
 
-void pmaf::support::setSharedParallelism(unsigned N) {
+bool pmaf::support::setSharedParallelism(unsigned N) {
+  if (N == 0)
+    N = ThreadPool::hardwareConcurrency();
   if (N == SharedN)
-    return;
-  delete SharedPool; // Joins idle workers; callers must not hold tasks.
+    return true;
+  if (SharedPool && !SharedPool->idle()) {
+    // A solve (or a parallelFor caller that just woke) may still hold the
+    // pool pointer; give completion callbacks a short grace to unwind,
+    // then refuse rather than delete a pool other threads are using.
+    for (int Tries = 0; Tries != 50 && !SharedPool->idle(); ++Tries)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    if (!SharedPool->idle()) {
+      std::fprintf(stderr,
+                   "pmaf: setSharedParallelism(%u) refused: the shared "
+                   "pool has %llu task(s) in flight\n",
+                   N,
+                   static_cast<unsigned long long>(
+                       SharedPool->inFlightTasks()));
+      return false;
+    }
+  }
+  delete SharedPool; // Joins the (now idle) workers.
   SharedPool = nullptr;
   SharedN = N > 1 ? N : 1;
   if (SharedN > 1)
     SharedPool = new ThreadPool(SharedN);
+  return true;
 }

@@ -174,6 +174,16 @@ public:
   /// against in-flight tasks.
   std::vector<double> workerBusySeconds() const;
 
+  /// Tasks enqueued but not yet finished (queued + executing). Approximate
+  /// for observers other than the last submitter: a task's completion
+  /// callback may still be unwinding when its count drops.
+  uint64_t inFlightTasks() const {
+    return InFlight.load(std::memory_order_acquire);
+  }
+
+  /// True when no task is queued or executing.
+  bool idle() const { return inFlightTasks() == 0; }
+
 private:
   struct LoopState {
     std::atomic<size_t> Next{0};
@@ -204,6 +214,99 @@ private:
     std::atomic<uint64_t> Nanos{0};
   };
   std::unique_ptr<BusyCounter[]> Busy;
+  /// Enqueued-but-unfinished task count (see inFlightTasks()).
+  std::atomic<uint64_t> InFlight{0};
+};
+
+/// A reusable fan-out/barrier primitive over a ThreadPool: `run(N, Fn)`
+/// executes Fn(0) … Fn(N-1) across the pool workers and the calling
+/// thread, and returns only once all N indices have finished — the
+/// barrier the intra-component parallel scheduler puts between
+/// conflict-free batches. One instance may be reused across many runs
+/// (the synchronization state is recycled; no allocation per run).
+///
+/// Deadlock discipline: only the *caller* ever waits at the barrier;
+/// helpers posted to the pool drain the shared index cursor and leave.
+/// `run` must therefore not be called from inside a pool task of the
+/// same pool (a worker waiting at the barrier could starve the very
+/// helpers it waits for). The analysis engine calls it from the solve
+/// coordinator only.
+///
+/// Exceptions: the first exception an index raises is rethrown from
+/// `run` after the batch has quiesced; the cursor is poisoned so other
+/// lanes stop claiming work.
+class ParallelBatch {
+public:
+  explicit ParallelBatch(ThreadPool &Pool) : Pool(Pool) {}
+  ParallelBatch(const ParallelBatch &) = delete;
+  ParallelBatch &operator=(const ParallelBatch &) = delete;
+
+  /// Runs the batch; returns the seconds the caller spent waiting at the
+  /// barrier after running out of indices to claim (the scheduler's
+  /// imbalance measure). Singleton or empty batches run inline and wait
+  /// for nothing.
+  template <typename F> double run(size_t Count, F &&Fn) {
+    const unsigned Helpers = static_cast<unsigned>(
+        std::min<size_t>(Pool.size(), Count ? Count - 1 : 0));
+    if (Helpers == 0) {
+      for (size_t I = 0; I != Count; ++I)
+        Fn(I);
+      return 0.0;
+    }
+    Next.store(0, std::memory_order_relaxed);
+    End = Count;
+    FirstException = nullptr;
+    Pending.store(Helpers, std::memory_order_release);
+    auto Drain = [this, &Fn] {
+      size_t I;
+      while ((I = Next.fetch_add(1, std::memory_order_relaxed)) < End) {
+        try {
+          Fn(I);
+        } catch (...) {
+          recordException(std::current_exception());
+          Next.store(End, std::memory_order_relaxed); // Poison the cursor.
+        }
+      }
+    };
+    for (unsigned H = 0; H != Helpers; ++H)
+      Pool.post([this, Drain] {
+        Drain();
+        if (Pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          std::lock_guard<std::mutex> Lock(DoneMutex);
+          DoneCv.notify_all();
+        }
+      });
+    Drain(); // The caller is a lane too.
+    auto WaitStart = std::chrono::steady_clock::now();
+    {
+      std::unique_lock<std::mutex> Lock(DoneMutex);
+      DoneCv.wait(Lock, [this] {
+        return Pending.load(std::memory_order_acquire) == 0;
+      });
+    }
+    double Waited = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - WaitStart)
+                        .count();
+    if (FirstException)
+      std::rethrow_exception(FirstException);
+    return Waited;
+  }
+
+private:
+  void recordException(std::exception_ptr E) {
+    std::lock_guard<std::mutex> Lock(ExceptionMutex);
+    if (!FirstException)
+      FirstException = E;
+  }
+
+  ThreadPool &Pool;
+  std::atomic<size_t> Next{0};
+  size_t End = 0;
+  std::atomic<unsigned> Pending{0};
+  std::mutex DoneMutex;
+  std::condition_variable DoneCv;
+  std::mutex ExceptionMutex;
+  std::exception_ptr FirstException;
 };
 
 namespace detail {
@@ -304,10 +407,15 @@ private:
 /// static teardown.
 ThreadPool *sharedPool();
 
-/// Sets the shared parallelism level. N <= 1 disables the shared pool;
-/// N > 1 (re)creates it with N workers. Not thread-safe against concurrent
-/// sharedPool() users — call it at startup (the `--jobs` handlers do).
-void setSharedParallelism(unsigned N);
+/// Sets the shared parallelism level. N == 1 disables the shared pool;
+/// N == 0 means one worker per hardware thread; N > 1 (re)creates the
+/// pool with N workers. Returns false — keeping the existing pool — when
+/// the shared pool still has tasks in flight after a short grace period:
+/// recreating it out from under a running solve would hand its users a
+/// dangling pointer. Not otherwise thread-safe against concurrent
+/// sharedPool() users — call it at startup or between solves (the
+/// `--jobs` handlers do).
+bool setSharedParallelism(unsigned N);
 
 /// The currently configured shared parallelism (1 when disabled).
 unsigned sharedParallelism();

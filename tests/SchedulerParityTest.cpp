@@ -10,17 +10,20 @@
 // invariant: each solve calls Dom.interpret at most once per `seq` edge,
 // and only cache hits follow.
 //
-// The parallel scheduler promises more than tolerance-equality: because
+// The parallel schedulers promise more than tolerance-equality: because
 // each SCC is stabilized by a single worker replaying the sequential
-// WTO-recursive update sequence, and cross-SCC reads only see finalized
-// upstream components, its fixpoint is *bit-identical* to the
-// WTO-recursive one. The BitIdentical* tests pin that down with exact
-// comparisons (no tolerance): Matrix::operator== for BI, double == for
-// MDP, exact rational toString for LEIA, and NodeRef identity (shared
-// hash-consing home manager) for ADD-BI — the latter now running truly
-// multi-threaded: workers compute in thread-local arena managers and
-// publish through canonical migration into the home manager, so the
-// parallel fixpoint's NodeRefs still match the sequential ones exactly.
+// WTO-recursive update sequence (parallel-scc), or conflict-free units of
+// one component run between barriers in an order extensionally identical
+// to the sequential sweep (parallel-intra), and cross-SCC reads only see
+// finalized upstream components, their fixpoints are *bit-identical* to
+// the WTO-recursive one. The BitIdentical* tests pin that down with exact
+// comparisons (no tolerance) across both parallel strategies and jobs in
+// {1, 2, 8}: Matrix::operator== for BI, double == for MDP, exact rational
+// toString for LEIA, and NodeRef identity (shared hash-consing home
+// manager) for ADD-BI — the latter running truly multi-threaded: workers
+// compute in thread-local arena managers and publish through canonical
+// migration into the home manager, so the parallel fixpoint's NodeRefs
+// still match the sequential ones exactly.
 //
 // Two numeric subtleties the setup accounts for:
 //  * Each solve stops when successive iterates agree to the domain's
@@ -58,7 +61,21 @@ constexpr IterationStrategy AllStrategies[] = {
     IterationStrategy::RoundRobin,
     IterationStrategy::Worklist,
     IterationStrategy::ParallelScc,
+    IterationStrategy::ParallelIntra,
 };
+
+/// The strategies that claim bit-identity with the WTO-recursive sweep,
+/// and the worker counts the BitIdentical* tests sweep them across.
+constexpr IterationStrategy ParallelStrategies[] = {
+    IterationStrategy::ParallelScc,
+    IterationStrategy::ParallelIntra,
+};
+constexpr unsigned ParallelJobCounts[] = {1, 2, 8};
+
+bool isParallel(IterationStrategy Strategy) {
+  return Strategy == IterationStrategy::ParallelScc ||
+         Strategy == IterationStrategy::ParallelIntra;
+}
 
 /// Counts the `seq` hyper-edges of \p Graph (the interpret-cache key set).
 unsigned countSeqEdges(const cfg::ProgramGraph &Graph) {
@@ -86,9 +103,9 @@ void expectParity(const char *Name, const cfg::ProgramGraph &Graph,
   for (IterationStrategy Strategy : AllStrategies) {
     decltype(auto) Dom = MakeDomain();
     Opts.Strategy = Strategy;
-    // The parallel scheduler actually runs multi-threaded (for domains
+    // The parallel schedulers actually run multi-threaded (for domains
     // that allow it); the others stay sequential.
-    Opts.Jobs = Strategy == IterationStrategy::ParallelScc ? 4 : 1;
+    Opts.Jobs = isParallel(Strategy) ? 4 : 1;
     auto Result = solve(Graph, Dom, Opts);
     ASSERT_TRUE(Result.Stats.Converged)
         << Name << " under " << toString(Strategy);
@@ -106,9 +123,10 @@ void expectParity(const char *Name, const cfg::ProgramGraph &Graph,
   }
 }
 
-/// Solves under WTO-recursive (sequential) and ParallelScc with four
-/// workers, and checks the fixpoints are bit-identical under the exact
-/// predicate \p Identical (no tolerance involved).
+/// Solves under WTO-recursive (sequential) once, then under each parallel
+/// strategy at every ParallelJobCounts worker count, and checks every
+/// parallel fixpoint is bit-identical to the sequential one under the
+/// exact predicate \p Identical (no tolerance involved).
 template <typename MakeDomainFn, typename IdenticalFn>
 void expectBitIdentical(const char *Name, const cfg::ProgramGraph &Graph,
                         SolverOptions Opts, MakeDomainFn MakeDomain,
@@ -119,17 +137,21 @@ void expectBitIdentical(const char *Name, const cfg::ProgramGraph &Graph,
   auto Sequential = solve(Graph, SeqDom, Opts);
   ASSERT_TRUE(Sequential.Stats.Converged) << Name;
 
-  decltype(auto) ParDom = MakeDomain();
-  Opts.Strategy = IterationStrategy::ParallelScc;
-  Opts.Jobs = 4;
-  auto Parallel = solve(Graph, ParDom, Opts);
-  ASSERT_TRUE(Parallel.Stats.Converged) << Name;
-
-  ASSERT_EQ(Sequential.Values.size(), Parallel.Values.size());
-  for (unsigned V = 0; V != Sequential.Values.size(); ++V)
-    EXPECT_TRUE(Identical(Sequential.Values[V], Parallel.Values[V]))
-        << Name << ": node " << V
-        << " is not bit-identical to the sequential fixpoint";
+  for (IterationStrategy Strategy : ParallelStrategies)
+    for (unsigned Jobs : ParallelJobCounts) {
+      decltype(auto) ParDom = MakeDomain();
+      Opts.Strategy = Strategy;
+      Opts.Jobs = Jobs;
+      auto Parallel = solve(Graph, ParDom, Opts);
+      ASSERT_TRUE(Parallel.Stats.Converged)
+          << Name << " under " << toString(Strategy) << " jobs=" << Jobs;
+      ASSERT_EQ(Sequential.Values.size(), Parallel.Values.size());
+      for (unsigned V = 0; V != Sequential.Values.size(); ++V)
+        EXPECT_TRUE(Identical(Sequential.Values[V], Parallel.Values[V]))
+            << Name << " under " << toString(Strategy) << " jobs=" << Jobs
+            << ": node " << V
+            << " is not bit-identical to the sequential fixpoint";
+    }
 }
 
 } // namespace

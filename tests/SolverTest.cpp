@@ -135,15 +135,26 @@ TEST(SolverTest, StatsAreReported) {
 }
 
 TEST(SolverTest, MaxUpdatesSafetyValve) {
+  // Exhausting the update budget must (a) report Converged = false under
+  // every scheduler, and (b) account honestly: a refused update hands its
+  // provisional increment back, so the reported NodeUpdates equals the
+  // budget exactly instead of overshooting by one refusal per retry.
   auto Prog = lang::parseProgramOrDie(R"(
     proc main() { while prob(1/2) { skip; } }
   )");
   cfg::ProgramGraph G = cfg::ProgramGraph::build(*Prog);
-  ReachDomain Dom;
-  SolverOptions Opts;
-  Opts.MaxUpdates = 3;
-  auto Result = solve(G, Dom, Opts);
-  EXPECT_FALSE(Result.Stats.Converged);
+  for (IterationStrategy Strategy :
+       {IterationStrategy::WtoRecursive, IterationStrategy::RoundRobin,
+        IterationStrategy::Worklist, IterationStrategy::ParallelScc,
+        IterationStrategy::ParallelIntra}) {
+    ReachDomain Dom;
+    SolverOptions Opts;
+    Opts.Strategy = Strategy;
+    Opts.MaxUpdates = 3;
+    auto Result = solve(G, Dom, Opts);
+    EXPECT_FALSE(Result.Stats.Converged) << toString(Strategy);
+    EXPECT_EQ(Result.Stats.NodeUpdates, 3u) << toString(Strategy);
+  }
 }
 
 TEST(SolverTest, CallComposesSummaries) {

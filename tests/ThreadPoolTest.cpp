@@ -11,8 +11,14 @@
 //    ranges much larger than the worker count;
 //  * an exception thrown by one iteration is rethrown to the caller and
 //    leaves the pool usable for later loops;
+//  * ParallelBatch — the reusable caller-participates barrier the
+//    intra-component scheduler leans on — covers every index exactly
+//    once per run, can be reused back-to-back under contention, and
+//    rethrows a unit's exception after the barrier;
 //  * the process-wide shared pool (the matrix kernels' pool) can be
-//    resized and torn back down via setSharedParallelism.
+//    resized and torn back down via setSharedParallelism, resolves 0 to
+//    one worker per hardware thread, and refuses to recreate the pool
+//    while tasks are in flight (keeping the old pool alive).
 //
 //===----------------------------------------------------------------------===//
 
@@ -22,7 +28,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 using namespace pmaf;
@@ -122,6 +132,73 @@ TEST(ThreadPoolTest, ParallelForRethrowsAndPoolStaysUsable) {
   EXPECT_EQ(Count.load(), 100u);
 }
 
+TEST(ThreadPoolTest, ParallelBatchCoversEveryIndexExactlyOnce) {
+  support::ThreadPool Pool(4);
+  support::ParallelBatch Batch(Pool);
+  for (size_t Count : {size_t(0), size_t(1), size_t(2), size_t(7),
+                       size_t(64), size_t(1'000)}) {
+    std::vector<std::atomic<unsigned>> Visits(Count);
+    double Waited = Batch.run(Count, [&](size_t I) {
+      Visits[I].fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_GE(Waited, 0.0);
+    for (size_t I = 0; I != Count; ++I)
+      ASSERT_EQ(Visits[I].load(), 1u)
+          << "index " << I << " of a batch of " << Count;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelBatchReusableUnderContention) {
+  // The intra-component scheduler reuses one ParallelBatch across every
+  // batch of every outer pass, on a pool that is simultaneously running
+  // unrelated work (transformer precompilation, matrix kernels). Each
+  // run's barrier must still see exactly its own units.
+  support::ThreadPool Pool(4);
+  std::atomic<uint64_t> Noise{0};
+
+  support::ParallelBatch Batch(Pool);
+  constexpr size_t Rounds = 200;
+  constexpr size_t Width = 16;
+  std::vector<std::atomic<unsigned>> Visits(Width);
+  for (size_t Round = 0; Round != Rounds; ++Round) {
+    // Unrelated (finite) tasks queued ahead of this round's helpers:
+    // they delay helper startup, so the caller lane races far ahead.
+    for (int I = 0; I != 4; ++I)
+      Pool.post([&Noise] {
+        for (int K = 0; K != 1'000; ++K)
+          Noise.fetch_add(1, std::memory_order_relaxed);
+      });
+    Batch.run(Width, [&](size_t I) {
+      Visits[I].fetch_add(1, std::memory_order_relaxed);
+    });
+    // The barrier guarantee: when run() returns, every unit of THIS
+    // round has executed — no unit of round k may still be pending when
+    // round k+1 starts.
+    for (size_t I = 0; I != Width; ++I)
+      ASSERT_EQ(Visits[I].load(), Round + 1)
+          << "round " << Round << ", unit " << I;
+  }
+  EXPECT_GT(Noise.load(), 0u);
+}
+
+TEST(ThreadPoolTest, ParallelBatchRethrowsAndStaysUsable) {
+  support::ThreadPool Pool(4);
+  support::ParallelBatch Batch(Pool);
+  EXPECT_THROW(Batch.run(100,
+                         [](size_t I) {
+                           if (I == 37)
+                             throw std::runtime_error("unit 37");
+                         }),
+               std::runtime_error);
+  // The failed batch must not wedge the barrier: the same ParallelBatch
+  // object still covers a fresh batch completely.
+  std::atomic<size_t> Count{0};
+  Batch.run(100, [&](size_t) {
+    Count.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(Count.load(), 100u);
+}
+
 TEST(ThreadPoolTest, SharedPoolConfiguration) {
   // Sequential by default (and after reset): no pool at all.
   support::setSharedParallelism(1);
@@ -140,6 +217,63 @@ TEST(ThreadPoolTest, SharedPoolConfiguration) {
   EXPECT_EQ(Count.load(), 256);
 
   support::setSharedParallelism(1);
+  EXPECT_EQ(support::sharedPool(), nullptr);
+}
+
+TEST(ThreadPoolTest, SharedPoolZeroMeansOneWorkerPerHardwareThread) {
+  const unsigned Hw = support::ThreadPool::hardwareConcurrency();
+  EXPECT_TRUE(support::setSharedParallelism(0));
+  EXPECT_EQ(support::sharedParallelism(), std::max(Hw, 1u));
+  if (Hw > 1) {
+    ASSERT_NE(support::sharedPool(), nullptr);
+    EXPECT_EQ(support::sharedPool()->size(), Hw);
+  } else {
+    EXPECT_EQ(support::sharedPool(), nullptr);
+  }
+  EXPECT_TRUE(support::setSharedParallelism(1));
+}
+
+TEST(ThreadPoolTest, SharedPoolResizeRefusedWhileTasksInFlight) {
+  ASSERT_TRUE(support::setSharedParallelism(4));
+  support::ThreadPool *Old = support::sharedPool();
+  ASSERT_NE(Old, nullptr);
+
+  // Park one task on the pool until released.
+  std::mutex M;
+  std::condition_variable Cv;
+  bool Started = false, Release = false;
+  Old->post([&] {
+    std::unique_lock<std::mutex> Lock(M);
+    Started = true;
+    Cv.notify_all();
+    Cv.wait(Lock, [&] { return Release; });
+  });
+  {
+    std::unique_lock<std::mutex> Lock(M);
+    Cv.wait(Lock, [&] { return Started; });
+  }
+  EXPECT_FALSE(Old->idle());
+
+  // Recreating the pool out from under an in-flight task would hand its
+  // worker thread a dangling queue: the resize must be refused and the
+  // old pool kept alive at its old size.
+  EXPECT_FALSE(support::setSharedParallelism(2));
+  EXPECT_EQ(support::sharedPool(), Old);
+  EXPECT_EQ(support::sharedParallelism(), 4u);
+
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Release = true;
+  }
+  Cv.notify_all();
+  while (!Old->idle())
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+  // Once the pool is idle again the resize goes through.
+  EXPECT_TRUE(support::setSharedParallelism(2));
+  ASSERT_NE(support::sharedPool(), nullptr);
+  EXPECT_EQ(support::sharedPool()->size(), 2u);
+  EXPECT_TRUE(support::setSharedParallelism(1));
   EXPECT_EQ(support::sharedPool(), nullptr);
 }
 

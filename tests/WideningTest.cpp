@@ -7,6 +7,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "cfg/HyperGraph.h"
+#include "core/Solver.h"
 #include "domains/LeiaDomain.h"
 #include "domains/MdpDomain.h"
 #include "lang/Parser.h"
@@ -15,6 +17,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 using namespace pmaf;
 using namespace pmaf::domains;
@@ -215,4 +218,136 @@ TEST(WideningTest, GeometricLoopChainStabilizesUnderProbWidening) {
   ASSERT_TRUE(Lo && Hi);
   EXPECT_NEAR(Lo->toDouble(), 5.0, 1e-6);
   EXPECT_NEAR(Hi->toDouble(), 5.0, 1e-6);
+}
+
+//===----------------------------------------------------------------------===//
+// Widening-operator selection at component heads (§4.4)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A diverging test algebra whose only purpose is to observe WHICH
+/// widening operator the solver applies at a component head. Iterates
+/// grow by the number of sequenced statements per pass (extend = +,
+/// choices = max), so every loop head climbs until widening fires; each
+/// widenX records itself and jumps to +inf, after which the chain is
+/// stable.
+class WidenProbeDomain {
+public:
+  using Value = double;
+
+  Value bottom() const { return 0.0; }
+  Value one() const { return 0.0; } // Identity of extend (+).
+  Value extend(const Value &A, const Value &B) const { return A + B; }
+  Value condChoice(const lang::Cond &, const Value &A,
+                   const Value &B) const {
+    return std::max(A, B);
+  }
+  Value probChoice(const Rational &, const Value &A, const Value &B) const {
+    return std::max(A, B);
+  }
+  Value ndetChoice(const Value &A, const Value &B) const {
+    return std::max(A, B);
+  }
+  Value interpret(const lang::Stmt *) const { return 1.0; }
+  bool leq(const Value &A, const Value &B) const { return A <= B + 1e-9; }
+  bool equal(const Value &A, const Value &B) const {
+    return A == B || std::fabs(A - B) <= 1e-9;
+  }
+  Value widenCond(const Value &, const Value &) const {
+    ++CondWidenings;
+    return std::numeric_limits<double>::infinity();
+  }
+  Value widenProb(const Value &, const Value &) const {
+    ++ProbWidenings;
+    return std::numeric_limits<double>::infinity();
+  }
+  Value widenNdet(const Value &, const Value &) const {
+    ++NdetWidenings;
+    return std::numeric_limits<double>::infinity();
+  }
+  Value widenCall(const Value &, const Value &) const {
+    ++CallWidenings;
+    return std::numeric_limits<double>::infinity();
+  }
+  std::string toString(const Value &A) const { return std::to_string(A); }
+  static constexpr bool ThreadSafeInterpret = true;
+
+  mutable unsigned CondWidenings = 0;
+  mutable unsigned ProbWidenings = 0;
+  mutable unsigned NdetWidenings = 0;
+  mutable unsigned CallWidenings = 0;
+};
+
+static_assert(core::PreMarkovAlgebra<WidenProbeDomain>);
+
+/// Solves \p Source under the probe and returns the domain carrying the
+/// per-operator tallies.
+WidenProbeDomain probeWidenings(const char *Source) {
+  auto Prog = lang::parseProgramOrDie(Source);
+  cfg::ProgramGraph G = cfg::ProgramGraph::build(*Prog);
+  WidenProbeDomain Dom;
+  core::SolverOptions Opts;
+  Opts.WideningDelay = 2;
+  auto Result = core::solve(G, Dom, Opts);
+  EXPECT_TRUE(Result.Stats.Converged);
+  return Dom;
+}
+
+} // namespace
+
+TEST(WideningTest, ComponentHeadWideningFollowsItsOwnLoopKind) {
+  // Baseline: a plain probabilistic loop widens with widenProb, a plain
+  // conditional loop with widenCond.
+  WidenProbeDomain Prob = probeWidenings(R"(
+    proc main() { while prob(1/2) { skip; } }
+  )");
+  EXPECT_GT(Prob.ProbWidenings, 0u);
+  EXPECT_EQ(Prob.CondWidenings, 0u);
+
+  WidenProbeDomain Cond = probeWidenings(R"(
+    proc main() { while (true) { skip; } }
+  )");
+  EXPECT_GT(Cond.CondWidenings, 0u);
+  EXPECT_EQ(Cond.ProbWidenings, 0u);
+}
+
+TEST(WideningTest, ComponentHeadPrefersProbOverCondWidening) {
+  // Regression: one node heads both a conditional and a probabilistic
+  // loop — the component is guarded by its conditional head AND by a
+  // probabilistic branch that can break out of it, so both kinds decide
+  // another traversal. Selecting the operator from the head's own
+  // outgoing edge alone (the old behavior) is an accident of which guard
+  // the DFS made the head; the precedence ndet ▷ prob ▷ cond over the
+  // component's guards must pick widenProb.
+  WidenProbeDomain Dom = probeWidenings(R"(
+    proc main() { while (true) { if prob(1/2) { break; } skip; } }
+  )");
+  EXPECT_GT(Dom.ProbWidenings, 0u)
+      << "the probabilistic guard of the component must win";
+  EXPECT_EQ(Dom.CondWidenings, 0u)
+      << "the head's own conditional edge must not decide the operator";
+}
+
+TEST(WideningTest, ComponentHeadPrefersNdetOverProbWidening) {
+  // Same precedence one rung up: a probabilistic loop that can also be
+  // left through a nondeterministic break must widen with widenNdet (the
+  // most pessimistic operator), not widenProb.
+  WidenProbeDomain Dom = probeWidenings(R"(
+    proc main() { while prob(1/2) { if star { break; } skip; } }
+  )");
+  EXPECT_GT(Dom.NdetWidenings, 0u);
+  EXPECT_EQ(Dom.ProbWidenings, 0u);
+}
+
+TEST(WideningTest, InternalBranchesDoNotDecideTheWideningOperator) {
+  // The counterpart boundary (Ex 5.8's shape): a probabilistic branch
+  // wholly inside a conditional loop's body — both arms continue around
+  // the loop — does not guard the component, so the head keeps the
+  // pessimistic conditional widening it needs to stabilize.
+  WidenProbeDomain Dom = probeWidenings(R"(
+    proc main() { while (true) { if prob(1/2) { skip; } else { skip; } } }
+  )");
+  EXPECT_GT(Dom.CondWidenings, 0u);
+  EXPECT_EQ(Dom.ProbWidenings, 0u);
 }

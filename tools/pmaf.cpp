@@ -4,7 +4,8 @@
 //
 //   pmaf <file.pp> [--domain=leia|bi|mdp|termination] [--decompose]
 //                  [--dot] [--stats] [--werror] [--diag-format=text|json]
-//                  [--strategy=wto|round-robin|worklist|parallel-scc]
+//                  [--strategy=wto|round-robin|worklist|parallel-scc|
+//                              parallel-intra]
 //                  [--widening-delay=<n>] [--max-updates=<n>] [--jobs=<n>]
 //   pmaf check <file.pp>... [--domain=leia|bi|mdp|termination]
 //                  [--decompose] [--werror] [--diag-format=text|json]
@@ -28,11 +29,18 @@
 // number of plain updates before widening kicks in, and --max-updates the
 // node-update budget. --jobs=<n> runs the parallel engine with n worker
 // threads (0 = one per hardware thread): transformers precompile
-// concurrently, the dense-matrix kernels block-parallelize, and
-// --strategy=parallel-scc stabilizes independent SCCs concurrently.
+// concurrently, the dense-matrix kernels block-parallelize,
+// --strategy=parallel-scc stabilizes independent SCCs concurrently, and
+// --strategy=parallel-intra additionally fans conflict-free batches of a
+// single component body across the workers.
 // --stats prints the instrumentation counters (core/Instrumentation.h),
 // including the interpret-cache traffic, precompile timing, the worker
-// count the solve actually used, and the peak number of SCCs in flight.
+// count the solve actually used, the peak number of SCCs in flight, and
+// the intra-component batch traffic.
+//
+// Exit codes: 0 analysis converged; 1 lint/parse errors; 2 usage errors;
+// 3 the update budget (--max-updates) ran out before the fixpoint — the
+// printed values are a mid-iteration snapshot, not the analysis answer.
 //
 //===----------------------------------------------------------------------===//
 
@@ -107,7 +115,8 @@ int usage(const char *Argv0) {
                "usage: %s <file.pp | -> [--domain=leia|bi|mdp|termination]"
                " [--decompose] [--dot] [--stats] [--werror]"
                " [--diag-format=text|json]"
-               " [--strategy=wto|round-robin|worklist|parallel-scc]"
+               " [--strategy=wto|round-robin|worklist|parallel-scc|"
+               "parallel-intra]"
                " [--widening-delay=<n>] [--max-updates=<n>] [--jobs=<n>]\n"
                "       %s check <file.pp>..."
                " [--domain=leia|bi|mdp|termination] [--decompose]"
@@ -148,7 +157,36 @@ struct CliSolverConfig {
                 Opts.Jobs);
     std::printf("; parallel: %u workers used, %u SCCs in flight at peak\n",
                 SolveStats.JobsUsed, SolveStats.MaxParallelSccs);
+    if (SolveStats.IntraBatchesRun)
+      std::printf("; intra-scc: %llu batches fanned out, widest %u, "
+                  "%.6f s at barriers\n",
+                  static_cast<unsigned long long>(
+                      SolveStats.IntraBatchesRun),
+                  SolveStats.MaxIntraBatchWidth,
+                  SolveStats.IntraBarrierWaitSeconds);
+    if (!SolveStats.Converged)
+      std::printf("; NOT CONVERGED: update budget exhausted after %llu "
+                  "updates\n",
+                  static_cast<unsigned long long>(SolveStats.NodeUpdates));
     std::printf("%s", Counters.report().c_str());
+  }
+
+  /// Prints the report and maps the solve outcome to the process exit
+  /// code: 0 for a converged fixpoint, 3 (with a stderr warning) when the
+  /// update budget ran out and the printed values are only a
+  /// mid-iteration snapshot.
+  int finish(const SolverInstrumentation &Counters,
+             const SolverOptions &Opts,
+             const core::SolverStats &SolveStats) const {
+    printReport(Counters, Opts, SolveStats);
+    if (SolveStats.Converged)
+      return 0;
+    std::fprintf(stderr,
+                 "warning: analysis did not converge: the update budget "
+                 "(--max-updates=%llu) was exhausted; the reported values "
+                 "are not a post-fixpoint\n",
+                 static_cast<unsigned long long>(Opts.MaxUpdates));
+    return 3;
   }
 };
 
@@ -294,10 +332,9 @@ int main(int argc, char **argv) {
 
   // --jobs also turns on the process-wide pool the dense-matrix kernels
   // draw from (distinct from the solver's per-solve pool).
+  // setSharedParallelism resolves 0 to the hardware thread count itself.
   if (Config.Jobs)
-    support::setSharedParallelism(
-        *Config.Jobs == 0 ? support::ThreadPool::hardwareConcurrency()
-                          : *Config.Jobs);
+    support::setSharedParallelism(*Config.Jobs);
 
   if (Paths.size() != 1)
     return usage(argv[0]);
@@ -343,8 +380,7 @@ int main(int argc, char **argv) {
       for (const std::string &Inv : Invariants)
         std::printf("  %s\n", Inv.c_str());
     }
-    Config.printReport(Counters, Opts, Result.Stats);
-    return Result.Stats.Converged ? 0 : 1;
+    return Config.finish(Counters, Opts, Result.Stats);
   }
   if (Domain == "bi") {
     BoolStateSpace Space(*Prog);
@@ -369,8 +405,7 @@ int main(int argc, char **argv) {
       }
       std::printf("  terminating mass: %.6f\n", Mass);
     }
-    Config.printReport(Counters, Opts, Result.Stats);
-    return Result.Stats.Converged ? 0 : 1;
+    return Config.finish(Counters, Opts, Result.Stats);
   }
   if (Domain == "mdp") {
     MdpDomain Dom;
@@ -382,8 +417,7 @@ int main(int argc, char **argv) {
       std::printf("%s(): greatest expected reward = %g\n",
                   Prog->Procs[P].Name.c_str(),
                   Result.Values[Graph.proc(P).Entry]);
-    Config.printReport(Counters, Opts, Result.Stats);
-    return Result.Stats.Converged ? 0 : 1;
+    return Config.finish(Counters, Opts, Result.Stats);
   }
   if (Domain == "termination") {
     TerminationDomain Dom;
@@ -394,8 +428,7 @@ int main(int argc, char **argv) {
       std::printf("%s(): P[termination] >= %.6f\n",
                   Prog->Procs[P].Name.c_str(),
                   Result.Values[Graph.proc(P).Entry]);
-    Config.printReport(Counters, Opts, Result.Stats);
-    return Result.Stats.Converged ? 0 : 1;
+    return Config.finish(Counters, Opts, Result.Stats);
   }
   std::fprintf(stderr, "error: unknown domain %s\n", Domain.c_str());
   return usage(argv[0]);
