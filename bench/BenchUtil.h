@@ -69,6 +69,17 @@ struct BenchRecord {
   uint64_t Widenings = 0;
   uint64_t InterpretCalls = 0;
   uint64_t InterpretCacheHits = 0;
+  /// Numeric-layer counters (domains over the poly backends only). An
+  /// empty NumericBackend means "not recorded" and the numeric keys are
+  /// omitted from the JSON record, keeping older trajectory files and
+  /// non-numeric benches byte-compatible.
+  std::string NumericBackend;
+  uint64_t ChernikovaCalls = 0;
+  uint64_t ConversionCacheHits = 0;
+  uint64_t ConversionCacheMisses = 0;
+  uint64_t Escalations = 0;
+  unsigned PeakGeneratorRows = 0;
+  unsigned MaxPackWidth = 0;
 };
 
 /// Removes `--json=<path>` from argv (so google-benchmark never sees it)
@@ -84,6 +95,23 @@ inline std::string extractJsonPath(int &Argc, char **Argv) {
   }
   Argc = Out;
   return Path;
+}
+
+/// Removes `--<name>=<value>` from argv and returns the value, or "" when
+/// absent. \p Prefix includes the equals sign, e.g. "--numeric=".
+inline std::string extractStringFlag(int &Argc, char **Argv,
+                                     const char *Prefix) {
+  std::string Value;
+  size_t Len = std::strlen(Prefix);
+  int Out = 1;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strncmp(Argv[I], Prefix, Len) == 0)
+      Value = Argv[I] + Len;
+    else
+      Argv[Out++] = Argv[I];
+  }
+  Argc = Out;
+  return Value;
 }
 
 /// Removes `--jobs=<n>` from argv and returns n, or \p Default when
@@ -138,13 +166,26 @@ public:
           Out,
           "  {\"name\": \"%s\", \"seconds\": %.9f, \"node_updates\": %llu, "
           "\"widenings\": %llu, \"interpret_calls\": %llu, "
-          "\"interpret_cache_hits\": %llu}%s\n",
+          "\"interpret_cache_hits\": %llu",
           escape(R.Name).c_str(), R.Seconds,
           static_cast<unsigned long long>(R.NodeUpdates),
           static_cast<unsigned long long>(R.Widenings),
           static_cast<unsigned long long>(R.InterpretCalls),
-          static_cast<unsigned long long>(R.InterpretCacheHits),
-          I + 1 == Records.size() ? "" : ",");
+          static_cast<unsigned long long>(R.InterpretCacheHits));
+      if (!R.NumericBackend.empty())
+        std::fprintf(
+            Out,
+            ", \"numeric\": \"%s\", \"chernikova_calls\": %llu, "
+            "\"conversion_cache_hits\": %llu, "
+            "\"conversion_cache_misses\": %llu, \"escalations\": %llu, "
+            "\"peak_generator_rows\": %u, \"max_pack_width\": %u",
+            escape(R.NumericBackend).c_str(),
+            static_cast<unsigned long long>(R.ChernikovaCalls),
+            static_cast<unsigned long long>(R.ConversionCacheHits),
+            static_cast<unsigned long long>(R.ConversionCacheMisses),
+            static_cast<unsigned long long>(R.Escalations),
+            R.PeakGeneratorRows, R.MaxPackWidth);
+      std::fprintf(Out, "}%s\n", I + 1 == Records.size() ? "" : ",");
     }
     std::fputs("]\n", Out);
     return std::fclose(Out) == 0;

@@ -36,6 +36,7 @@
 #ifndef PMAF_CORE_DOMAIN_H
 #define PMAF_CORE_DOMAIN_H
 
+#include "core/Instrumentation.h"
 #include "lang/Ast.h"
 #include "support/Rational.h"
 
@@ -90,6 +91,17 @@ template <typename D> consteval bool threadSafeInterpret() {
   else
     return false;
 }
+
+/// Opt-in reporting of numeric-layer counters: a domain built on the
+/// poly backends may expose the process-wide conversion/escalation
+/// counters (poly::numericCounters) as a snapshot, and the solver then
+/// attributes per-solve deltas to SolverStats and the observer stream.
+/// The method is static — the counters are a property of the numeric
+/// layer, not of one domain instance.
+template <typename D>
+concept ReportsNumericStats = requires {
+  { D::numericStats() } -> std::convertible_to<NumericLayerStats>;
+};
 
 /// Optional parallel-phase hooks. A domain whose thread safety is not free
 /// (it must reroute work through per-thread state, start synchronizing a

@@ -37,6 +37,26 @@
 namespace pmaf {
 namespace core {
 
+/// Counters of the numeric-domain layer under an abstract domain built on
+/// the poly backends (Polyhedron, Zones, Intervals, LadderValue). Solvers
+/// over domains that report them (ReportsNumericStats, core/Domain.h)
+/// deliver per-solve deltas of the monotone counters and current
+/// high-water marks for the peaks.
+struct NumericLayerStats {
+  /// Chernikova (double-description) minimization passes — the
+  /// conversion cost the ladder exists to avoid.
+  uint64_t MinimizationCalls = 0;
+  /// Constraint⇄generator conversion memo traffic inside Polyhedron.
+  uint64_t ConversionCacheHits = 0;
+  uint64_t ConversionCacheMisses = 0;
+  /// Times a ladder block climbed a rung (box → zone → poly).
+  uint64_t Escalations = 0;
+  /// Widest intermediate generator matrix any minimization built.
+  unsigned PeakGeneratorRows = 0;
+  /// Widest variable pack a ladder operation coupled.
+  unsigned MaxPackWidth = 0;
+};
+
 /// Receiver for solver events. All callbacks default to no-ops so an
 /// observer only overrides what it measures. Node ids index the program
 /// hyper-graph; edge ids index ProgramGraph::edges().
@@ -97,6 +117,14 @@ public:
     (void)Width;
     (void)BarrierWaitSeconds;
   }
+
+  /// The solve finished over a domain that reports numeric-layer counters
+  /// (core/Domain.h); \p Stats holds this solve's deltas (peaks are
+  /// high-water marks since the harness last reset them). Emitted from
+  /// the coordinating thread, right before onSolveEnd.
+  virtual void onNumericLayer(const NumericLayerStats &Stats) {
+    (void)Stats;
+  }
 };
 
 /// The stock timing/counter observer: tallies every event and the
@@ -130,6 +158,9 @@ public:
   std::atomic<uint64_t> IntraBatches{0};
   std::atomic<uint64_t> IntraWidthHistogram[MaxWidthBucket + 1] = {};
   std::atomic<uint64_t> IntraBarrierWaitNanos{0};
+  /// Numeric-layer counters summed over observed solves (peaks take the
+  /// max); all-zero unless some solve's domain reports them.
+  NumericLayerStats Numeric;
 
   SolverInstrumentation() = default;
   /// Copyable despite the atomics (snapshot semantics) so harnesses can
@@ -184,6 +215,18 @@ public:
         static_cast<uint64_t>(BarrierWaitSeconds * 1e9),
         std::memory_order_relaxed);
   }
+  void onNumericLayer(const NumericLayerStats &Stats) override {
+    // Coordinating-thread event (like the other brackets), so plain
+    // read-modify-write is fine.
+    Numeric.MinimizationCalls += Stats.MinimizationCalls;
+    Numeric.ConversionCacheHits += Stats.ConversionCacheHits;
+    Numeric.ConversionCacheMisses += Stats.ConversionCacheMisses;
+    Numeric.Escalations += Stats.Escalations;
+    if (Stats.PeakGeneratorRows > Numeric.PeakGeneratorRows)
+      Numeric.PeakGeneratorRows = Stats.PeakGeneratorRows;
+    if (Stats.MaxPackWidth > Numeric.MaxPackWidth)
+      Numeric.MaxPackWidth = Stats.MaxPackWidth;
+  }
 
   void reset() { *this = SolverInstrumentation(); }
 
@@ -229,6 +272,20 @@ public:
         }
       Out += '\n';
     }
+    if (Numeric.MinimizationCalls > 0 || Numeric.ConversionCacheHits > 0) {
+      std::snprintf(
+          Buffer, sizeof(Buffer),
+          "; numeric layer: %llu Chernikova minimizations (peak %u "
+          "generator rows), conversion cache %llu hits / %llu misses\n"
+          "; ladder: %llu escalations, max pack width %u\n",
+          static_cast<unsigned long long>(Numeric.MinimizationCalls),
+          Numeric.PeakGeneratorRows,
+          static_cast<unsigned long long>(Numeric.ConversionCacheHits),
+          static_cast<unsigned long long>(Numeric.ConversionCacheMisses),
+          static_cast<unsigned long long>(Numeric.Escalations),
+          Numeric.MaxPackWidth);
+      Out += Buffer;
+    }
     return Out;
   }
 
@@ -249,6 +306,7 @@ private:
     for (unsigned W = 0; W <= MaxWidthBucket; ++W)
       IntraWidthHistogram[W].store(Other.IntraWidthHistogram[W].load());
     IntraBarrierWaitNanos.store(Other.IntraBarrierWaitNanos.load());
+    Numeric = Other.Numeric;
     Start = Other.Start;
   }
 

@@ -64,10 +64,50 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
+#include <optional>
+#include <string_view>
 #include <vector>
 
 namespace pmaf {
 namespace core {
+
+/// The numeric backend of the polyhedra-based domains (the LEIA ladder,
+/// Issue 6). The solver itself is domain-generic; this enum travels in
+/// SolverOptions so harnesses (tools/pmaf, bench_leia) can carry one
+/// backend choice through to the domain instantiation they dispatch on.
+enum class NumericBackend {
+  Poly,      ///< Monolithic polyhedra (the §5.3 baseline).
+  Ladder,    ///< Packed intervals→zones→polyhedra escalation; exact.
+  Zones,     ///< Difference bounds only; sound over-approximation.
+  Intervals, ///< Per-variable bounds only; sound over-approximation.
+};
+
+inline const char *toString(NumericBackend Backend) {
+  switch (Backend) {
+  case NumericBackend::Poly:
+    return "poly";
+  case NumericBackend::Ladder:
+    return "ladder";
+  case NumericBackend::Zones:
+    return "zones";
+  case NumericBackend::Intervals:
+    return "intervals";
+  }
+  return "?";
+}
+
+inline std::optional<NumericBackend>
+parseNumericBackend(std::string_view Name) {
+  if (Name == "poly")
+    return NumericBackend::Poly;
+  if (Name == "ladder")
+    return NumericBackend::Ladder;
+  if (Name == "zones")
+    return NumericBackend::Zones;
+  if (Name == "intervals")
+    return NumericBackend::Intervals;
+  return std::nullopt;
+}
 
 /// Tuning knobs for the solver.
 struct SolverOptions {
@@ -94,6 +134,11 @@ struct SolverOptions {
   /// (core/Domain.h) are always solved sequentially — Jobs > 1 then still
   /// precompiles transformers up front, just on the calling thread.
   unsigned Jobs = 1;
+
+  /// Numeric backend for polyhedra-based domains. Consumed by the
+  /// harnesses when they construct the domain (the solver template never
+  /// reads it — the backend is baked into the domain type).
+  NumericBackend Numeric = NumericBackend::Ladder;
 };
 
 /// Counters reported by the solver (a built-in summary; richer event
@@ -129,6 +174,10 @@ struct SolverStats {
   uint64_t IntraBatchesRun = 0;
   unsigned MaxIntraBatchWidth = 0;
   double IntraBarrierWaitSeconds = 0.0;
+  /// Numeric-layer counters for domains that report them (all-zero
+  /// otherwise): per-solve deltas of the monotone counters, current
+  /// high-water marks for the peaks (reset via poly::resetNumericPeaks).
+  NumericLayerStats Numeric;
   /// False iff the update budget (MaxUpdates) ran out first, in which
   /// case Values is a mid-iteration snapshot, not a post-fixpoint —
   /// callers must not report it as the analysis answer.
@@ -159,6 +208,9 @@ AnalysisResult<typename D::Value> solve(CompiledProgram<D> &Compiled,
   Compiled.setObserver(Observer);
   const uint64_t InterpretCallsBefore = Compiled.interpretCalls();
   const uint64_t InterpretHitsBefore = Compiled.interpretCacheHits();
+  NumericLayerStats NumericBefore;
+  if constexpr (ReportsNumericStats<D>)
+    NumericBefore = D::numericStats();
   if (Observer)
     Observer->onSolveBegin(NumNodes);
 
@@ -337,6 +389,21 @@ AnalysisResult<typename D::Value> solve(CompiledProgram<D> &Compiled,
   if (Pool)
     for (double Busy : Pool->workerBusySeconds())
       Result.Stats.ThreadBusySeconds += Busy;
+  if constexpr (ReportsNumericStats<D>) {
+    NumericLayerStats Now = D::numericStats();
+    Result.Stats.Numeric.MinimizationCalls =
+        Now.MinimizationCalls - NumericBefore.MinimizationCalls;
+    Result.Stats.Numeric.ConversionCacheHits =
+        Now.ConversionCacheHits - NumericBefore.ConversionCacheHits;
+    Result.Stats.Numeric.ConversionCacheMisses =
+        Now.ConversionCacheMisses - NumericBefore.ConversionCacheMisses;
+    Result.Stats.Numeric.Escalations =
+        Now.Escalations - NumericBefore.Escalations;
+    Result.Stats.Numeric.PeakGeneratorRows = Now.PeakGeneratorRows;
+    Result.Stats.Numeric.MaxPackWidth = Now.MaxPackWidth;
+    if (Observer)
+      Observer->onNumericLayer(Result.Stats.Numeric);
+  }
   if (Observer)
     Observer->onSolveEnd(Result.Stats.Converged);
   return Result;

@@ -11,27 +11,67 @@ using namespace pmaf::domains;
 using namespace pmaf::lang;
 using namespace pmaf::poly;
 
-LeiaDomain::LeiaDomain(const Program &Prog, double Tolerance)
+template <NumericDomain NumV>
+LeiaDomainT<NumV>::LeiaDomainT(const Program &Prog, double Tolerance)
     : Prog(&Prog), NumVars(static_cast<unsigned>(Prog.Vars.size())),
       Tolerance(Tolerance) {
   for ([[maybe_unused]] const VarInfo &Var : Prog.Vars)
     assert(Var.IsReal && "LEIA analyzes real-valued (nonnegative) programs");
+  // Rename schedules of the lift-based operators (§5.3), hoisted out of
+  // the per-operation hot path.
+  unsigned N = NumVars;
+  ComposePermA.resize(3 * N);
+  ComposePermB.resize(3 * N);
+  for (unsigned I = 0; I != N; ++I) {
+    ComposePermA[I] = I;             // pre stays
+    ComposePermA[N + I] = 2 * N + I; // A's post goes to the middle
+    ComposePermA[2 * N + I] = N + I; // fresh dims take the post slot
+    ComposePermB[I] = 2 * N + I;     // B's pre goes to the middle
+    ComposePermB[N + I] = N + I;     // post stays
+    ComposePermB[2 * N + I] = I;     // fresh dims take the pre slot
+  }
+  ProbPermA.resize(4 * N);
+  ProbPermB.resize(4 * N);
+  for (unsigned I = 0; I != 4 * N; ++I)
+    ProbPermA[I] = ProbPermB[I] = I;
+  for (unsigned I = 0; I != N; ++I) {
+    ProbPermA[N + I] = 2 * N + I; // A's E-vocabulary becomes t1
+    ProbPermA[2 * N + I] = N + I;
+    ProbPermB[N + I] = 3 * N + I; // B's E-vocabulary becomes t2
+    ProbPermB[3 * N + I] = N + I;
+  }
+}
+
+template <NumericDomain NumV>
+core::NumericLayerStats LeiaDomainT<NumV>::numericStats() {
+  const NumericCounters &C = numericCounters();
+  core::NumericLayerStats S;
+  S.MinimizationCalls = C.MinimizationCalls.load(std::memory_order_relaxed);
+  S.ConversionCacheHits =
+      C.ConversionCacheHits.load(std::memory_order_relaxed);
+  S.ConversionCacheMisses =
+      C.ConversionCacheMisses.load(std::memory_order_relaxed);
+  S.Escalations = C.LadderEscalations.load(std::memory_order_relaxed);
+  S.PeakGeneratorRows =
+      C.PeakGeneratorRows.load(std::memory_order_relaxed);
+  S.MaxPackWidth = C.MaxPackWidth.load(std::memory_order_relaxed);
+  return S;
 }
 
 //===----------------------------------------------------------------------===//
-// Basic polyhedra
+// Basic values
 //===----------------------------------------------------------------------===//
 
-Polyhedron LeiaDomain::nonnegUniverse() const {
+template <NumericDomain NumV> NumV LeiaDomainT<NumV>::nonnegUniverse() const {
   unsigned D = 2 * NumVars;
   std::vector<Constraint> Cons;
   for (unsigned I = 0; I != D; ++I)
     Cons.push_back(Constraint::ge(LinearExpr::variable(D, I),
                                   LinearExpr::constant(D, Rational(0))));
-  return Polyhedron::fromConstraints(D, Cons);
+  return NumV::fromConstraints(D, Cons);
 }
 
-Polyhedron LeiaDomain::zeroExpectation() const {
+template <NumericDomain NumV> NumV LeiaDomainT<NumV>::zeroExpectation() const {
   unsigned D = 2 * NumVars;
   std::vector<Constraint> Cons;
   for (unsigned I = 0; I != NumVars; ++I) {
@@ -40,30 +80,32 @@ Polyhedron LeiaDomain::zeroExpectation() const {
     Cons.push_back(Constraint::eq(LinearExpr::variable(D, NumVars + I),
                                   LinearExpr::constant(D, Rational(0))));
   }
-  return Polyhedron::fromConstraints(D, Cons);
+  return NumV::fromConstraints(D, Cons);
 }
 
-Polyhedron
-LeiaDomain::rebuildFromSupport(const Polyhedron &P) const {
+template <NumericDomain NumV>
+NumV LeiaDomainT<NumV>::rebuildFromSupport(const NumV &P) const {
   // 0 ⊔ P[E[x']/x']; the renaming is the identity under our layout.
   return zeroExpectation().join(P);
 }
 
-LeiaValue LeiaDomain::canonicalize(Polyhedron P, Polyhedron EP) const {
+template <NumericDomain NumV>
+auto LeiaDomainT<NumV>::canonicalize(NumV P, NumV EP) const -> Value {
   if (P.isEmpty())
     return bottom();
   if (EP.isEmpty())
     EP = rebuildFromSupport(P); // Cannot happen semantically.
-  Polyhedron ECone = zeroExpectation().join(EP);
-  return LeiaValue{std::move(P), std::move(EP), std::move(ECone)};
+  NumV ECone = zeroExpectation().join(EP);
+  return Value{std::move(P), std::move(EP), std::move(ECone)};
 }
 
-LeiaValue LeiaDomain::bottom() const {
-  Polyhedron Zero = zeroExpectation();
-  return LeiaValue{Polyhedron::empty(2 * NumVars), Zero, Zero};
+template <NumericDomain NumV>
+auto LeiaDomainT<NumV>::bottom() const -> Value {
+  NumV Zero = zeroExpectation();
+  return Value{NumV::empty(2 * NumVars), Zero, Zero};
 }
 
-LeiaValue LeiaDomain::one() const {
+template <NumericDomain NumV> auto LeiaDomainT<NumV>::one() const -> Value {
   unsigned D = 2 * NumVars;
   std::vector<Constraint> Cons;
   for (unsigned I = 0; I != NumVars; ++I) {
@@ -72,9 +114,9 @@ LeiaValue LeiaDomain::one() const {
     Cons.push_back(Constraint::eq(LinearExpr::variable(D, NumVars + I),
                                   LinearExpr::variable(D, I)));
   }
-  Polyhedron Id = Polyhedron::fromConstraints(D, Cons);
-  Polyhedron ECone = zeroExpectation().join(Id);
-  return LeiaValue{Id, Id, std::move(ECone)};
+  NumV Id = NumV::fromConstraints(D, Cons);
+  NumV ECone = zeroExpectation().join(Id);
+  return Value{Id, Id, std::move(ECone)};
 }
 
 //===----------------------------------------------------------------------===//
@@ -115,7 +157,8 @@ std::optional<Rational> foldConstant(const Expr &E) {
 
 } // namespace
 
-std::optional<LinearExpr> LeiaDomain::exprToLinear(const Expr &E) const {
+template <NumericDomain NumV>
+std::optional<LinearExpr> LeiaDomainT<NumV>::exprToLinear(const Expr &E) const {
   unsigned D = 2 * NumVars;
   switch (E.kind()) {
   case Expr::Kind::Var:
@@ -165,13 +208,14 @@ std::optional<LinearExpr> LeiaDomain::exprToLinear(const Expr &E) const {
   return std::nullopt;
 }
 
-Polyhedron LeiaDomain::meetCond(const Polyhedron &P, const Cond &Phi,
-                                bool Negated) const {
+template <NumericDomain NumV>
+NumV LeiaDomainT<NumV>::meetCond(const NumV &P, const Cond &Phi,
+                                 bool Negated) const {
   switch (Phi.kind()) {
   case Cond::Kind::True:
-    return Negated ? Polyhedron::empty(P.dim()) : P;
+    return Negated ? NumV::empty(P.dim()) : P;
   case Cond::Kind::False:
-    return Negated ? P : Polyhedron::empty(P.dim());
+    return Negated ? P : NumV::empty(P.dim());
   case Cond::Kind::BoolVar:
     return P; // Not representable over reals; over-approximate.
   case Cond::Kind::Cmp: {
@@ -235,25 +279,23 @@ Polyhedron LeiaDomain::meetCond(const Polyhedron &P, const Cond &Phi,
 // Composition (the tower property, §5.3)
 //===----------------------------------------------------------------------===//
 
-Polyhedron LeiaDomain::composeRelations(const Polyhedron &A,
-                                        const Polyhedron &B) const {
-  unsigned N = NumVars;
-  // Work in 3n dims: [x, y, t]. A relates x to t, B relates t to y.
-  std::vector<unsigned> PermA(3 * N), PermB(3 * N);
-  for (unsigned I = 0; I != N; ++I) {
-    PermA[I] = I;             // pre stays
-    PermA[N + I] = 2 * N + I; // A's post goes to the middle vocabulary
-    PermA[2 * N + I] = N + I; // fresh dims take the post slot
-    PermB[I] = 2 * N + I;     // B's pre goes to the middle vocabulary
-    PermB[N + I] = N + I;     // post stays
-    PermB[2 * N + I] = I;     // fresh dims take the pre slot
-  }
-  Polyhedron LiftedA = A.extend(N).permute(PermA);
-  Polyhedron LiftedB = B.extend(N).permute(PermB);
-  return LiftedA.meet(LiftedB).dropTrailing(N);
+template <NumericDomain NumV>
+NumV LeiaDomainT<NumV>::liftedMeet(const NumV &A, const NumV &B,
+                                   unsigned Extra,
+                                   const std::vector<unsigned> &PermA,
+                                   const std::vector<unsigned> &PermB) const {
+  return A.extend(Extra).permute(PermA).meet(B.extend(Extra).permute(PermB));
 }
 
-LeiaValue LeiaDomain::extend(const Value &A, const Value &B) const {
+template <NumericDomain NumV>
+NumV LeiaDomainT<NumV>::composeRelations(const NumV &A, const NumV &B) const {
+  // Work in 3n dims: [x, y, t]. A relates x to t, B relates t to y.
+  return liftedMeet(A, B, NumVars, ComposePermA, ComposePermB)
+      .dropTrailing(NumVars);
+}
+
+template <NumericDomain NumV>
+auto LeiaDomainT<NumV>::extend(const Value &A, const Value &B) const -> Value {
   if (A.P.isEmpty() || B.P.isEmpty())
     return bottom();
   return canonicalize(composeRelations(A.P, B.P),
@@ -264,49 +306,41 @@ LeiaValue LeiaDomain::extend(const Value &A, const Value &B) const {
 // Choice operators
 //===----------------------------------------------------------------------===//
 
-LeiaValue LeiaDomain::condChoice(const Cond &Phi, const Value &A,
-                                 const Value &B) const {
-  Polyhedron P =
-      meetCond(A.P, Phi, false).join(meetCond(B.P, Phi, true));
+template <NumericDomain NumV>
+auto LeiaDomainT<NumV>::condChoice(const Cond &Phi, const Value &A,
+                                   const Value &B) const -> Value {
+  NumV P = meetCond(A.P, Phi, false).join(meetCond(B.P, Phi, true));
   // Conditioning can split the probability space arbitrarily (§5.3), so
   // the branch expectations only survive joined and clipped to the
   // support cone: EP = (EP1 ⊔ EP2) ⊓ (0 ⊔ P[E[x']/x']).
-  Polyhedron EP = A.EP.join(B.EP).meet(rebuildFromSupport(P));
+  NumV EP = A.EP.join(B.EP).meet(rebuildFromSupport(P));
   return canonicalize(std::move(P), std::move(EP));
 }
 
-LeiaValue LeiaDomain::probChoice(const Rational &Prob, const Value &A,
-                                 const Value &B) const {
+template <NumericDomain NumV>
+auto LeiaDomainT<NumV>::probChoice(const Rational &Prob, const Value &A,
+                                   const Value &B) const -> Value {
   if (A.P.isEmpty() && B.P.isEmpty())
     return bottom();
   unsigned N = NumVars;
   unsigned D4 = 4 * N;
-  Polyhedron P = A.P.join(B.P);
+  NumV P = A.P.join(B.P);
 
   // EP: introduce vocabularies x'' and x''' (§5.3); layout [x, E, t1, t2].
-  std::vector<unsigned> PermA(D4), PermB(D4);
-  for (unsigned I = 0; I != D4; ++I)
-    PermA[I] = PermB[I] = I;
-  for (unsigned I = 0; I != N; ++I) {
-    PermA[N + I] = 2 * N + I; // A's E-vocabulary becomes t1
-    PermA[2 * N + I] = N + I;
-    PermB[N + I] = 3 * N + I; // B's E-vocabulary becomes t2
-    PermB[3 * N + I] = N + I;
-  }
-  Polyhedron LiftedA = A.EP.extend(2 * N).permute(PermA);
-  Polyhedron LiftedB = B.EP.extend(2 * N).permute(PermB);
-  Polyhedron M = LiftedA.meet(LiftedB);
+  NumV M = liftedMeet(A.EP, B.EP, 2 * N, ProbPermA, ProbPermB);
   for (unsigned I = 0; I != N; ++I) {
     LinearExpr Combo = LinearExpr::variable(D4, 2 * N + I).scaled(Prob) +
                        LinearExpr::variable(D4, 3 * N + I)
                            .scaled(Rational(1) - Prob);
     M = M.meet(Constraint::eq(LinearExpr::variable(D4, N + I), Combo));
   }
-  Polyhedron EP = M.dropTrailing(2 * N);
+  NumV EP = M.dropTrailing(2 * N);
   return canonicalize(std::move(P), std::move(EP));
 }
 
-LeiaValue LeiaDomain::ndetChoice(const Value &A, const Value &B) const {
+template <NumericDomain NumV>
+auto LeiaDomainT<NumV>::ndetChoice(const Value &A, const Value &B) const
+    -> Value {
   return canonicalize(A.P.join(B.P), A.EP.join(B.EP));
 }
 
@@ -314,7 +348,8 @@ LeiaValue LeiaDomain::ndetChoice(const Value &A, const Value &B) const {
 // Semantic function
 //===----------------------------------------------------------------------===//
 
-LeiaValue LeiaDomain::interpret(const Stmt *Action) const {
+template <NumericDomain NumV>
+auto LeiaDomainT<NumV>::interpret(const Stmt *Action) const -> Value {
   unsigned N = NumVars;
   unsigned D = 2 * N;
   if (!Action)
@@ -326,7 +361,7 @@ LeiaValue LeiaDomain::interpret(const Stmt *Action) const {
   case Stmt::Kind::Assign: {
     unsigned X = Action->varIndex();
     std::optional<LinearExpr> Rhs = exprToLinear(Action->value());
-    Polyhedron P = nonnegUniverse();
+    NumV P = nonnegUniverse();
     for (unsigned J = 0; J != N; ++J) {
       if (J == X)
         continue;
@@ -376,26 +411,26 @@ LeiaValue LeiaDomain::interpret(const Stmt *Action) const {
       break;
     }
     }
-    Polyhedron Frame = nonnegUniverse();
+    NumV Frame = nonnegUniverse();
     for (unsigned J = 0; J != N; ++J) {
       if (J == X)
         continue;
       Frame = Frame.meet(Constraint::eq(LinearExpr::variable(D, N + J),
                                         LinearExpr::variable(D, J)));
     }
-    Polyhedron P = Frame;
+    NumV P = Frame;
     if (Min)
       P = P.meet(Constraint::ge(LinearExpr::variable(D, N + X), *Min));
     if (Max)
       P = P.meet(Constraint::le(LinearExpr::variable(D, N + X), *Max));
-    Polyhedron EP = Frame;
+    NumV EP = Frame;
     if (Mean)
       EP = EP.meet(Constraint::eq(LinearExpr::variable(D, N + X), *Mean));
     return canonicalize(std::move(P), std::move(EP));
   }
   case Stmt::Kind::Observe: {
-    const LeiaValue Id = one();
-    Polyhedron P = meetCond(Id.P, Action->observed(), false);
+    const Value Id = one();
+    NumV P = meetCond(Id.P, Action->observed(), false);
     // Conditioning rescales mass arbitrarily; rebuild EP pessimistically.
     return canonicalize(P, rebuildFromSupport(P));
   }
@@ -409,7 +444,8 @@ LeiaValue LeiaDomain::interpret(const Stmt *Action) const {
 // Order, widening
 //===----------------------------------------------------------------------===//
 
-bool LeiaDomain::leq(const Value &A, const Value &B) const {
+template <NumericDomain NumV>
+bool LeiaDomainT<NumV>::leq(const Value &A, const Value &B) const {
   if (A.P.isEmpty())
     return true; // Bottom is least: its EP is 0, and 0 ⊔ EP_B ⊇ 0 always.
   if (!B.P.contains(A.P))
@@ -417,7 +453,8 @@ bool LeiaDomain::leq(const Value &A, const Value &B) const {
   return B.ECone.contains(A.ECone);
 }
 
-bool LeiaDomain::equal(const Value &A, const Value &B) const {
+template <NumericDomain NumV>
+bool LeiaDomainT<NumV>::equal(const Value &A, const Value &B) const {
   if (A.P.isEmpty() || B.P.isEmpty())
     return A.P.isEmpty() == B.P.isEmpty();
   // Approximate mutual inclusion (§6.1-style convergence): expectation
@@ -429,13 +466,17 @@ bool LeiaDomain::equal(const Value &A, const Value &B) const {
          B.ECone.containsApprox(A.ECone, Tolerance);
 }
 
-LeiaValue LeiaDomain::widenCond(const Value &Old, const Value &New) const {
-  Polyhedron P = Old.P.widen(New.P);
+template <NumericDomain NumV>
+auto LeiaDomainT<NumV>::widenCond(const Value &Old, const Value &New) const
+    -> Value {
+  NumV P = Old.P.widen(New.P);
   return canonicalize(P, rebuildFromSupport(New.P));
 }
 
-LeiaValue LeiaDomain::widenProb(const Value &Old, const Value &New) const {
-  Polyhedron P = Old.P.widen(New.P);
+template <NumericDomain NumV>
+auto LeiaDomainT<NumV>::widenProb(const Value &Old, const Value &New) const
+    -> Value {
+  NumV P = Old.P.widen(New.P);
   // No EP extrapolation (§5.3). Convergence of the geometric expectation
   // chain comes from the tolerance-based fixpoint test (§6.1 analogue);
   // rounding the coefficients once per widening application — the single
@@ -445,12 +486,16 @@ LeiaValue LeiaDomain::widenProb(const Value &Old, const Value &New) const {
   return canonicalize(std::move(P), New.EP.roundedCoefficients(40));
 }
 
-LeiaValue LeiaDomain::widenNdet(const Value &Old, const Value &New) const {
+template <NumericDomain NumV>
+auto LeiaDomainT<NumV>::widenNdet(const Value &Old, const Value &New) const
+    -> Value {
   return widenCond(Old, New);
 }
 
-LeiaValue LeiaDomain::widenCall(const Value &Old, const Value &New) const {
-  Polyhedron P = Old.P.widen(New.P);
+template <NumericDomain NumV>
+auto LeiaDomainT<NumV>::widenCall(const Value &Old, const Value &New) const
+    -> Value {
+  NumV P = Old.P.widen(New.P);
   return canonicalize(std::move(P), New.EP.roundedCoefficients(40));
 }
 
@@ -458,7 +503,8 @@ LeiaValue LeiaDomain::widenCall(const Value &Old, const Value &New) const {
 // Reporting
 //===----------------------------------------------------------------------===//
 
-std::string LeiaDomain::toString(const Value &A) const {
+template <NumericDomain NumV>
+std::string LeiaDomainT<NumV>::toString(const Value &A) const {
   std::vector<std::string> Names;
   for (const VarInfo &Var : Prog->Vars)
     Names.push_back(Var.Name);
@@ -510,8 +556,9 @@ std::string formatAffine(const std::vector<double> &Coeffs, double Constant,
 
 } // namespace
 
+template <NumericDomain NumV>
 std::vector<std::string>
-LeiaDomain::describeInvariants(const Value &A) const {
+LeiaDomainT<NumV>::describeInvariants(const Value &A) const {
   std::vector<std::string> Result;
   if (A.P.isEmpty()) {
     Result.push_back("false");
@@ -562,16 +609,17 @@ LeiaDomain::describeInvariants(const Value &A) const {
   return Result;
 }
 
+template <NumericDomain NumV>
 std::pair<std::optional<Rational>, std::optional<Rational>>
-LeiaDomain::expectationBounds(const Value &A,
-                              const std::vector<Rational> &Objective,
-                              const std::vector<Rational> &PreState) const {
+LeiaDomainT<NumV>::expectationBounds(
+    const Value &A, const std::vector<Rational> &Objective,
+    const std::vector<Rational> &PreState) const {
   assert(Objective.size() == NumVars && PreState.size() == NumVars);
   assert(!A.P.isEmpty() && "expectation bounds of bottom");
   unsigned D = 2 * NumVars;
   // Clip to the subprobability cone of the support at query time (the
   // domain invariant 0 ⊔ P[E[x']/x'] ⊒ EP is enforced lazily).
-  Polyhedron Slice = A.EP.meet(rebuildFromSupport(A.P));
+  NumV Slice = A.EP.meet(rebuildFromSupport(A.P));
   for (unsigned I = 0; I != NumVars; ++I)
     Slice = Slice.meet(
         Constraint::eq(LinearExpr::variable(D, I),
@@ -582,3 +630,18 @@ LeiaDomain::expectationBounds(const Value &A,
     Obj.coeff(NumVars + I) = Objective[I];
   return {Slice.minimize(Obj), Slice.maximize(Obj)};
 }
+
+//===----------------------------------------------------------------------===//
+// Explicit instantiations — one LEIA per numeric backend
+//===----------------------------------------------------------------------===//
+
+namespace pmaf {
+namespace domains {
+
+template class LeiaDomainT<poly::Polyhedron>;
+template class LeiaDomainT<poly::LadderValue>;
+template class LeiaDomainT<poly::Zones>;
+template class LeiaDomainT<poly::Intervals>;
+
+} // namespace domains
+} // namespace pmaf

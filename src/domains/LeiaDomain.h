@@ -7,7 +7,7 @@
 /// \file
 /// The PMA I of §5.3: linear expectation-invariant analysis (LEIA), the
 /// paper's new instantiation. A value is a pair (P, EP) of two-vocabulary
-/// polyhedra over nonnegative program variables:
+/// convex sets over nonnegative program variables:
 ///
 ///  * P  ⊆ R^{2n}_{>=0} over (x, x') — ordinary relational invariants
 ///    between the state at a node and the state at the procedure exit;
@@ -18,14 +18,23 @@
 /// always lies in the subprobability cone of the support, footnote 5).
 ///
 /// Operators follow §5.3 exactly: composition uses the tower property
-/// (identical rename/meet/project steps for both components);
-/// conditional-choice meets the branches with phi / ¬phi on the P side and
-/// rebuilds a pessimistic EP; probabilistic-choice forms the affine
-/// combination E = p·x'' + (1-p)·x''' through two fresh vocabularies;
-/// nondeterministic-choice joins. Widening is per §5.3: conditional and
-/// nondeterministic loops rebuild EP from the widened P; probabilistic
-/// loops do no EP extrapolation, relying on the finite-precision
-/// convergence mechanism of §6.1 (Polyhedron::roundedCoefficients here).
+/// (identical rename/meet/project steps for both components, shared in
+/// liftedMeet); conditional-choice meets the branches with phi / ¬phi on
+/// the P side and rebuilds a pessimistic EP; probabilistic-choice forms
+/// the affine combination E = p·x'' + (1-p)·x''' through two fresh
+/// vocabularies; nondeterministic-choice joins. Widening is per §5.3:
+/// conditional and nondeterministic loops rebuild EP from the widened P;
+/// probabilistic loops do no EP extrapolation, relying on the
+/// finite-precision convergence mechanism of §6.1 (roundedCoefficients).
+///
+/// The domain is a template over the numeric backend NumV
+/// (poly/NumericDomain.h): monolithic polyhedra reproduce the original
+/// §5.3 evaluation; the ladder backend (poly/Ladder.h, the default)
+/// computes the *same* sets through packed, lazily-escalated
+/// representations; the standalone zones/intervals backends are cheap
+/// sound over-approximations (they drop constraints outside their
+/// fragment). The §5.3 operator sequence is byte-for-byte identical
+/// across backends — only the representation underneath changes.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -33,7 +42,10 @@
 #define PMAF_DOMAINS_LEIADOMAIN_H
 
 #include "core/Domain.h"
+#include "poly/Intervals.h"
+#include "poly/Ladder.h"
 #include "poly/Polyhedron.h"
+#include "poly/Zones.h"
 
 #include <optional>
 #include <string>
@@ -42,26 +54,28 @@
 namespace pmaf {
 namespace domains {
 
-/// A LEIA value: the product of an ordinary and an expectation polyhedron,
+/// A LEIA value: the product of an ordinary and an expectation component,
 /// both of dimension 2n with vocabulary order (x_0..x_{n-1}, out_0..out_{n-1})
 /// where `out` is x' in P and E[x'] in EP.
-struct LeiaValue {
-  poly::Polyhedron P;
-  poly::Polyhedron EP;
+template <poly::NumericDomain NumV> struct LeiaValueT {
+  NumV P;
+  NumV EP;
   /// Cached 0 ⊔ EP (the comparison cone of §5.3); maintained by the
   /// domain's canonicalization so the frequent order tests need no joins.
-  poly::Polyhedron ECone;
+  NumV ECone;
 };
 
-/// The LEIA interpretation I = <I, ⟦·⟧_I> (§5.3).
-class LeiaDomain {
+/// The LEIA interpretation I = <I, ⟦·⟧_I> (§5.3), generic over the
+/// numeric backend.
+template <poly::NumericDomain NumV> class LeiaDomainT {
 public:
-  using Value = LeiaValue;
+  using Value = LeiaValueT<NumV>;
 
-  /// Polyhedra are value types over exact rationals with no shared caches,
-  /// and the domain itself only reads the program: concurrent interpret
-  /// and operator calls are safe (the LEIA precompile win — every `seq`
-  /// edge rebuilds polyhedra from scratch).
+  /// Backend values are value types over exact rationals (the polyhedra
+  /// conversion memo is thread-local, the stats counters atomic), and the
+  /// domain itself only reads the program: concurrent interpret and
+  /// operator calls are safe (the LEIA precompile win — every `seq` edge
+  /// rebuilds its value from scratch).
   static constexpr bool ThreadSafeInterpret = true;
 
   /// \param Prog program under analysis (all variables must be real-valued
@@ -72,7 +86,7 @@ public:
   /// stabilizing. Arithmetic stays exact; only `equal` is approximate, so
   /// geometrically-converging expectation chains (probabilistic loops and
   /// recursion) stop once successive iterates agree to this tolerance.
-  explicit LeiaDomain(const lang::Program &Prog, double Tolerance = 1e-9);
+  explicit LeiaDomainT(const lang::Program &Prog, double Tolerance = 1e-9);
 
   unsigned numVars() const { return NumVars; }
 
@@ -119,41 +133,80 @@ public:
   expectationBounds(const Value &A, const std::vector<Rational> &Objective,
                     const std::vector<Rational> &PreState) const;
 
+  /// Snapshot of the numeric layer's process-wide counters
+  /// (core::ReportsNumericStats); the solver turns these into per-solve
+  /// deltas.
+  static core::NumericLayerStats numericStats();
+
 private:
   /// Meets \p P with the over-approximation of condition \p Phi on the
   /// pre-vocabulary ((negated ? ¬phi : phi)).
-  poly::Polyhedron meetCond(const poly::Polyhedron &P,
-                            const lang::Cond &Phi, bool Negated) const;
+  NumV meetCond(const NumV &P, const lang::Cond &Phi, bool Negated) const;
 
   /// Translates an arithmetic expression over the pre-vocabulary into a
   /// linear expression over 2n dims; nullopt if nonlinear.
   std::optional<poly::LinearExpr> exprToLinear(const lang::Expr &E) const;
 
   /// The "0" element: E[x'] = 0 with x unconstrained (footnote 5).
-  poly::Polyhedron zeroExpectation() const;
+  NumV zeroExpectation() const;
 
   /// 0 ⊔ P[E[x']/x'] (the renaming is the identity in our layout).
-  poly::Polyhedron rebuildFromSupport(const poly::Polyhedron &P) const;
+  NumV rebuildFromSupport(const NumV &P) const;
 
   /// Restores the domain invariant and applies precision limiting; every
   /// public operation funnels its result through here.
-  Value canonicalize(poly::Polyhedron P, poly::Polyhedron EP) const;
+  Value canonicalize(NumV P, NumV EP) const;
 
-  /// Relational composition of two 2n-dim two-vocabulary polyhedra by
+  /// The shared two-vocabulary lift: extends both operands by \p Extra
+  /// fresh dimensions, renames them into a common layout, and meets.
+  /// Composition (for the P *and* EP components alike) and
+  /// probabilistic-choice both reduce to this one sequence, each with its
+  /// own precomputed permutation pair.
+  NumV liftedMeet(const NumV &A, const NumV &B, unsigned Extra,
+                  const std::vector<unsigned> &PermA,
+                  const std::vector<unsigned> &PermB) const;
+
+  /// Relational composition of two 2n-dim two-vocabulary values by
   /// rename/meet/project through a fresh middle vocabulary.
-  poly::Polyhedron composeRelations(const poly::Polyhedron &A,
-                                    const poly::Polyhedron &B) const;
+  NumV composeRelations(const NumV &A, const NumV &B) const;
 
   /// Universe with nonnegativity on all 2n dimensions.
-  poly::Polyhedron nonnegUniverse() const;
+  NumV nonnegUniverse() const;
 
   const lang::Program *Prog;
   unsigned NumVars;
   double Tolerance;
+
+  /// The rename schedules of the lift-based operators, computed once per
+  /// domain instead of once per operation: composition works in 3n dims
+  /// [x, y, t] (A relates x to t, B relates t to y); probabilistic choice
+  /// in 4n dims [x, E, t1, t2] (branch expectations move to t1/t2).
+  std::vector<unsigned> ComposePermA, ComposePermB;
+  std::vector<unsigned> ProbPermA, ProbPermB;
 };
 
-static_assert(core::PreMarkovAlgebra<LeiaDomain>,
-              "LeiaDomain must satisfy the PMA interface");
+// The template is explicitly instantiated (LeiaDomain.cpp) for the four
+// numeric backends; everything else picks one of these.
+extern template class LeiaDomainT<poly::Polyhedron>;
+extern template class LeiaDomainT<poly::LadderValue>;
+extern template class LeiaDomainT<poly::Zones>;
+extern template class LeiaDomainT<poly::Intervals>;
+
+/// The default LEIA instantiation: the exact ladder backend
+/// (`--numeric=ladder`), which reproduces the polyhedra-mode invariants.
+using LeiaValue = LeiaValueT<poly::LadderValue>;
+using LeiaDomain = LeiaDomainT<poly::LadderValue>;
+
+static_assert(core::PreMarkovAlgebra<LeiaDomainT<poly::Polyhedron>>,
+              "LEIA over polyhedra must satisfy the PMA interface");
+static_assert(core::PreMarkovAlgebra<LeiaDomainT<poly::LadderValue>>,
+              "LEIA over the ladder must satisfy the PMA interface");
+static_assert(core::PreMarkovAlgebra<LeiaDomainT<poly::Zones>>,
+              "LEIA over zones must satisfy the PMA interface");
+static_assert(core::PreMarkovAlgebra<LeiaDomainT<poly::Intervals>>,
+              "LEIA over intervals must satisfy the PMA interface");
+static_assert(core::ReportsNumericStats<LeiaDomain>,
+              "LEIA must report numeric-layer stats to the solver");
 
 } // namespace domains
 } // namespace pmaf

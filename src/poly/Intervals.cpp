@@ -1,0 +1,302 @@
+//===- poly/Intervals.cpp - Per-variable rational bounds ------------------===//
+
+#include "poly/Intervals.h"
+
+#include "poly/Polyhedron.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace pmaf;
+using namespace pmaf::poly;
+
+Intervals Intervals::universe(unsigned Dim) {
+  Intervals Box(Dim, /*Empty=*/false);
+  Box.Ranges.resize(Dim);
+  return Box;
+}
+
+Intervals Intervals::empty(unsigned Dim) {
+  return Intervals(Dim, /*Empty=*/true);
+}
+
+Intervals Intervals::fromConstraints(unsigned Dim,
+                                     const std::vector<Constraint> &Cons) {
+  Intervals Box = universe(Dim);
+  for (const Constraint &Con : Cons)
+    Box = Box.meet(Con);
+  return Box;
+}
+
+bool Intervals::isUniverse() const {
+  return !Empty && std::all_of(Ranges.begin(), Ranges.end(),
+                               [](const Range &R) { return R.isFree(); });
+}
+
+const Intervals::Range &Intervals::range(unsigned Index) const {
+  assert(!Empty && Index < Dim && "range of an empty box");
+  return Ranges[Index];
+}
+
+namespace {
+
+/// Lower bounds tighten upward, upper bounds downward; \returns false when
+/// the range became contradictory.
+bool tightenLo(Intervals::Range &R, const Rational &V) {
+  if (!R.Lo || *R.Lo < V)
+    R.Lo = V;
+  return !R.Hi || *R.Lo <= *R.Hi;
+}
+
+bool tightenHi(Intervals::Range &R, const Rational &V) {
+  if (!R.Hi || *R.Hi > V)
+    R.Hi = V;
+  return !R.Lo || *R.Lo <= *R.Hi;
+}
+
+} // namespace
+
+Intervals Intervals::meet(const Intervals &Other) const {
+  assert(Dim == Other.Dim && "dimension mismatch");
+  if (Empty || Other.Empty)
+    return empty(Dim);
+  Intervals Out = *this;
+  for (unsigned I = 0; I != Dim; ++I) {
+    const Range &R = Other.Ranges[I];
+    if (R.Lo && !tightenLo(Out.Ranges[I], *R.Lo))
+      return empty(Dim);
+    if (R.Hi && !tightenHi(Out.Ranges[I], *R.Hi))
+      return empty(Dim);
+  }
+  return Out;
+}
+
+Intervals Intervals::meet(const Constraint &Con) const {
+  assert(Con.Expr.dim() == Dim && "dimension mismatch");
+  if (Empty)
+    return *this;
+  switch (classifyConstraint(Con)) {
+  case ConstraintClass::Trivial: {
+    const Rational &B = Con.Expr.constantTerm();
+    bool Sat = Con.TheKind == Constraint::Kind::Eq ? B.isZero()
+                                                   : B.sign() >= 0;
+    return Sat ? *this : empty(Dim);
+  }
+  case ConstraintClass::Bound: {
+    unsigned Var = 0;
+    while (Con.Expr.coeff(Var).isZero())
+      ++Var;
+    const Rational &A = Con.Expr.coeff(Var);
+    Rational V = -Con.Expr.constantTerm() / A;
+    Intervals Out = *this;
+    Range &R = Out.Ranges[Var];
+    bool IsEq = Con.TheKind == Constraint::Kind::Eq;
+    if ((IsEq || A.sign() > 0) && !tightenLo(R, V))
+      return empty(Dim);
+    if ((IsEq || A.sign() < 0) && !tightenHi(R, V))
+      return empty(Dim);
+    return Out;
+  }
+  case ConstraintClass::Difference:
+  case ConstraintClass::General:
+    // Outside the box fragment: drop (sound over-approximation). The
+    // ladder never reaches this path — it escalates the block first.
+    return *this;
+  }
+  return *this;
+}
+
+Intervals Intervals::join(const Intervals &Other) const {
+  assert(Dim == Other.Dim && "dimension mismatch");
+  if (Empty)
+    return Other;
+  if (Other.Empty)
+    return *this;
+  Intervals Out = universe(Dim);
+  for (unsigned I = 0; I != Dim; ++I) {
+    const Range &A = Ranges[I], &B = Other.Ranges[I];
+    if (A.Lo && B.Lo)
+      Out.Ranges[I].Lo = std::min(*A.Lo, *B.Lo);
+    if (A.Hi && B.Hi)
+      Out.Ranges[I].Hi = std::max(*A.Hi, *B.Hi);
+  }
+  return Out;
+}
+
+Intervals
+Intervals::project(const std::vector<unsigned> &DimsToForget) const {
+  if (Empty || DimsToForget.empty())
+    return *this;
+  Intervals Out = *this;
+  for (unsigned D : DimsToForget) {
+    assert(D < Dim && "projected dimension out of range");
+    Out.Ranges[D] = Range{};
+  }
+  return Out;
+}
+
+Intervals Intervals::extend(unsigned Count) const {
+  Intervals Out(Dim + Count, Empty);
+  if (!Empty) {
+    Out.Ranges = Ranges;
+    Out.Ranges.resize(Dim + Count);
+  }
+  return Out;
+}
+
+Intervals Intervals::dropTrailing(unsigned Count) const {
+  assert(Count <= Dim && "dropping more dimensions than available");
+  Intervals Out(Dim - Count, Empty);
+  if (!Empty)
+    Out.Ranges.assign(Ranges.begin(), Ranges.begin() + (Dim - Count));
+  return Out;
+}
+
+Intervals Intervals::permute(const std::vector<unsigned> &NewIndex) const {
+  assert(NewIndex.size() == Dim && "permutation size mismatch");
+  if (Empty)
+    return *this;
+  Intervals Out = universe(Dim);
+  for (unsigned I = 0; I != Dim; ++I)
+    Out.Ranges[NewIndex[I]] = Ranges[I];
+  return Out;
+}
+
+bool Intervals::contains(const Intervals &Other) const {
+  assert(Dim == Other.Dim && "dimension mismatch");
+  if (Other.Empty)
+    return true;
+  if (Empty)
+    return false;
+  for (unsigned I = 0; I != Dim; ++I) {
+    const Range &A = Ranges[I], &B = Other.Ranges[I];
+    if (A.Lo && (!B.Lo || *B.Lo < *A.Lo))
+      return false;
+    if (A.Hi && (!B.Hi || *B.Hi > *A.Hi))
+      return false;
+  }
+  return true;
+}
+
+bool Intervals::containsApprox(const Intervals &Other, double Eps) const {
+  assert(Dim == Other.Dim && "dimension mismatch");
+  if (Other.Empty)
+    return true;
+  if (Empty)
+    return false;
+  auto Slack = [&](const Rational &Bound) {
+    return Eps * std::max(1.0, std::abs(Bound.toDouble())) *
+           static_cast<double>(Dim + 1);
+  };
+  for (unsigned I = 0; I != Dim; ++I) {
+    const Range &A = Ranges[I], &B = Other.Ranges[I];
+    if (A.Lo &&
+        (!B.Lo || B.Lo->toDouble() < A.Lo->toDouble() - Slack(*A.Lo)))
+      return false;
+    if (A.Hi &&
+        (!B.Hi || B.Hi->toDouble() > A.Hi->toDouble() + Slack(*A.Hi)))
+      return false;
+  }
+  return true;
+}
+
+bool Intervals::equals(const Intervals &Other) const {
+  assert(Dim == Other.Dim && "dimension mismatch");
+  if (Empty || Other.Empty)
+    return Empty == Other.Empty;
+  return Ranges == Other.Ranges;
+}
+
+Intervals Intervals::widen(const Intervals &Other) const {
+  assert(Dim == Other.Dim && "dimension mismatch");
+  if (Empty)
+    return Other;
+  if (Other.Empty)
+    return *this; // Degenerate; widening assumes this ⊑ other.
+  Intervals Out = universe(Dim);
+  for (unsigned I = 0; I != Dim; ++I) {
+    const Range &A = Ranges[I], &B = Other.Ranges[I];
+    // Keep the bounds of *this that Other still satisfies (CH78 restricted
+    // to boxes); unstable bounds go to infinity.
+    if (A.Lo && B.Lo && *B.Lo >= *A.Lo)
+      Out.Ranges[I].Lo = A.Lo;
+    if (A.Hi && B.Hi && *B.Hi <= *A.Hi)
+      Out.Ranges[I].Hi = A.Hi;
+  }
+  return Out;
+}
+
+Intervals Intervals::roundedCoefficients(unsigned MaxBits) const {
+  if (Empty)
+    return *this;
+  Intervals Out = *this;
+  bool Changed = false;
+  for (Range &R : Out.Ranges) {
+    if (R.Lo) {
+      Rational Rounded = roundedBoundValue(*R.Lo, MaxBits);
+      Changed |= Rounded != *R.Lo;
+      R.Lo = Rounded;
+    }
+    if (R.Hi) {
+      Rational Rounded = roundedBoundValue(*R.Hi, MaxBits);
+      Changed |= Rounded != *R.Hi;
+      R.Hi = Rounded;
+    }
+    // Round-to-nearest can invert an extremely tight range; the polyhedra
+    // backend would then find the rounded rows contradictory.
+    if (R.Lo && R.Hi && *R.Lo > *R.Hi)
+      return empty(Dim);
+  }
+  return Changed ? Out : *this;
+}
+
+std::optional<Rational> Intervals::maximize(const LinearExpr &Expr) const {
+  assert(!Empty && "maximize over the empty box");
+  assert(Expr.dim() == Dim && "expression dimension mismatch");
+  Rational Sum = Expr.constantTerm();
+  for (unsigned I = 0; I != Dim; ++I) {
+    const Rational &A = Expr.coeff(I);
+    if (A.isZero())
+      continue;
+    const Range &R = Ranges[I];
+    const std::optional<Rational> &Bound = A.sign() > 0 ? R.Hi : R.Lo;
+    if (!Bound)
+      return std::nullopt;
+    Sum += A * *Bound;
+  }
+  return Sum;
+}
+
+std::optional<Rational> Intervals::minimize(const LinearExpr &Expr) const {
+  std::optional<Rational> NegMax = maximize(-Expr);
+  if (!NegMax)
+    return std::nullopt;
+  return -*NegMax;
+}
+
+std::vector<Constraint> Intervals::constraintList() const {
+  std::vector<Constraint> Result;
+  if (Empty)
+    return Result;
+  for (unsigned I = 0; I != Dim; ++I) {
+    const Range &R = Ranges[I];
+    LinearExpr X = LinearExpr::variable(Dim, I);
+    if (R.Lo && R.Hi && *R.Lo == *R.Hi) {
+      Result.push_back(
+          Constraint::eq(X, LinearExpr::constant(Dim, *R.Lo)));
+      continue;
+    }
+    if (R.Lo)
+      Result.push_back(
+          Constraint::ge(X, LinearExpr::constant(Dim, *R.Lo)));
+    if (R.Hi)
+      Result.push_back(
+          Constraint::le(X, LinearExpr::constant(Dim, *R.Hi)));
+  }
+  return Result;
+}
+
+std::string Intervals::toString(const std::vector<std::string> &Names) const {
+  return renderConstraints(constraintList(), Names, Empty);
+}

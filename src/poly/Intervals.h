@@ -1,0 +1,101 @@
+//===- poly/Intervals.h - Per-variable rational bounds ----------*- C++ -*-===//
+//
+// Part of the PMAF reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The interval (box) backend of the numeric-domain ladder: one optional
+/// rational lower and upper bound per variable. Exact for the single-
+/// variable bound fragment `a x + b {>=,==} 0`; any other constraint is
+/// soundly dropped (over-approximated), which is what makes the standalone
+/// `--numeric=intervals` mode lossy. Inside the ladder a box block is
+/// always a single variable, so no information is ever dropped there — the
+/// ladder escalates before a non-bound constraint reaches a box.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PMAF_POLY_INTERVALS_H
+#define PMAF_POLY_INTERVALS_H
+
+#include "poly/NumericDomain.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pmaf {
+namespace poly {
+
+/// A product of per-variable rational intervals (a box) in Q^d.
+class Intervals {
+public:
+  /// One variable's range; a missing bound means unbounded on that side.
+  struct Range {
+    std::optional<Rational> Lo, Hi;
+
+    bool operator==(const Range &Other) const {
+      return Lo == Other.Lo && Hi == Other.Hi;
+    }
+    bool isFree() const { return !Lo && !Hi; }
+  };
+
+  /// The universe box of dimension 0 (value-type default).
+  Intervals() = default;
+
+  static Intervals universe(unsigned Dim);
+  static Intervals empty(unsigned Dim);
+
+  /// Meets the universe with each constraint in turn; constraints outside
+  /// the bound fragment are dropped (sound over-approximation).
+  static Intervals fromConstraints(unsigned Dim,
+                                   const std::vector<Constraint> &Cons);
+
+  unsigned dim() const { return Dim; }
+  bool isEmpty() const { return Empty; }
+  bool isUniverse() const;
+
+  Intervals meet(const Intervals &Other) const;
+  Intervals meet(const Constraint &Con) const;
+  Intervals join(const Intervals &Other) const;
+  Intervals project(const std::vector<unsigned> &DimsToForget) const;
+  Intervals extend(unsigned Count) const;
+  Intervals dropTrailing(unsigned Count) const;
+  Intervals permute(const std::vector<unsigned> &NewIndex) const;
+
+  bool contains(const Intervals &Other) const;
+  bool containsApprox(const Intervals &Other, double Eps) const;
+  bool equals(const Intervals &Other) const;
+
+  /// Interval widening: bounds not stable from *this to \p Other are
+  /// dropped. Requires *this ⊑ Other for a meaningful result.
+  Intervals widen(const Intervals &Other) const;
+
+  /// Rounds each bound with the same row rounding the polyhedra backend
+  /// applies to its constraint rows (see roundConstraintRow).
+  Intervals roundedCoefficients(unsigned MaxBits = 40) const;
+
+  std::optional<Rational> maximize(const LinearExpr &Expr) const;
+  std::optional<Rational> minimize(const LinearExpr &Expr) const;
+
+  std::vector<Constraint> constraintList() const;
+  std::string toString(const std::vector<std::string> &Names = {}) const;
+
+  /// The range of variable \p Index; requires a nonempty box.
+  const Range &range(unsigned Index) const;
+
+private:
+  unsigned Dim = 0;
+  bool Empty = false;
+  std::vector<Range> Ranges; ///< Size Dim; cleared when Empty.
+
+  Intervals(unsigned Dim, bool Empty) : Dim(Dim), Empty(Empty) {}
+};
+
+static_assert(NumericDomain<Intervals>,
+              "Intervals must model the numeric-backend interface");
+
+} // namespace poly
+} // namespace pmaf
+
+#endif // PMAF_POLY_INTERVALS_H

@@ -1,0 +1,941 @@
+//===- poly/Ladder.cpp - The escalating, variable-packed backend ----------===//
+
+#include "poly/Ladder.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+using namespace pmaf;
+using namespace pmaf::poly;
+
+//===----------------------------------------------------------------------===//
+// Small helpers
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Re-expresses \p Con (over the id list \p FromIds) over the id list
+/// \p ToIds; every id carrying a nonzero coefficient must occur in ToIds
+/// (both lists ascending).
+Constraint reindexConstraint(const Constraint &Con,
+                             const std::vector<unsigned> &FromIds,
+                             const std::vector<unsigned> &ToIds) {
+  LinearExpr E(static_cast<unsigned>(ToIds.size()));
+  E.constantTerm() = Con.Expr.constantTerm();
+  for (unsigned I = 0; I != Con.Expr.dim(); ++I) {
+    if (Con.Expr.coeff(I).isZero())
+      continue;
+    auto It = std::lower_bound(ToIds.begin(), ToIds.end(), FromIds[I]);
+    assert(It != ToIds.end() && *It == FromIds[I] &&
+           "constraint support escapes the target id list");
+    E.coeff(static_cast<unsigned>(It - ToIds.begin())) = Con.Expr.coeff(I);
+  }
+  return Constraint{std::move(E), Con.TheKind};
+}
+
+/// The identity id list 0..Size-1.
+std::vector<unsigned> iota(unsigned Size) {
+  std::vector<unsigned> Ids(Size);
+  for (unsigned I = 0; I != Size; ++I)
+    Ids[I] = I;
+  return Ids;
+}
+
+std::vector<unsigned> findRoots(std::vector<unsigned> &Parent) {
+  std::vector<unsigned> Roots(Parent.size());
+  for (unsigned I = 0; I != Parent.size(); ++I) {
+    unsigned R = I;
+    while (Parent[R] != R)
+      R = Parent[R];
+    // Path compression.
+    unsigned Cur = I;
+    while (Parent[Cur] != R) {
+      unsigned Next = Parent[Cur];
+      Parent[Cur] = R;
+      Cur = Next;
+    }
+    Roots[I] = R;
+  }
+  return Roots;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Block primitives
+//===----------------------------------------------------------------------===//
+
+LadderValue::Block LadderValue::freeBlock(unsigned Var) {
+  Block B;
+  B.Vars = {Var};
+  B.R = Rung::Box;
+  B.Box = Intervals::universe(1);
+  return B;
+}
+
+namespace {
+
+bool blockIsFree(const LadderValue::Block &B);
+
+} // namespace
+
+std::vector<Constraint> LadderValue::blockConstraints(const Block &B) {
+  switch (B.R) {
+  case Rung::Box:
+    return B.Box.constraintList();
+  case Rung::Zone:
+    return B.Zn.rawConstraintList();
+  case Rung::Poly:
+    return B.Py.constraintList();
+  }
+  return {};
+}
+
+Polyhedron LadderValue::blockToPoly(const Block &B) {
+  if (B.R == Rung::Poly)
+    return B.Py;
+  return Polyhedron::fromConstraints(
+      static_cast<unsigned>(B.Vars.size()), blockConstraints(B));
+}
+
+namespace {
+
+bool blockIsFree(const LadderValue::Block &B) {
+  return B.R == LadderValue::Rung::Box && B.Box.isUniverse();
+}
+
+bool blockEquals(const LadderValue::Block &A, const LadderValue::Block &B) {
+  if (A.Vars != B.Vars || A.R != B.R)
+    return false;
+  switch (A.R) {
+  case LadderValue::Rung::Box:
+    return A.Box.equals(B.Box);
+  case LadderValue::Rung::Zone:
+    return A.Zn.equals(B.Zn);
+  case LadderValue::Rung::Poly:
+    return A.Py.equals(B.Py);
+  }
+  return false;
+}
+
+} // namespace
+
+void LadderValue::appendFromZone(std::vector<Block> &Out,
+                                 const std::vector<unsigned> &Vars,
+                                 const Zones &Z) {
+  assert(!Z.isEmpty() && "canonicalizing an empty zone block");
+  std::vector<std::vector<unsigned>> Comps = Z.packComponents();
+  std::sort(Comps.begin(), Comps.end(),
+            [](const auto &A, const auto &B) { return A[0] < B[0]; });
+  for (const std::vector<unsigned> &Comp : Comps) {
+    Zones Sub = Z.restrictTo(Comp);
+    Block B;
+    B.Vars.reserve(Comp.size());
+    for (unsigned Local : Comp)
+      B.Vars.push_back(Vars[Local]);
+    if (Comp.size() == 1) {
+      B.R = Rung::Box;
+      B.Box = Intervals::fromConstraints(1, Sub.rawConstraintList());
+      assert(!B.Box.isEmpty() && "nonempty zone produced an empty range");
+    } else {
+      B.R = Rung::Zone;
+      B.Zn = std::move(Sub);
+    }
+    Out.push_back(std::move(B));
+  }
+}
+
+void LadderValue::appendFromPoly(std::vector<Block> &Out,
+                                 const std::vector<unsigned> &Vars,
+                                 const Polyhedron &P) {
+  assert(!P.isEmpty() && "canonicalizing an empty poly block");
+  unsigned D = static_cast<unsigned>(Vars.size());
+  assert(P.dim() == D && "block dimension mismatch");
+  std::vector<Constraint> Cons = P.constraintList();
+
+  // Union-find over the local dimensions by constraint support.
+  std::vector<unsigned> Parent = iota(D);
+  auto Find = [&](unsigned I) {
+    while (Parent[I] != I) {
+      Parent[I] = Parent[Parent[I]];
+      I = Parent[I];
+    }
+    return I;
+  };
+  for (const Constraint &Con : Cons) {
+    unsigned First = D;
+    for (unsigned I = 0; I != D; ++I) {
+      if (Con.Expr.coeff(I).isZero())
+        continue;
+      if (First == D)
+        First = I;
+      else
+        Parent[Find(I)] = Find(First);
+    }
+  }
+  std::vector<unsigned> Roots = findRoots(Parent);
+
+  std::map<unsigned, std::vector<unsigned>> CompVars;
+  for (unsigned I = 0; I != D; ++I)
+    CompVars[Roots[I]].push_back(I);
+  std::map<unsigned, std::vector<const Constraint *>> CompCons;
+  for (const Constraint &Con : Cons)
+    for (unsigned I = 0; I != D; ++I)
+      if (!Con.Expr.coeff(I).isZero()) {
+        CompCons[Roots[I]].push_back(&Con);
+        break;
+      }
+
+  for (const auto &[Root, Locals] : CompVars) {
+    auto ConsIt = CompCons.find(Root);
+    if (ConsIt == CompCons.end()) {
+      // Unconstrained dimensions become free singletons.
+      for (unsigned Local : Locals)
+        Out.push_back(freeBlock(Vars[Local]));
+      continue;
+    }
+    std::vector<Constraint> Local;
+    bool Fragment = true;
+    for (const Constraint *Con : ConsIt->second) {
+      Local.push_back(reindexConstraint(*Con, iota(D), Locals));
+      ConstraintClass Class = classifyConstraint(Local.back());
+      Fragment &= Class == ConstraintClass::Bound ||
+                  Class == ConstraintClass::Difference;
+    }
+    std::vector<unsigned> Globals;
+    Globals.reserve(Locals.size());
+    for (unsigned L : Locals)
+      Globals.push_back(Vars[L]);
+    if (Locals.size() == 1) {
+      Block B;
+      B.Vars = std::move(Globals);
+      B.R = Rung::Box;
+      B.Box = Intervals::fromConstraints(1, Local);
+      assert(!B.Box.isEmpty() && "nonempty poly produced an empty range");
+      Out.push_back(std::move(B));
+    } else if (Fragment) {
+      // Every minimized row is in the DBM fragment, so the component *is*
+      // a zone; descend a rung.
+      appendFromZone(Out, Globals,
+                     Zones::fromConstraints(
+                         static_cast<unsigned>(Locals.size()), Local));
+    } else if (Locals.size() == D) {
+      Block B;
+      B.Vars = std::move(Globals);
+      B.R = Rung::Poly;
+      B.Py = P;
+      Out.push_back(std::move(B));
+    } else {
+      Block B;
+      B.Vars = std::move(Globals);
+      B.R = Rung::Poly;
+      B.Py = Polyhedron::fromConstraints(
+          static_cast<unsigned>(Locals.size()), Local);
+      Out.push_back(std::move(B));
+    }
+  }
+}
+
+void LadderValue::sortBlocks() {
+  std::sort(Blocks.begin(), Blocks.end(),
+            [](const Block &A, const Block &B) {
+              return A.Vars.front() < B.Vars.front();
+            });
+}
+
+//===----------------------------------------------------------------------===//
+// Construction
+//===----------------------------------------------------------------------===//
+
+LadderValue LadderValue::universe(unsigned Dim) {
+  LadderValue V(Dim, /*Empty=*/false);
+  V.Blocks.reserve(Dim);
+  for (unsigned I = 0; I != Dim; ++I)
+    V.Blocks.push_back(freeBlock(I));
+  return V;
+}
+
+LadderValue LadderValue::empty(unsigned Dim) {
+  return LadderValue(Dim, /*Empty=*/true);
+}
+
+LadderValue
+LadderValue::fromConstraints(unsigned Dim,
+                             const std::vector<Constraint> &Cons) {
+  LadderValue V = universe(Dim);
+  for (const Constraint &Con : Cons) {
+    V = V.meet(Con);
+    if (V.Empty)
+      break;
+  }
+  return V;
+}
+
+bool LadderValue::isUniverse() const {
+  return !Empty && std::all_of(Blocks.begin(), Blocks.end(), blockIsFree);
+}
+
+//===----------------------------------------------------------------------===//
+// Group alignment and merging
+//===----------------------------------------------------------------------===//
+
+std::vector<unsigned> LadderValue::alignGroups(const LadderValue &A,
+                                               const LadderValue &B) {
+  assert(A.Dim == B.Dim && "dimension mismatch");
+  std::vector<unsigned> Parent = iota(A.Dim);
+  auto Find = [&](unsigned I) {
+    while (Parent[I] != I) {
+      Parent[I] = Parent[Parent[I]];
+      I = Parent[I];
+    }
+    return I;
+  };
+  for (const LadderValue *V : {&A, &B})
+    for (const Block &Blk : V->Blocks)
+      for (size_t I = 1; I < Blk.Vars.size(); ++I)
+        Parent[Find(Blk.Vars[I])] = Find(Blk.Vars[0]);
+  return findRoots(Parent);
+}
+
+std::vector<const LadderValue::Block *>
+LadderValue::groupMembers(const std::vector<unsigned> &GroupOf,
+                          unsigned Group) const {
+  std::vector<const Block *> Members;
+  for (const Block &Blk : Blocks)
+    if (GroupOf[Blk.Vars.front()] == Group)
+      Members.push_back(&Blk);
+  return Members;
+}
+
+namespace {
+
+/// Sorted union of the members' variables.
+std::vector<unsigned>
+memberVars(const std::vector<const LadderValue::Block *> &Members) {
+  std::vector<unsigned> Vars;
+  for (const LadderValue::Block *B : Members)
+    Vars.insert(Vars.end(), B->Vars.begin(), B->Vars.end());
+  std::sort(Vars.begin(), Vars.end());
+  return Vars;
+}
+
+bool anyPolyMember(const std::vector<const LadderValue::Block *> &Members) {
+  return std::any_of(Members.begin(), Members.end(),
+                     [](const LadderValue::Block *B) {
+                       return B->R == LadderValue::Rung::Poly;
+                     });
+}
+
+bool allFreeMembers(const std::vector<const LadderValue::Block *> &Members) {
+  return std::all_of(Members.begin(), Members.end(),
+                     [](const LadderValue::Block *B) {
+                       return blockIsFree(*B);
+                     });
+}
+
+bool sameMembers(const std::vector<const LadderValue::Block *> &A,
+                 const std::vector<const LadderValue::Block *> &B) {
+  if (A.size() != B.size())
+    return false;
+  for (size_t I = 0; I != A.size(); ++I)
+    if (!blockEquals(*A[I], *B[I]))
+      return false;
+  return true;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Meet
+//===----------------------------------------------------------------------===//
+
+LadderValue LadderValue::meet(const Constraint &Con) const {
+  assert(Con.Expr.dim() == Dim && "dimension mismatch");
+  if (Empty)
+    return *this;
+
+  ConstraintClass Class = classifyConstraint(Con);
+  if (Class == ConstraintClass::Trivial) {
+    const Rational &B = Con.Expr.constantTerm();
+    bool Sat = Con.TheKind == Constraint::Kind::Eq ? B.isZero()
+                                                   : B.sign() >= 0;
+    return Sat ? *this : empty(Dim);
+  }
+
+  std::vector<unsigned> Support;
+  for (unsigned I = 0; I != Dim; ++I)
+    if (!Con.Expr.coeff(I).isZero())
+      Support.push_back(I);
+
+  LadderValue Out(Dim, /*Empty=*/false);
+  std::vector<const Block *> Touched;
+  for (const Block &Blk : Blocks) {
+    bool Hits = std::any_of(Blk.Vars.begin(), Blk.Vars.end(),
+                            [&](unsigned V) {
+                              return std::binary_search(
+                                  Support.begin(), Support.end(), V);
+                            });
+    if (Hits)
+      Touched.push_back(&Blk);
+    else
+      Out.Blocks.push_back(Blk);
+  }
+  assert(!Touched.empty() && "support must hit at least one block");
+
+  std::vector<unsigned> GroupVars = memberVars(Touched);
+  atomicMax(numericCounters().MaxPackWidth,
+            static_cast<unsigned>(GroupVars.size()));
+
+  Rung Prior = Rung::Box;
+  for (const Block *B : Touched)
+    Prior = std::max(Prior, B->R);
+  // Merging several blocks (or several variables of one block's group)
+  // forces at least the zone representation even for a bound constraint.
+  Rung Current = Prior;
+  if (Touched.size() > 1 || GroupVars.size() > 1)
+    Current = std::max(Current, Rung::Zone);
+  Rung Needed = Class == ConstraintClass::Bound      ? Rung::Box
+                : Class == ConstraintClass::Difference ? Rung::Zone
+                                                       : Rung::Poly;
+  Rung Target = std::max(Current, Needed);
+  // An escalation is any climb above the rung the touched blocks already
+  // sat at — including the box → zone promotion a pack merge implies.
+  if (Target > Prior)
+    numericCounters().LadderEscalations.fetch_add(1,
+                                                  std::memory_order_relaxed);
+
+  Constraint Local = reindexConstraint(Con, iota(Dim), GroupVars);
+  if (Target == Rung::Box) {
+    assert(Touched.size() == 1 && GroupVars.size() == 1);
+    Intervals Met = Touched.front()->Box.meet(Local);
+    if (Met.isEmpty())
+      return empty(Dim);
+    Block B;
+    B.Vars = GroupVars;
+    B.R = Rung::Box;
+    B.Box = std::move(Met);
+    Out.Blocks.push_back(std::move(B));
+  } else if (Target == Rung::Zone) {
+    std::vector<Constraint> Cons;
+    for (const Block *B : Touched)
+      for (const Constraint &C : blockConstraints(*B))
+        Cons.push_back(reindexConstraint(C, B->Vars, GroupVars));
+    Cons.push_back(Local);
+    Zones Met = Zones::fromConstraints(
+        static_cast<unsigned>(GroupVars.size()), Cons);
+    if (Met.isEmpty())
+      return empty(Dim);
+    appendFromZone(Out.Blocks, GroupVars, Met);
+  } else {
+    std::vector<Constraint> Cons;
+    for (const Block *B : Touched)
+      for (const Constraint &C : blockConstraints(*B))
+        Cons.push_back(reindexConstraint(C, B->Vars, GroupVars));
+    Cons.push_back(Local);
+    Polyhedron Met = Polyhedron::fromConstraints(
+        static_cast<unsigned>(GroupVars.size()), Cons);
+    if (Met.isEmpty())
+      return empty(Dim);
+    appendFromPoly(Out.Blocks, GroupVars, Met);
+  }
+  Out.sortBlocks();
+  return Out;
+}
+
+LadderValue LadderValue::meet(const LadderValue &Other) const {
+  assert(Dim == Other.Dim && "dimension mismatch");
+  if (Empty || Other.Empty)
+    return empty(Dim);
+  if (isUniverse())
+    return Other;
+  if (Other.isUniverse())
+    return *this;
+
+  std::vector<unsigned> GroupOf = alignGroups(*this, Other);
+  std::vector<unsigned> Groups;
+  for (unsigned I = 0; I != Dim; ++I)
+    if (GroupOf[I] == I)
+      Groups.push_back(I);
+
+  LadderValue Out(Dim, /*Empty=*/false);
+  for (unsigned G : Groups) {
+    std::vector<const Block *> A = groupMembers(GroupOf, G);
+    std::vector<const Block *> B = Other.groupMembers(GroupOf, G);
+    if (allFreeMembers(B) || sameMembers(A, B)) {
+      for (const Block *Blk : A)
+        Out.Blocks.push_back(*Blk);
+      continue;
+    }
+    if (allFreeMembers(A)) {
+      for (const Block *Blk : B)
+        Out.Blocks.push_back(*Blk);
+      continue;
+    }
+    std::vector<unsigned> GroupVars = memberVars(A);
+    atomicMax(numericCounters().MaxPackWidth,
+              static_cast<unsigned>(GroupVars.size()));
+    std::vector<Constraint> Cons;
+    for (const std::vector<const Block *> *Side : {&A, &B})
+      for (const Block *Blk : *Side)
+        for (const Constraint &C : blockConstraints(*Blk))
+          Cons.push_back(reindexConstraint(C, Blk->Vars, GroupVars));
+    if (!anyPolyMember(A) && !anyPolyMember(B)) {
+      Zones Met = Zones::fromConstraints(
+          static_cast<unsigned>(GroupVars.size()), Cons);
+      if (Met.isEmpty())
+        return empty(Dim);
+      appendFromZone(Out.Blocks, GroupVars, Met);
+    } else {
+      Polyhedron Met = Polyhedron::fromConstraints(
+          static_cast<unsigned>(GroupVars.size()), Cons);
+      if (Met.isEmpty())
+        return empty(Dim);
+      appendFromPoly(Out.Blocks, GroupVars, Met);
+    }
+  }
+  Out.sortBlocks();
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Join and widening
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// The product of the members as one polyhedron over their sorted
+/// variable union (members carry disjoint variable packs).
+Polyhedron mergedPoly(const std::vector<const LadderValue::Block *> &Members,
+                      const std::vector<unsigned> &GroupVars,
+                      Polyhedron (*ToPoly)(const LadderValue::Block &)) {
+  std::vector<const LadderValue::Block *> Ordered = Members;
+  std::sort(Ordered.begin(), Ordered.end(),
+            [](const LadderValue::Block *A, const LadderValue::Block *B) {
+              return A->Vars.front() < B->Vars.front();
+            });
+  Polyhedron Acc = ToPoly(*Ordered.front());
+  std::vector<unsigned> ConcatVars = Ordered.front()->Vars;
+  for (size_t I = 1; I != Ordered.size(); ++I) {
+    Acc = Polyhedron::product(Acc, ToPoly(*Ordered[I]));
+    ConcatVars.insert(ConcatVars.end(), Ordered[I]->Vars.begin(),
+                      Ordered[I]->Vars.end());
+  }
+  // Interleave the concatenated variables into sorted group order.
+  std::vector<unsigned> NewIndex(ConcatVars.size());
+  bool Identity = true;
+  for (size_t I = 0; I != ConcatVars.size(); ++I) {
+    auto It = std::lower_bound(GroupVars.begin(), GroupVars.end(),
+                               ConcatVars[I]);
+    NewIndex[I] = static_cast<unsigned>(It - GroupVars.begin());
+    Identity &= NewIndex[I] == I;
+  }
+  return Identity ? Acc : Acc.permute(NewIndex);
+}
+
+} // namespace
+
+LadderValue LadderValue::join(const LadderValue &Other) const {
+  assert(Dim == Other.Dim && "dimension mismatch");
+  if (Empty)
+    return Other;
+  if (Other.Empty)
+    return *this;
+
+  std::vector<unsigned> GroupOf = alignGroups(*this, Other);
+  std::vector<unsigned> Groups;
+  for (unsigned I = 0; I != Dim; ++I)
+    if (GroupOf[I] == I)
+      Groups.push_back(I);
+
+  // Partition the groups into those where both sides hold the same set
+  // (they factor out of the hull) and the rest (which must be hulled
+  // jointly — per-group hulls of differing factors over-approximate).
+  struct OpenGroup {
+    std::vector<const Block *> A, B;
+    bool AContainsB = false, BContainsA = false;
+  };
+  std::vector<const Block *> EqualBlocks;
+  std::vector<OpenGroup> Open;
+  for (unsigned G : Groups) {
+    OpenGroup OG{groupMembers(GroupOf, G), Other.groupMembers(GroupOf, G),
+                 false, false};
+    if (sameMembers(OG.A, OG.B)) {
+      EqualBlocks.insert(EqualBlocks.end(), OG.A.begin(), OG.A.end());
+      continue;
+    }
+    std::vector<unsigned> GroupVars = memberVars(OG.A);
+    if (!anyPolyMember(OG.A) && !anyPolyMember(OG.B)) {
+      std::vector<Constraint> ACons, BCons;
+      for (const Block *Blk : OG.A)
+        for (const Constraint &C : blockConstraints(*Blk))
+          ACons.push_back(reindexConstraint(C, Blk->Vars, GroupVars));
+      for (const Block *Blk : OG.B)
+        for (const Constraint &C : blockConstraints(*Blk))
+          BCons.push_back(reindexConstraint(C, Blk->Vars, GroupVars));
+      unsigned GD = static_cast<unsigned>(GroupVars.size());
+      Zones ZA = Zones::fromConstraints(GD, ACons);
+      Zones ZB = Zones::fromConstraints(GD, BCons);
+      OG.AContainsB = ZA.contains(ZB);
+      OG.BContainsA = ZB.contains(ZA);
+    } else {
+      Polyhedron PA = mergedPoly(OG.A, GroupVars, &blockToPoly);
+      Polyhedron PB = mergedPoly(OG.B, GroupVars, &blockToPoly);
+      OG.AContainsB = PA.contains(PB);
+      OG.BContainsA = PB.contains(PA);
+    }
+    Open.push_back(std::move(OG));
+  }
+
+  if (Open.empty())
+    return *this;
+  if (std::all_of(Open.begin(), Open.end(),
+                  [](const OpenGroup &G) { return G.AContainsB; }))
+    return *this;
+  if (std::all_of(Open.begin(), Open.end(),
+                  [](const OpenGroup &G) { return G.BContainsA; }))
+    return Other;
+
+  // Joint hull of every open group at the polyhedra rung.
+  std::vector<const Block *> AllA, AllB;
+  bool Escalated = false;
+  for (const OpenGroup &G : Open) {
+    AllA.insert(AllA.end(), G.A.begin(), G.A.end());
+    AllB.insert(AllB.end(), G.B.begin(), G.B.end());
+    Escalated |= !anyPolyMember(G.A) || !anyPolyMember(G.B);
+  }
+  std::vector<unsigned> SuperVars = memberVars(AllA);
+  atomicMax(numericCounters().MaxPackWidth,
+            static_cast<unsigned>(SuperVars.size()));
+  if (Escalated)
+    numericCounters().LadderEscalations.fetch_add(1,
+                                                  std::memory_order_relaxed);
+  Polyhedron Hull = mergedPoly(AllA, SuperVars, &blockToPoly)
+                        .join(mergedPoly(AllB, SuperVars, &blockToPoly));
+
+  LadderValue Out(Dim, /*Empty=*/false);
+  for (const Block *Blk : EqualBlocks)
+    Out.Blocks.push_back(*Blk);
+  appendFromPoly(Out.Blocks, SuperVars, Hull);
+  Out.sortBlocks();
+  return Out;
+}
+
+LadderValue LadderValue::widen(const LadderValue &Other) const {
+  assert(Dim == Other.Dim && "dimension mismatch");
+  if (Empty)
+    return Other;
+  if (Other.Empty)
+    return *this; // Degenerate; widening assumes this ⊑ other.
+
+  std::vector<unsigned> GroupOf = alignGroups(*this, Other);
+  LadderValue Out(Dim, /*Empty=*/false);
+  for (unsigned G = 0; G != Dim; ++G) {
+    if (GroupOf[G] != G)
+      continue;
+    std::vector<const Block *> A = groupMembers(GroupOf, G);
+    std::vector<const Block *> B = Other.groupMembers(GroupOf, G);
+    if (sameMembers(A, B)) {
+      for (const Block *Blk : A)
+        Out.Blocks.push_back(*Blk);
+      continue;
+    }
+    // The CH78 widening factors exactly over independent groups: a kept
+    // constraint has group-local support, and it survives iff the new
+    // value's restriction to the group satisfies it.
+    std::vector<unsigned> GroupVars = memberVars(A);
+    atomicMax(numericCounters().MaxPackWidth,
+              static_cast<unsigned>(GroupVars.size()));
+    if (!anyPolyMember(A) || !anyPolyMember(B))
+      numericCounters().LadderEscalations.fetch_add(
+          1, std::memory_order_relaxed);
+    Polyhedron Wide = mergedPoly(A, GroupVars, &blockToPoly)
+                          .widen(mergedPoly(B, GroupVars, &blockToPoly));
+    assert(!Wide.isEmpty() && "widening of nonempty iterates is nonempty");
+    appendFromPoly(Out.Blocks, GroupVars, Wide);
+  }
+  Out.sortBlocks();
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Dimension surgery
+//===----------------------------------------------------------------------===//
+
+LadderValue
+LadderValue::project(const std::vector<unsigned> &DimsToForget) const {
+  if (Empty || DimsToForget.empty())
+    return *this;
+  std::vector<bool> Forget(Dim, false);
+  for (unsigned D : DimsToForget) {
+    assert(D < Dim && "projected dimension out of range");
+    Forget[D] = true;
+  }
+  LadderValue Out(Dim, /*Empty=*/false);
+  for (const Block &Blk : Blocks) {
+    std::vector<unsigned> Local;
+    for (unsigned I = 0; I != Blk.Vars.size(); ++I)
+      if (Forget[Blk.Vars[I]])
+        Local.push_back(I);
+    if (Local.empty()) {
+      Out.Blocks.push_back(Blk);
+      continue;
+    }
+    switch (Blk.R) {
+    case Rung::Box:
+      Out.Blocks.push_back(freeBlock(Blk.Vars.front()));
+      break;
+    case Rung::Zone:
+      appendFromZone(Out.Blocks, Blk.Vars, Blk.Zn.project(Local));
+      break;
+    case Rung::Poly:
+      appendFromPoly(Out.Blocks, Blk.Vars, Blk.Py.project(Local));
+      break;
+    }
+  }
+  Out.sortBlocks();
+  return Out;
+}
+
+LadderValue LadderValue::extend(unsigned Count) const {
+  LadderValue Out(Dim + Count, Empty);
+  if (Empty)
+    return Out;
+  Out.Blocks = Blocks;
+  for (unsigned I = 0; I != Count; ++I)
+    Out.Blocks.push_back(freeBlock(Dim + I));
+  return Out;
+}
+
+LadderValue LadderValue::dropTrailing(unsigned Count) const {
+  assert(Count <= Dim && "dropping more dimensions than available");
+  if (Count == 0)
+    return *this;
+  if (Empty)
+    return empty(Dim - Count);
+  unsigned Cut = Dim - Count;
+  std::vector<unsigned> Trailing;
+  for (unsigned I = Cut; I != Dim; ++I)
+    Trailing.push_back(I);
+  LadderValue Projected = project(Trailing);
+  LadderValue Out(Cut, /*Empty=*/false);
+  for (Block &Blk : Projected.Blocks)
+    if (Blk.Vars.front() < Cut)
+      Out.Blocks.push_back(std::move(Blk));
+  return Out;
+}
+
+LadderValue
+LadderValue::permute(const std::vector<unsigned> &NewIndex) const {
+  assert(NewIndex.size() == Dim && "permutation size mismatch");
+  if (Empty)
+    return *this;
+  LadderValue Out(Dim, /*Empty=*/false);
+  Out.Blocks.reserve(Blocks.size());
+  for (const Block &Blk : Blocks) {
+    unsigned N = static_cast<unsigned>(Blk.Vars.size());
+    std::vector<unsigned> NewVars(N);
+    for (unsigned I = 0; I != N; ++I)
+      NewVars[I] = NewIndex[Blk.Vars[I]];
+    std::vector<unsigned> Sorted = NewVars;
+    std::sort(Sorted.begin(), Sorted.end());
+    std::vector<unsigned> LocalPerm(N);
+    bool Identity = true;
+    for (unsigned I = 0; I != N; ++I) {
+      auto It = std::lower_bound(Sorted.begin(), Sorted.end(), NewVars[I]);
+      LocalPerm[I] = static_cast<unsigned>(It - Sorted.begin());
+      Identity &= LocalPerm[I] == I;
+    }
+    Block Moved;
+    Moved.Vars = std::move(Sorted);
+    Moved.R = Blk.R;
+    switch (Blk.R) {
+    case Rung::Box:
+      Moved.Box = Blk.Box;
+      break;
+    case Rung::Zone:
+      Moved.Zn = Identity ? Blk.Zn : Blk.Zn.permute(LocalPerm);
+      break;
+    case Rung::Poly:
+      Moved.Py = Identity ? Blk.Py : Blk.Py.permute(LocalPerm);
+      break;
+    }
+    Out.Blocks.push_back(std::move(Moved));
+  }
+  Out.sortBlocks();
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Comparisons
+//===----------------------------------------------------------------------===//
+
+bool LadderValue::contains(const LadderValue &Other) const {
+  assert(Dim == Other.Dim && "dimension mismatch");
+  if (Other.Empty)
+    return true;
+  if (Empty)
+    return false;
+  std::vector<unsigned> GroupOf = alignGroups(*this, Other);
+  for (unsigned G = 0; G != Dim; ++G) {
+    if (GroupOf[G] != G)
+      continue;
+    std::vector<const Block *> A = groupMembers(GroupOf, G);
+    if (allFreeMembers(A))
+      continue;
+    std::vector<const Block *> B = Other.groupMembers(GroupOf, G);
+    if (sameMembers(A, B))
+      continue;
+    std::vector<unsigned> GroupVars = memberVars(A);
+    if (!mergedPoly(A, GroupVars, &blockToPoly)
+             .contains(mergedPoly(B, GroupVars, &blockToPoly)))
+      return false;
+  }
+  return true;
+}
+
+bool LadderValue::containsApprox(const LadderValue &Other,
+                                 double Eps) const {
+  assert(Dim == Other.Dim && "dimension mismatch");
+  if (Other.Empty)
+    return true;
+  if (Empty)
+    return false;
+  std::vector<unsigned> GroupOf = alignGroups(*this, Other);
+  for (unsigned G = 0; G != Dim; ++G) {
+    if (GroupOf[G] != G)
+      continue;
+    std::vector<const Block *> A = groupMembers(GroupOf, G);
+    if (allFreeMembers(A))
+      continue;
+    std::vector<const Block *> B = Other.groupMembers(GroupOf, G);
+    if (sameMembers(A, B))
+      continue;
+    std::vector<unsigned> GroupVars = memberVars(A);
+    if (!mergedPoly(A, GroupVars, &blockToPoly)
+             .containsApprox(mergedPoly(B, GroupVars, &blockToPoly), Eps))
+      return false;
+  }
+  return true;
+}
+
+bool LadderValue::equals(const LadderValue &Other) const {
+  return contains(Other) && Other.contains(*this);
+}
+
+//===----------------------------------------------------------------------===//
+// Rounding, optimization, rendering
+//===----------------------------------------------------------------------===//
+
+LadderValue LadderValue::roundedCoefficients(unsigned MaxBits) const {
+  if (Empty)
+    return *this;
+  LadderValue Out(Dim, /*Empty=*/false);
+  for (const Block &Blk : Blocks) {
+    switch (Blk.R) {
+    case Rung::Box: {
+      Intervals Rounded = Blk.Box.roundedCoefficients(MaxBits);
+      if (Rounded.isEmpty())
+        return empty(Dim);
+      Block B = Blk;
+      B.Box = std::move(Rounded);
+      Out.Blocks.push_back(std::move(B));
+      break;
+    }
+    case Rung::Zone: {
+      Zones Rounded = Blk.Zn.roundedCoefficients(MaxBits);
+      if (Rounded.isEmpty())
+        return empty(Dim);
+      appendFromZone(Out.Blocks, Blk.Vars, Rounded);
+      break;
+    }
+    case Rung::Poly: {
+      Polyhedron Rounded = Blk.Py.roundedCoefficients(MaxBits);
+      if (Rounded.isEmpty())
+        return empty(Dim);
+      appendFromPoly(Out.Blocks, Blk.Vars, Rounded);
+      break;
+    }
+    }
+  }
+  Out.sortBlocks();
+  return Out;
+}
+
+std::optional<Rational> LadderValue::maximize(const LinearExpr &Expr) const {
+  assert(!Empty && "maximize over the empty value");
+  assert(Expr.dim() == Dim && "expression dimension mismatch");
+  Rational Total = Expr.constantTerm();
+  for (const Block &Blk : Blocks) {
+    LinearExpr Local(static_cast<unsigned>(Blk.Vars.size()));
+    bool Nonzero = false;
+    for (unsigned I = 0; I != Blk.Vars.size(); ++I) {
+      Local.coeff(I) = Expr.coeff(Blk.Vars[I]);
+      Nonzero |= !Local.coeff(I).isZero();
+    }
+    if (!Nonzero)
+      continue;
+    std::optional<Rational> Best;
+    switch (Blk.R) {
+    case Rung::Box:
+      Best = Blk.Box.maximize(Local);
+      break;
+    case Rung::Zone:
+      Best = Blk.Zn.maximize(Local);
+      break;
+    case Rung::Poly:
+      Best = Blk.Py.maximize(Local);
+      break;
+    }
+    if (!Best)
+      return std::nullopt;
+    Total += *Best;
+  }
+  return Total;
+}
+
+std::optional<Rational> LadderValue::minimize(const LinearExpr &Expr) const {
+  std::optional<Rational> NegMax = maximize(-Expr);
+  if (!NegMax)
+    return std::nullopt;
+  return -*NegMax;
+}
+
+std::vector<Constraint> LadderValue::constraintList() const {
+  std::vector<Constraint> Result;
+  if (Empty)
+    return Result;
+  std::vector<unsigned> Global = iota(Dim);
+  for (const Block &Blk : Blocks) {
+    std::vector<Constraint> Local = Blk.R == Rung::Zone
+                                        ? Blk.Zn.constraintList()
+                                        : blockConstraints(Blk);
+    for (const Constraint &Con : Local)
+      Result.push_back(reindexConstraint(Con, Blk.Vars, Global));
+  }
+  return Result;
+}
+
+std::string
+LadderValue::toString(const std::vector<std::string> &Names) const {
+  return renderConstraints(constraintList(), Names, Empty);
+}
+
+std::vector<std::pair<unsigned, LadderValue::Rung>>
+LadderValue::blockProfile() const {
+  std::vector<std::pair<unsigned, Rung>> Profile;
+  for (const Block &Blk : Blocks)
+    Profile.emplace_back(static_cast<unsigned>(Blk.Vars.size()), Blk.R);
+  return Profile;
+}
+
+Polyhedron LadderValue::toPolyhedron() const {
+  if (Empty)
+    return Polyhedron::empty(Dim);
+  if (Blocks.empty())
+    return Polyhedron::universe(0);
+  std::vector<const Block *> All;
+  for (const Block &Blk : Blocks)
+    All.push_back(&Blk);
+  return mergedPoly(All, iota(Dim), &blockToPoly);
+}

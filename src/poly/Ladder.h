@@ -1,0 +1,157 @@
+//===- poly/Ladder.h - The escalating, variable-packed backend --*- C++ -*-===//
+//
+// Part of the PMAF reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The ladder backend of the numeric-domain layer, and the default under
+/// `--numeric=ladder`. A LadderValue represents a convex set as a product
+/// of *blocks* over disjoint variable packs — the connected components of
+/// the constraint dependency graph — with each block held at the cheapest
+/// rung (intervals → zones → polyhedra) that represents it **exactly**:
+///
+///   * Variable packing: operations run per block, so Chernikova
+///     conversions happen in block dimension instead of the full
+///     2n-dimensional two-vocabulary space. Blocks merge only when a
+///     constraint or operation genuinely couples them, and every result
+///     is re-split into independent packs (compression).
+///
+///   * Lazy escalation: a block climbs a rung only on fragment escape —
+///     a single-variable bound fits any rung, a difference constraint
+///     needs at least zones, anything else needs polyhedra. Joins and
+///     widenings of unequal blocks run at the polyhedra rung (the zone
+///     join is not the convex hull, and the CH78 widening is
+///     representation-dependent), then compress back down.
+///
+/// Every operation is *exact* — a LadderValue denotes precisely the same
+/// set a Polyhedron would — which is what lets `--numeric=ladder`
+/// reproduce the poly-mode LEIA invariants while doing geometrically
+/// smaller conversions. Escalations and pack widths are counted through
+/// poly::numericCounters().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PMAF_POLY_LADDER_H
+#define PMAF_POLY_LADDER_H
+
+#include "poly/Intervals.h"
+#include "poly/NumericDomain.h"
+#include "poly/Polyhedron.h"
+#include "poly/Zones.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pmaf {
+namespace poly {
+
+/// A convex set held as a product of independently-represented blocks.
+class LadderValue {
+public:
+  /// The rungs of the ladder, cheapest first.
+  enum class Rung { Box, Zone, Poly };
+
+  /// The universe of dimension 0 (value-type default).
+  LadderValue() = default;
+
+  static LadderValue universe(unsigned Dim);
+  static LadderValue empty(unsigned Dim);
+  static LadderValue fromConstraints(unsigned Dim,
+                                     const std::vector<Constraint> &Cons);
+
+  unsigned dim() const { return Dim; }
+  bool isEmpty() const { return Empty; }
+  bool isUniverse() const;
+
+  LadderValue meet(const LadderValue &Other) const;
+  LadderValue meet(const Constraint &Con) const;
+  LadderValue join(const LadderValue &Other) const;
+  LadderValue project(const std::vector<unsigned> &DimsToForget) const;
+  LadderValue extend(unsigned Count) const;
+  LadderValue dropTrailing(unsigned Count) const;
+  LadderValue permute(const std::vector<unsigned> &NewIndex) const;
+
+  bool contains(const LadderValue &Other) const;
+  bool containsApprox(const LadderValue &Other, double Eps) const;
+  bool equals(const LadderValue &Other) const;
+
+  /// CH78 widening, computed per aligned variable group (the widening
+  /// factors exactly over independent groups); unequal groups widen at
+  /// the polyhedra rung and compress back down.
+  LadderValue widen(const LadderValue &Other) const;
+
+  LadderValue roundedCoefficients(unsigned MaxBits = 40) const;
+
+  std::optional<Rational> maximize(const LinearExpr &Expr) const;
+  std::optional<Rational> minimize(const LinearExpr &Expr) const;
+
+  std::vector<Constraint> constraintList() const;
+  std::string toString(const std::vector<std::string> &Names = {}) const;
+
+  /// Introspection for tests and stats: the current pack partition sizes
+  /// and rungs, ordered by first variable. Empty for the empty value.
+  std::vector<std::pair<unsigned, Rung>> blockProfile() const;
+
+  /// The exact polyhedron this value denotes (product of all blocks).
+  Polyhedron toPolyhedron() const;
+
+  /// One variable pack and its representation at the current rung. The
+  /// value lives in block-local dimensions 0..Vars.size()-1, mapped to
+  /// the global dimensions in Vars (ascending). Public for the
+  /// implementation's free helpers; not part of the client interface.
+  struct Block {
+    std::vector<unsigned> Vars;
+    Rung R = Rung::Box;
+    Intervals Box;               ///< Valid iff R == Box (always 1 var).
+    Zones Zn;                    ///< Valid iff R == Zone.
+    Polyhedron Py = Polyhedron::empty(0); ///< Valid iff R == Poly.
+  };
+
+private:
+  unsigned Dim = 0;
+  bool Empty = false;
+  /// Partition of 0..Dim-1, ordered by Vars.front(); each block is
+  /// nonempty and canonical: boxes are single variables, zones and
+  /// polyhedra do not factor further and sit at their lowest exact rung.
+  std::vector<Block> Blocks;
+
+  LadderValue(unsigned Dim, bool Empty) : Dim(Dim), Empty(Empty) {}
+
+  static Block freeBlock(unsigned Var);
+  static Polyhedron blockToPoly(const Block &B);
+  static std::vector<Constraint> blockConstraints(const Block &B);
+
+  /// Appends the canonical (split + demoted) blocks representing the
+  /// nonempty polyhedron \p P over global variables \p Vars.
+  static void appendFromPoly(std::vector<Block> &Out,
+                             const std::vector<unsigned> &Vars,
+                             const Polyhedron &P);
+
+  /// Appends the canonical blocks representing the nonempty zone \p Z.
+  static void appendFromZone(std::vector<Block> &Out,
+                             const std::vector<unsigned> &Vars,
+                             const Zones &Z);
+
+  /// Union-find alignment of two partitions: \returns a group id per
+  /// global dimension such that every block of either value lies inside
+  /// one group.
+  static std::vector<unsigned> alignGroups(const LadderValue &A,
+                                           const LadderValue &B);
+
+  /// The blocks of *this lying inside group \p Group (by representative
+  /// dimension ids from alignGroups).
+  std::vector<const Block *>
+  groupMembers(const std::vector<unsigned> &GroupOf, unsigned Group) const;
+
+  void sortBlocks();
+};
+
+static_assert(NumericDomain<LadderValue>,
+              "LadderValue must model the numeric-backend interface");
+
+} // namespace poly
+} // namespace pmaf
+
+#endif // PMAF_POLY_LADDER_H

@@ -1,0 +1,60 @@
+//===- poly/NumericDomain.cpp - Shared numeric-backend pieces -------------===//
+
+#include "poly/NumericDomain.h"
+
+#include "poly/Polyhedron.h"
+
+using namespace pmaf;
+using namespace pmaf::poly;
+
+Rational poly::roundedBoundValue(const Rational &V, unsigned MaxBits) {
+  // The polyhedra row for `x <= p/q` is (p, -q); rounding only looks at
+  // magnitudes, so the same helper serves both bound orientations and
+  // difference entries (whose rows repeat q on a second column).
+  ConeRow Row;
+  Row.Coeffs = {V.numerator(), V.denominator().negated()};
+  if (!roundConstraintRow(Row, MaxBits))
+    return V;
+  // Row is c0 + c1 x >= 0 with the bound at x = -c0/c1.
+  return Rational(Row.Coeffs[0].negated(), Row.Coeffs[1]);
+}
+
+ConstraintClass poly::classifyConstraint(const Constraint &Con) {
+  unsigned First = 0, Second = 0, NonZero = 0;
+  for (unsigned I = 0; I != Con.Expr.dim(); ++I) {
+    if (Con.Expr.coeff(I).isZero())
+      continue;
+    if (NonZero == 0)
+      First = I;
+    else if (NonZero == 1)
+      Second = I;
+    ++NonZero;
+    if (NonZero > 2)
+      return ConstraintClass::General;
+  }
+  if (NonZero == 0)
+    return ConstraintClass::Trivial;
+  if (NonZero == 1)
+    return ConstraintClass::Bound;
+  if (Con.Expr.coeff(First) == -Con.Expr.coeff(Second))
+    return ConstraintClass::Difference;
+  return ConstraintClass::General;
+}
+
+std::string poly::renderConstraints(const std::vector<Constraint> &Cons,
+                                    const std::vector<std::string> &Names,
+                                    bool Empty) {
+  if (Empty)
+    return "{false}";
+  if (Cons.empty())
+    return "{true}";
+  std::string Out = "{";
+  bool First = true;
+  for (const Constraint &Con : Cons) {
+    if (!First)
+      Out += ", ";
+    First = false;
+    Out += Con.toString(Names);
+  }
+  return Out + "}";
+}

@@ -4,6 +4,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
+#include <unordered_map>
 
 using namespace pmaf;
 using namespace pmaf::poly;
@@ -65,11 +67,73 @@ void sortAndDedup(std::vector<ConeRow> &Rows) {
 } // namespace
 
 //===----------------------------------------------------------------------===//
+// Numeric-layer counters and the conversion memo cache
+//===----------------------------------------------------------------------===//
+
+NumericCounters &poly::numericCounters() {
+  static NumericCounters Counters;
+  return Counters;
+}
+
+void poly::resetNumericPeaks() {
+  numericCounters().PeakGeneratorRows.store(0, std::memory_order_relaxed);
+  numericCounters().MaxPackWidth.store(0, std::memory_order_relaxed);
+}
+
+namespace {
+
+size_t hashBigInt(const BigInt &Value) {
+  if (Value.fitsInt64())
+    return std::hash<int64_t>{}(Value.toInt64());
+  double Approx = Value.toDouble();
+  uint64_t Bits;
+  std::memcpy(&Bits, &Approx, sizeof(Bits));
+  return std::hash<uint64_t>{}(Bits ^ (uint64_t(Value.bitLength()) << 1));
+}
+
+/// Key of one constraint⇄generator conversion: the canonicalized
+/// (normalized, sorted, deduplicated) input rows. Equality is exact; the
+/// hash only has to be good, not perfect.
+struct ConvKey {
+  bool FromGenerators = false;
+  unsigned Dim = 0;
+  std::vector<ConeRow> Rows;
+
+  bool operator==(const ConvKey &Other) const {
+    return FromGenerators == Other.FromGenerators && Dim == Other.Dim &&
+           Rows == Other.Rows;
+  }
+};
+
+struct ConvKeyHash {
+  size_t operator()(const ConvKey &Key) const {
+    size_t H = Key.Dim * 2 + (Key.FromGenerators ? 1 : 0);
+    for (const ConeRow &Row : Key.Rows) {
+      H = H * 1099511628211ull + (Row.IsLinearity ? 7 : 3);
+      for (const BigInt &C : Row.Coeffs)
+        H = H * 1099511628211ull + hashBigInt(C);
+    }
+    return H;
+  }
+};
+
+/// Memoizes whole representation conversions. Thread-local so parallel
+/// solves need no locking (workers build private caches); bounded by a
+/// wholesale clear so a long random-program run cannot grow it without
+/// limit. Canonicalizing an unchanged system — e.g. after a no-op meet —
+/// is a hash lookup instead of a Chernikova run.
+constexpr size_t ConversionCacheCap = 4096;
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
 // Dualization (Chernikova's algorithm)
 //===----------------------------------------------------------------------===//
 
 std::vector<ConeRow> poly::dualize(const std::vector<ConeRow> &Input,
                                    unsigned Cols) {
+  numericCounters().MinimizationCalls.fetch_add(1, std::memory_order_relaxed);
+  unsigned PeakRows = 0;
   // Process linearities first: each consumes a line cheaply and keeps the
   // intermediate generator systems small.
   std::vector<const ConeRow *> Ordered;
@@ -200,10 +264,13 @@ std::vector<ConeRow> poly::dualize(const std::vector<ConeRow> &Input,
       }
     Gens = std::move(Next);
     sortAndDedup(Gens);
+    PeakRows = std::max(PeakRows, static_cast<unsigned>(Gens.size()));
     Processed.push_back(Con);
   }
 
   sortAndDedup(Gens);
+  PeakRows = std::max(PeakRows, static_cast<unsigned>(Gens.size()));
+  atomicMax(numericCounters().PeakGeneratorRows, PeakRows);
   return Gens;
 }
 
@@ -244,25 +311,38 @@ Polyhedron Polyhedron::fromConstraintRows(unsigned Dim,
   Rows.push_back(positivityRow(Dim));
   sortAndDedup(Rows);
 
+  thread_local std::unordered_map<ConvKey, Polyhedron, ConvKeyHash> Cache;
+  ConvKey Key{/*FromGenerators=*/false, Dim, std::move(Rows)};
+  if (auto It = Cache.find(Key); It != Cache.end()) {
+    numericCounters().ConversionCacheHits.fetch_add(
+        1, std::memory_order_relaxed);
+    return It->second;
+  }
+  numericCounters().ConversionCacheMisses.fetch_add(
+      1, std::memory_order_relaxed);
+
   Polyhedron P;
   P.Dim = Dim;
-  P.Gens = dualize(Rows, Dim + 1);
+  P.Gens = dualize(Key.Rows, Dim + 1);
   P.Empty = std::none_of(P.Gens.begin(), P.Gens.end(),
                          [](const ConeRow &G) {
                            return !G.IsLinearity && G.Coeffs[0].sign() > 0;
                          });
   if (P.Empty) {
     P.Gens.clear();
-    return P;
+  } else {
+    P.Cons = dualize(P.Gens, Dim + 1);
+    P.Cons.erase(std::remove_if(P.Cons.begin(), P.Cons.end(),
+                                isTrivialConstraint),
+                 P.Cons.end());
+    // Re-minimize the generator side against the minimal constraints.
+    std::vector<ConeRow> MinimalCons = P.Cons;
+    MinimalCons.push_back(positivityRow(Dim));
+    P.Gens = dualize(MinimalCons, Dim + 1);
   }
-  P.Cons = dualize(P.Gens, Dim + 1);
-  P.Cons.erase(std::remove_if(P.Cons.begin(), P.Cons.end(),
-                              isTrivialConstraint),
-               P.Cons.end());
-  // Re-minimize the generator side against the minimal constraints.
-  std::vector<ConeRow> MinimalCons = P.Cons;
-  MinimalCons.push_back(positivityRow(Dim));
-  P.Gens = dualize(MinimalCons, Dim + 1);
+  if (Cache.size() >= ConversionCacheCap)
+    Cache.clear();
+  Cache.emplace(std::move(Key), P);
   return P;
 }
 
@@ -284,10 +364,26 @@ Polyhedron Polyhedron::fromGeneratorRows(unsigned Dim,
                               });
   if (!HasPoint)
     return empty(Dim);
-  std::vector<ConeRow> Cons = dualize(Rows, Dim + 1);
+  sortAndDedup(Rows);
+
+  thread_local std::unordered_map<ConvKey, Polyhedron, ConvKeyHash> Cache;
+  ConvKey Key{/*FromGenerators=*/true, Dim, std::move(Rows)};
+  if (auto It = Cache.find(Key); It != Cache.end()) {
+    numericCounters().ConversionCacheHits.fetch_add(
+        1, std::memory_order_relaxed);
+    return It->second;
+  }
+  numericCounters().ConversionCacheMisses.fetch_add(
+      1, std::memory_order_relaxed);
+
+  std::vector<ConeRow> Cons = dualize(Key.Rows, Dim + 1);
   Cons.erase(std::remove_if(Cons.begin(), Cons.end(), isTrivialConstraint),
              Cons.end());
-  return fromConstraintRows(Dim, std::move(Cons));
+  Polyhedron P = fromConstraintRows(Dim, std::move(Cons));
+  if (Cache.size() >= ConversionCacheCap)
+    Cache.clear();
+  Cache.emplace(std::move(Key), P);
+  return P;
 }
 
 Polyhedron Polyhedron::universe(unsigned Dim) {
@@ -347,6 +443,63 @@ Polyhedron Polyhedron::point(const std::vector<Rational> &Coords) {
     Row.Coeffs[I + 1] =
         Coords[I].numerator() * Lcm.divExact(Coords[I].denominator());
   return fromGeneratorRows(Dim, {std::move(Row)});
+}
+
+Polyhedron Polyhedron::product(const Polyhedron &A, const Polyhedron &B) {
+  unsigned Dim = A.Dim + B.Dim;
+  if (A.Empty || B.Empty)
+    return empty(Dim);
+  Polyhedron P;
+  P.Dim = Dim;
+  P.Empty = false;
+
+  // Rows of either factor embed at their factor's column offset; the
+  // constant / homogeneous column is shared.
+  auto Embed = [&](const ConeRow &Row, unsigned Base) {
+    ConeRow Out;
+    Out.IsLinearity = Row.IsLinearity;
+    Out.Coeffs.assign(Dim + 1, BigInt(0));
+    Out.Coeffs[0] = Row.Coeffs[0];
+    for (size_t I = 1; I != Row.Coeffs.size(); ++I)
+      Out.Coeffs[Base + I] = Row.Coeffs[I];
+    return Out;
+  };
+
+  // Facets of A × B are exactly the embedded facets of the factors, so
+  // the constraint side stays minimal.
+  for (const ConeRow &Row : A.Cons)
+    P.Cons.push_back(Embed(Row, 0));
+  for (const ConeRow &Row : B.Cons)
+    P.Cons.push_back(Embed(Row, A.Dim));
+
+  // Generator side: recession rays and lines embed singly; points pair up
+  // after scaling both to the common homogeneous coordinate a0·b0.
+  for (const ConeRow &G : A.Gens)
+    if (G.IsLinearity || G.Coeffs[0].isZero())
+      P.Gens.push_back(Embed(G, 0));
+  for (const ConeRow &G : B.Gens)
+    if (G.IsLinearity || G.Coeffs[0].isZero())
+      P.Gens.push_back(Embed(G, A.Dim));
+  for (const ConeRow &GA : A.Gens) {
+    if (GA.IsLinearity || GA.Coeffs[0].isZero())
+      continue;
+    for (const ConeRow &GB : B.Gens) {
+      if (GB.IsLinearity || GB.Coeffs[0].isZero())
+        continue;
+      ConeRow Out;
+      Out.Coeffs.assign(Dim + 1, BigInt(0));
+      Out.Coeffs[0] = GA.Coeffs[0] * GB.Coeffs[0];
+      for (unsigned I = 0; I != A.Dim; ++I)
+        Out.Coeffs[1 + I] = GA.Coeffs[1 + I] * GB.Coeffs[0];
+      for (unsigned I = 0; I != B.Dim; ++I)
+        Out.Coeffs[1 + A.Dim + I] = GB.Coeffs[1 + I] * GA.Coeffs[0];
+      Out.normalize();
+      P.Gens.push_back(std::move(Out));
+    }
+  }
+  sortAndDedup(P.Cons);
+  sortAndDedup(P.Gens);
+  return P;
 }
 
 //===----------------------------------------------------------------------===//
@@ -579,29 +732,32 @@ Polyhedron Polyhedron::widen(const Polyhedron &Other) const {
   return fromConstraintRows(Dim, std::move(Kept));
 }
 
+bool poly::roundConstraintRow(ConeRow &Row, unsigned MaxBits) {
+  unsigned Widest = 0;
+  for (const BigInt &C : Row.Coeffs)
+    Widest = std::max(Widest, C.bitLength());
+  if (Widest <= MaxBits)
+    return false;
+  // Rescale so the widest coefficient becomes 2^MaxBits; round the rest
+  // by shifting away the low bits (with round-to-nearest).
+  unsigned Shift = Widest - MaxBits;
+  BigInt Half = BigInt(1).shiftLeft(Shift - 1);
+  for (BigInt &C : Row.Coeffs) {
+    // shiftRight keeps the sign and shifts the magnitude, so adding
+    // sign(C) * Half first yields round-to-nearest in both directions.
+    C = (C.sign() >= 0 ? C + Half : C - Half).shiftRight(Shift);
+  }
+  Row.normalize();
+  return true;
+}
+
 Polyhedron Polyhedron::roundedCoefficients(unsigned MaxBits) const {
   if (Empty)
     return *this;
   bool AnyRounded = false;
   std::vector<ConeRow> Rows = Cons;
-  for (ConeRow &Row : Rows) {
-    unsigned Widest = 0;
-    for (const BigInt &C : Row.Coeffs)
-      Widest = std::max(Widest, C.bitLength());
-    if (Widest <= MaxBits)
-      continue;
-    AnyRounded = true;
-    // Rescale so the widest coefficient becomes 2^MaxBits; round the rest
-    // by shifting away the low bits (with round-to-nearest).
-    unsigned Shift = Widest - MaxBits;
-    BigInt Half = BigInt(1).shiftLeft(Shift - 1);
-    for (BigInt &C : Row.Coeffs) {
-      // shiftRight keeps the sign and shifts the magnitude, so adding
-      // sign(C) * Half first yields round-to-nearest in both directions.
-      C = (C.sign() >= 0 ? C + Half : C - Half).shiftRight(Shift);
-    }
-    Row.normalize();
-  }
+  for (ConeRow &Row : Rows)
+    AnyRounded |= roundConstraintRow(Row, MaxBits);
   if (!AnyRounded)
     return *this;
   return fromConstraintRows(Dim, std::move(Rows));

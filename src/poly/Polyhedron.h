@@ -33,6 +33,7 @@
 #define PMAF_POLY_POLYHEDRON_H
 
 #include "poly/LinearExpr.h"
+#include "poly/NumericDomain.h"
 #include "support/BigInt.h"
 
 #include <optional>
@@ -69,6 +70,14 @@ BigInt dotProduct(const ConeRow &A, const ConeRow &B);
 std::vector<ConeRow> dualize(const std::vector<ConeRow> &Input,
                              unsigned Cols);
 
+/// Rounds one constraint row to at most \p MaxBits bits per coefficient:
+/// rows already within budget are kept exactly, wider rows are rescaled so
+/// the widest coefficient becomes 2^MaxBits with round-to-nearest on the
+/// rest (the §6.1 finite-precision convergence device). Shared by every
+/// numeric backend so rounding behaves identically at all ladder rungs.
+/// \returns true if the row was modified.
+bool roundConstraintRow(ConeRow &Row, unsigned MaxBits);
+
 /// A closed convex polyhedron in Q^d.
 class Polyhedron {
 public:
@@ -84,6 +93,13 @@ public:
 
   /// Constructs the single rational point \p Coords.
   static Polyhedron point(const std::vector<Rational> &Coords);
+
+  /// Cartesian product A × B over dim(A) + dim(B): A's variables first,
+  /// then B's. Computed directly on both minimized representations —
+  /// constraints embed with disjoint support, generator points pair up at
+  /// a common homogeneous coordinate — so no Chernikova conversion runs.
+  /// The ladder backend uses this to merge independent variable packs.
+  static Polyhedron product(const Polyhedron &A, const Polyhedron &B);
 
   unsigned dim() const { return Dim; }
   bool isEmpty() const { return Empty; }
@@ -187,6 +203,9 @@ private:
   std::vector<ConeRow> Cons; ///< Minimized; positivity row stripped.
   std::vector<ConeRow> Gens; ///< Minimized cone generators.
 };
+
+static_assert(NumericDomain<Polyhedron>,
+              "Polyhedron must model the numeric-backend interface");
 
 } // namespace poly
 } // namespace pmaf

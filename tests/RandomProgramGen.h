@@ -339,6 +339,114 @@ randomBoolProgram(Rng &R, const BoolGenConfig &C) {
   return Prog;
 }
 
+//===----------------------------------------------------------------------===//
+// Real-valued programs (the LEIA workload)
+//===----------------------------------------------------------------------===//
+
+/// A random affine assignment / branch / loop statement over real-valued
+/// nonnegative variables — the statement fragment the LEIA domain of §5.3
+/// interprets exactly. Coefficients and constants are kept nonnegative so
+/// programs stay inside the paper's positive-variable regime.
+inline lang::Stmt::Ptr randomRealStmt(Rng &R, unsigned NumVars,
+                                      unsigned Depth) {
+  using namespace lang;
+  unsigned Kind = static_cast<unsigned>(R.below(Depth == 0 ? 6 : 10));
+  unsigned Var = static_cast<unsigned>(R.below(NumVars));
+  unsigned Other = static_cast<unsigned>(R.below(NumVars));
+  switch (Kind) {
+  case 0: // x := c
+    return Stmt::makeAssign(
+        Var, Expr::makeNumber(Rational(static_cast<int64_t>(R.below(5)))));
+  case 1: // x := y
+    return Stmt::makeAssign(Var, Expr::makeVar(Other));
+  case 2: // x := y + c
+    return Stmt::makeAssign(
+        Var, Expr::makeBinary(
+                 Expr::Kind::Add, Expr::makeVar(Other),
+                 Expr::makeNumber(
+                     Rational(static_cast<int64_t>(1 + R.below(3))))));
+  case 3: // x := q * y (a contraction, so prob loops converge)
+    return Stmt::makeAssign(
+        Var, Expr::makeBinary(Expr::Kind::Mul,
+                              Expr::makeNumber(randomProb(R)),
+                              Expr::makeVar(Other)));
+  case 4: // x := y + z
+    return Stmt::makeAssign(
+        Var, Expr::makeBinary(
+                 Expr::Kind::Add, Expr::makeVar(Other),
+                 Expr::makeVar(static_cast<unsigned>(R.below(NumVars)))));
+  case 5: { // x ~ bernoulli(p)
+    Dist D;
+    D.TheKind = Dist::Kind::Bernoulli;
+    D.Params.push_back(Expr::makeNumber(randomProb(R)));
+    return Stmt::makeSample(Var, std::move(D));
+  }
+  case 6: case 7: { // two-way branch: prob / comparison / demonic guard
+    Guard G;
+    switch (R.below(3)) {
+    case 0:
+      G.TheKind = Guard::Kind::Prob;
+      G.Prob = randomProb(R);
+      break;
+    case 1:
+      G.TheKind = Guard::Kind::Cond;
+      G.Phi = Cond::makeCmp(
+          R.below(2) == 0 ? CmpOp::Le : CmpOp::Ge, Expr::makeVar(Var),
+          Expr::makeNumber(Rational(static_cast<int64_t>(R.below(6)))));
+      break;
+    default:
+      G.TheKind = Guard::Kind::Ndet;
+      break;
+    }
+    std::vector<Stmt::Ptr> Then, Else;
+    Then.push_back(randomRealStmt(R, NumVars, Depth - 1));
+    Else.push_back(randomRealStmt(R, NumVars, Depth - 1));
+    return Stmt::makeIf(std::move(G), Stmt::makeBlock(std::move(Then)),
+                        Stmt::makeBlock(std::move(Else)));
+  }
+  case 8: { // probabilistically terminating loop (guard <= 3/4)
+    Guard G;
+    G.TheKind = Guard::Kind::Prob;
+    G.Prob = Rational(static_cast<int64_t>(R.below(4)), 4);
+    std::vector<Stmt::Ptr> Body;
+    Body.push_back(randomRealStmt(R, NumVars, Depth - 1));
+    return Stmt::makeWhile(std::move(G), Stmt::makeBlock(std::move(Body)));
+  }
+  default: { // bounded counting loop: while (x <= c) { x := x + 1; S }
+    Guard G;
+    G.TheKind = Guard::Kind::Cond;
+    G.Phi = Cond::makeCmp(
+        CmpOp::Le, Expr::makeVar(Var),
+        Expr::makeNumber(Rational(static_cast<int64_t>(1 + R.below(4)))));
+    std::vector<Stmt::Ptr> Body;
+    Body.push_back(Stmt::makeAssign(
+        Var, Expr::makeBinary(Expr::Kind::Add, Expr::makeVar(Var),
+                              Expr::makeNumber(Rational(1)))));
+    Body.push_back(randomRealStmt(R, NumVars, Depth - 1));
+    return Stmt::makeWhile(std::move(G), Stmt::makeBlock(std::move(Body)));
+  }
+  }
+}
+
+/// A random real-valued single-procedure program in the LEIA fragment:
+/// affine assignments, Bernoulli sampling, probabilistic / conditional /
+/// demonic branching, and both probabilistically-terminating and bounded
+/// counting loops (the latter exercise widening).
+inline std::unique_ptr<lang::Program>
+randomRealProgram(Rng &R, unsigned NumVars, unsigned NumStmts,
+                  unsigned Depth = 2) {
+  using namespace lang;
+  auto Prog = std::make_unique<Program>();
+  for (unsigned I = 0; I != NumVars; ++I)
+    Prog->Vars.push_back(VarInfo{"x" + std::to_string(I), true, {}});
+  std::vector<Stmt::Ptr> Stmts;
+  for (unsigned I = 0; I != NumStmts; ++I)
+    Stmts.push_back(randomRealStmt(R, NumVars, Depth));
+  Prog->Procs.push_back(
+      Procedure{"main", Stmt::makeBlock(std::move(Stmts)), {}});
+  return Prog;
+}
+
 } // namespace testgen
 } // namespace pmaf
 

@@ -6,6 +6,7 @@
 //                  [--dot] [--stats] [--werror] [--diag-format=text|json]
 //                  [--strategy=wto|round-robin|worklist|parallel-scc|
 //                              parallel-intra]
+//                  [--numeric=poly|ladder|zones|intervals]
 //                  [--widening-delay=<n>] [--max-updates=<n>] [--jobs=<n>]
 //   pmaf check <file.pp>... [--domain=leia|bi|mdp|termination]
 //                  [--decompose] [--werror] [--diag-format=text|json]
@@ -23,6 +24,12 @@
 // promotes warnings to errors. `pmaf check` runs only the lint, over any
 // number of files, and exits nonzero when any file has errors;
 // --diag-format=json renders machine-readable diagnostics.
+//
+// --numeric (LEIA only) selects the numeric backend of the domain
+// (core::NumericBackend): `poly` is the monolithic-polyhedra baseline of
+// §5.3, `ladder` (the default) the exact packed/escalating backend of
+// poly/Ladder.h, and `zones`/`intervals` are cheap sound
+// over-approximations restricted to their fragment.
 //
 // The solver knobs map onto core::SolverOptions: --strategy selects the
 // chaotic-iteration scheduler (core/Schedule.h), --widening-delay the
@@ -67,6 +74,7 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 using namespace pmaf;
@@ -117,6 +125,7 @@ int usage(const char *Argv0) {
                " [--diag-format=text|json]"
                " [--strategy=wto|round-robin|worklist|parallel-scc|"
                "parallel-intra]"
+               " [--numeric=poly|ladder|zones|intervals]"
                " [--widening-delay=<n>] [--max-updates=<n>] [--jobs=<n>]\n"
                "       %s check <file.pp>..."
                " [--domain=leia|bi|mdp|termination] [--decompose]"
@@ -132,6 +141,7 @@ struct CliSolverConfig {
   std::optional<unsigned> WideningDelay;
   std::optional<uint64_t> MaxUpdates;
   std::optional<unsigned> Jobs;
+  std::optional<NumericBackend> Numeric;
   bool Stats = false;
 
   void apply(SolverOptions &Opts) const {
@@ -143,6 +153,8 @@ struct CliSolverConfig {
       Opts.MaxUpdates = *MaxUpdates;
     if (Jobs)
       Opts.Jobs = *Jobs;
+    if (Numeric)
+      Opts.Numeric = *Numeric;
   }
 
   void printReport(const SolverInstrumentation &Counters,
@@ -151,10 +163,10 @@ struct CliSolverConfig {
     if (!Stats)
       return;
     std::printf("; strategy: %s, widening delay %u, max updates %llu, "
-                "jobs %u\n",
+                "jobs %u, numeric %s\n",
                 core::toString(Opts.Strategy), Opts.WideningDelay,
                 static_cast<unsigned long long>(Opts.MaxUpdates),
-                Opts.Jobs);
+                Opts.Jobs, core::toString(Opts.Numeric));
     std::printf("; parallel: %u workers used, %u SCCs in flight at peak\n",
                 SolveStats.JobsUsed, SolveStats.MaxParallelSccs);
     if (SolveStats.IntraBatchesRun)
@@ -312,6 +324,13 @@ int main(int argc, char **argv) {
                      Arg.substr(11).c_str());
         return usage(argv[0]);
       }
+    } else if (Arg.rfind("--numeric=", 0) == 0) {
+      Config.Numeric = parseNumericBackend(Arg.substr(10));
+      if (!Config.Numeric) {
+        std::fprintf(stderr, "error: unknown numeric backend %s\n",
+                     Arg.substr(10).c_str());
+        return usage(argv[0]);
+      }
     } else if (Arg.rfind("--widening-delay=", 0) == 0)
       Config.WideningDelay =
           static_cast<unsigned>(std::strtoul(Arg.c_str() + 17, nullptr, 10));
@@ -367,20 +386,35 @@ int main(int argc, char **argv) {
 
   SolverInstrumentation Counters;
   if (Domain == "leia") {
-    LeiaDomain Dom(*Prog);
     SolverOptions Opts;
     Config.apply(Opts);
-    auto Result = solve(Graph, Dom, Opts, &Counters);
-    for (unsigned P = 0; P != Graph.numProcs(); ++P) {
-      std::printf("%s():\n", Prog->Procs[P].Name.c_str());
-      auto Invariants =
-          Dom.describeInvariants(Result.Values[Graph.proc(P).Entry]);
-      if (Invariants.empty())
-        std::printf("  (no expectation invariants)\n");
-      for (const std::string &Inv : Invariants)
-        std::printf("  %s\n", Inv.c_str());
+    // The backend is a template parameter of the domain; dispatch the
+    // whole leia path on the runtime choice once, here.
+    auto RunLeia = [&]<typename NumV>(std::type_identity<NumV>) -> int {
+      LeiaDomainT<NumV> Dom(*Prog);
+      auto Result = solve(Graph, Dom, Opts, &Counters);
+      for (unsigned P = 0; P != Graph.numProcs(); ++P) {
+        std::printf("%s():\n", Prog->Procs[P].Name.c_str());
+        auto Invariants =
+            Dom.describeInvariants(Result.Values[Graph.proc(P).Entry]);
+        if (Invariants.empty())
+          std::printf("  (no expectation invariants)\n");
+        for (const std::string &Inv : Invariants)
+          std::printf("  %s\n", Inv.c_str());
+      }
+      return Config.finish(Counters, Opts, Result.Stats);
+    };
+    switch (Opts.Numeric) {
+    case NumericBackend::Poly:
+      return RunLeia(std::type_identity<poly::Polyhedron>{});
+    case NumericBackend::Ladder:
+      return RunLeia(std::type_identity<poly::LadderValue>{});
+    case NumericBackend::Zones:
+      return RunLeia(std::type_identity<poly::Zones>{});
+    case NumericBackend::Intervals:
+      return RunLeia(std::type_identity<poly::Intervals>{});
     }
-    return Config.finish(Counters, Opts, Result.Stats);
+    return 2;
   }
   if (Domain == "bi") {
     BoolStateSpace Space(*Prog);

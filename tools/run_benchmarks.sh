@@ -29,7 +29,16 @@ for BENCH in "${BENCHES[@]}"; do
     exit 1
   fi
   echo "== $BENCH"
-  "$BIN" --json="$TMP/$BENCH.json" --benchmark_filter='^$'
+  STATUS=0
+  "$BIN" --json="$TMP/$BENCH.json" --benchmark_filter='^$' || STATUS=$?
+  if [ "$STATUS" -ne 0 ]; then
+    echo "error: $BENCH exited with status $STATUS (see output above)" >&2
+    exit 1
+  fi
+  if [ ! -s "$TMP/$BENCH.json" ]; then
+    echo "error: $BENCH wrote no JSON to $TMP/$BENCH.json" >&2
+    exit 1
+  fi
 done
 
 python3 - "$TMP" "$OUT" "${BENCHES[@]}" <<'EOF'
