@@ -1,0 +1,8 @@
+// Every execution accumulates exactly reward 2, so the asserted lower
+// bound of 1 is true — but the MDP analysis computes an *upper* bound on
+// the greatest expected reward, which can refute `>=` yet never prove it.
+// The checker must report WARNING (assert-reward-unproved), not SAFE.
+proc main() {
+  assert_reward >= 1;
+  reward(2);
+}

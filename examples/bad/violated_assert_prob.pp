@@ -1,0 +1,9 @@
+// The assertion claims the exit distribution gives `b` at least mass 1/2,
+// but every execution from the assertion point forces b := false — the BI
+// fixpoint proves the upper bound on the mass is 0, so the checker reports
+// a provable violation (assert-prob-violated) from every pre-state.
+bool b;
+proc main() {
+  assert_prob(b) >= 1/2;
+  b := false;
+}

@@ -288,6 +288,18 @@ private:
                 "reward statement has no effect under the " +
                     std::string(domainName(Opts.Domain)) + " domain");
       return;
+    case Stmt::Kind::Assert:
+      switch (S.assertKind()) {
+      case AssertKind::Prob:
+        checkCond(S.assertCond());
+        break;
+      case AssertKind::Reward:
+        break;
+      case AssertKind::Interval:
+        requireReal(S.assertTarget(), "an interval assertion");
+        break;
+      }
+      return;
     case Stmt::Kind::Block: {
       const std::vector<Stmt::Ptr> &Stmts = S.stmts();
       bool Terminated = false;

@@ -29,6 +29,7 @@ std::vector<double> ClaretForward::post(const std::vector<double> &Mu,
   switch (S.kind()) {
   case Stmt::Kind::Skip:
   case Stmt::Kind::Reward:
+  case Stmt::Kind::Assert:
   case Stmt::Kind::Return: // Only allowed in tail position here.
     return Mu;
   case Stmt::Kind::Assign: {

@@ -77,7 +77,8 @@ private:
     case Stmt::Kind::Assign:
     case Stmt::Kind::Sample:
     case Stmt::Kind::Observe:
-    case Stmt::Kind::Reward: {
+    case Stmt::Kind::Reward:
+    case Stmt::Kind::Assert: {
       unsigned Node = newNode(S.loc());
       addEdge(Node, {Succ}, ControlAction::seq(&S));
       return Node;

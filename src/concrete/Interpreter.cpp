@@ -4,6 +4,8 @@
 
 #include <cassert>
 #include <cmath>
+#include <cstdlib>
+#include <string>
 
 using namespace pmaf;
 using namespace pmaf::concrete;
@@ -11,6 +13,16 @@ using namespace pmaf::lang;
 
 Interpreter::Interpreter(const Program &Prog, uint64_t Seed)
     : Prog(Prog), TheRng(Seed) {}
+
+uint64_t Interpreter::seedFromEnv(uint64_t Fallback) {
+  if (const char *Env = std::getenv("PMAF_SEED")) {
+    char *End = nullptr;
+    unsigned long long Parsed = std::strtoull(Env, &End, 10);
+    if (End && End != Env && *End == '\0')
+      return Parsed;
+  }
+  return Fallback;
+}
 
 double Interpreter::evalExpr(const Expr &E,
                              const std::vector<double> &State) const {
@@ -135,6 +147,10 @@ Interpreter::Flow Interpreter::exec(const Stmt &S, ExecResult &Result,
     return Rejected ? Flow::Return : Flow::Normal;
   case Stmt::Kind::Reward:
     Result.Reward += S.reward().toDouble();
+    return Flow::Normal;
+  case Stmt::Kind::Assert:
+    // Assertions are checked statically; the concrete semantics pass
+    // through (they are the identity kernel).
     return Flow::Normal;
   case Stmt::Kind::Block:
     for (const Stmt::Ptr &Child : S.stmts()) {

@@ -62,6 +62,12 @@ public:
   ///        stream, so whole experiments are reproducible.
   Interpreter(const lang::Program &Prog, uint64_t Seed);
 
+  /// Resolves the seed for a sampling experiment: the PMAF_SEED
+  /// environment variable when set (so soundness-fuzz failures replay
+  /// exactly — the CLI's --seed= and the test suites funnel through
+  /// here), else \p Fallback.
+  static uint64_t seedFromEnv(uint64_t Fallback);
+
   /// Runs procedure \p ProcIndex from \p Initial with at most \p MaxSteps
   /// statement executions. \p Policy resolves ndet choices (defaults to a
   /// fair coin, i.e. a uniformly random scheduler).

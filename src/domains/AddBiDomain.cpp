@@ -192,6 +192,7 @@ NodeRef AddBiDomain::interpretIn(AddManager &M, const Stmt *Action,
   switch (Action->kind()) {
   case Stmt::Kind::Skip:
   case Stmt::Kind::Reward:
+  case Stmt::Kind::Assert:
     return IdentityIn;
   case Stmt::Kind::Assign:
     return M.apply(

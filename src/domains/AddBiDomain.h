@@ -123,6 +123,10 @@ public:
   /// Expands to the dense matrix (test/debug; exponential in n).
   Matrix toMatrix(const Value &A) const;
 
+  /// The Boolean state space the domain was built over (checks/Checker
+  /// expands assertion-site summaries against it).
+  const BoolStateSpace &space() const { return *Space; }
+
   /// Diagram size of a value (the compactness measure of the bench).
   size_t nodeCount(const Value &A) const;
 

@@ -9,6 +9,28 @@ using namespace pmaf;
 using namespace pmaf::domains;
 using namespace pmaf::lang;
 
+ProbMassBounds domains::probMassBounds(const Matrix &Summary,
+                                       const BoolStateSpace &Space,
+                                       const Cond &Phi) {
+  size_t N = Space.numStates();
+  assert(Summary.rows() == N && Summary.cols() == N &&
+         "summary does not match the state space");
+  ProbMassBounds Out{1.0, 0.0};
+  for (size_t S = 0; S != N; ++S) {
+    double OnPhi = 0.0, OffPhi = 0.0;
+    for (size_t T = 0; T != N; ++T)
+      (Space.evalCond(Phi, T) ? OnPhi : OffPhi) += Summary.at(S, T);
+    double Upper = 1.0 - OffPhi;
+    if (OnPhi < Out.MinLower)
+      Out.MinLower = OnPhi;
+    if (Upper > Out.MaxUpper)
+      Out.MaxUpper = Upper;
+  }
+  if (N == 0)
+    return ProbMassBounds{0.0, 1.0};
+  return Out;
+}
+
 Matrix BiDomain::condChoice(const Cond &Phi, const Matrix &A,
                             const Matrix &B) const {
   size_t N = Space->numStates();
@@ -35,6 +57,7 @@ Matrix BiDomain::interpret(const Stmt *Action) const {
   switch (Action->kind()) {
   case Stmt::Kind::Skip:
   case Stmt::Kind::Reward:
+  case Stmt::Kind::Assert:
     return Matrix::identity(N);
   case Stmt::Kind::Assign: {
     // ⟦x := E⟧(s, t) = [ s[x <- E(s)] = t ]

@@ -37,6 +37,24 @@
 namespace pmaf {
 namespace domains {
 
+/// Bounds on the post-distribution mass of a predicate under a summary
+/// whose entries are *lower bounds* on transition probabilities (the BI
+/// under-abstraction): from pre-state s the mass of phi is at least
+/// sum_{t |= phi} a(s, t), and at most 1 - sum_{t |/= phi} a(s, t) (the
+/// unaccounted mass 1 - sum_t a(s, t) could all land on phi-states).
+/// The fields quantify over every pre-state row of the summary.
+struct ProbMassBounds {
+  double MinLower = 0.0; ///< min over pre-states of the guaranteed mass.
+  double MaxUpper = 1.0; ///< max over pre-states of the possible mass.
+};
+
+/// Computes ProbMassBounds of \p Phi for a lower-bound summary matrix over
+/// \p Space (used by checks/Checker for both the dense and ADD-backed BI
+/// domains).
+ProbMassBounds probMassBounds(const Matrix &Summary,
+                              const BoolStateSpace &Space,
+                              const lang::Cond &Phi);
+
 /// The Bayesian-inference interpretation B = <B, ⟦·⟧_B> (§5.1).
 class BiDomain {
 public:
@@ -116,6 +134,13 @@ public:
   std::vector<double> posterior(const Value &Summary,
                                 const std::vector<double> &Prior) const {
     return Summary.applyToRowVector(Prior);
+  }
+
+  /// Fixpoint query hook for checks/Checker: mass bounds of \p Phi under
+  /// the summary, quantified over all pre-states.
+  ProbMassBounds massBounds(const Value &Summary,
+                            const lang::Cond &Phi) const {
+    return probMassBounds(Summary, *Space, Phi);
   }
 
   const BoolStateSpace &space() const { return *Space; }

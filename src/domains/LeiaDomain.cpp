@@ -357,6 +357,7 @@ auto LeiaDomainT<NumV>::interpret(const Stmt *Action) const -> Value {
   switch (Action->kind()) {
   case Stmt::Kind::Skip:
   case Stmt::Kind::Reward:
+  case Stmt::Kind::Assert:
     return one();
   case Stmt::Kind::Assign: {
     unsigned X = Action->varIndex();
@@ -629,6 +630,25 @@ LeiaDomainT<NumV>::expectationBounds(
   for (unsigned I = 0; I != NumVars; ++I)
     Obj.coeff(NumVars + I) = Objective[I];
   return {Slice.minimize(Obj), Slice.maximize(Obj)};
+}
+
+template <NumericDomain NumV>
+std::optional<std::pair<std::optional<Rational>, std::optional<Rational>>>
+LeiaDomainT<NumV>::objectiveBounds(
+    const Value &A, const std::vector<Rational> &Objective) const {
+  assert(Objective.size() == NumVars);
+  if (A.P.isEmpty())
+    return std::nullopt;
+  unsigned D = 2 * NumVars;
+  // As expectationBounds, but with every pre-state of the support
+  // admitted rather than one concrete pre-state pinned.
+  NumV Slice = A.EP.meet(rebuildFromSupport(A.P));
+  if (Slice.isEmpty())
+    return std::nullopt;
+  LinearExpr Obj(D);
+  for (unsigned I = 0; I != NumVars; ++I)
+    Obj.coeff(NumVars + I) = Objective[I];
+  return std::make_pair(Slice.minimize(Obj), Slice.maximize(Obj));
 }
 
 //===----------------------------------------------------------------------===//

@@ -133,6 +133,16 @@ public:
   expectationBounds(const Value &A, const std::vector<Rational> &Objective,
                     const std::vector<Rational> &PreState) const;
 
+  /// Fixpoint query hook for checks/Checker: bounds of E[Objective'] with
+  /// the pre-vocabulary left unconstrained — {min, max} over every
+  /// pre-state admitted by the analyzed support, nullopt for unbounded
+  /// sides. Returns nullopt altogether when the value is bottom or the
+  /// expectation slice is empty (the assertion point is unreachable /
+  /// nonterminating: vacuously safe).
+  std::optional<std::pair<std::optional<Rational>, std::optional<Rational>>>
+  objectiveBounds(const Value &A,
+                  const std::vector<Rational> &Objective) const;
+
   /// Snapshot of the numeric layer's process-wide counters
   /// (core::ReportsNumericStats); the solver turns these into per-solve
   /// deltas.

@@ -209,6 +209,40 @@ Stmt::Ptr Stmt::makeReward(Rational Amount) {
   return S;
 }
 
+Stmt::Ptr Stmt::makeAssertProb(Cond::Ptr Phi, CmpOp Op, Rational Bound) {
+  assert((Op == CmpOp::Ge || Op == CmpOp::Le) &&
+         "probability assertions compare with >= or <= only");
+  Ptr S(new Stmt());
+  S->TheKind = Kind::Assert;
+  S->TheAssertKind = AssertKind::Prob;
+  S->Phi = std::move(Phi);
+  S->AssertOp = Op;
+  S->Amount = std::move(Bound);
+  return S;
+}
+
+Stmt::Ptr Stmt::makeAssertReward(CmpOp Op, Rational Bound) {
+  assert((Op == CmpOp::Ge || Op == CmpOp::Le) &&
+         "reward assertions compare with >= or <= only");
+  Ptr S(new Stmt());
+  S->TheKind = Kind::Assert;
+  S->TheAssertKind = AssertKind::Reward;
+  S->AssertOp = Op;
+  S->Amount = std::move(Bound);
+  return S;
+}
+
+Stmt::Ptr Stmt::makeAssertInterval(Expr::Ptr Target, Rational Lo,
+                                   Rational Hi) {
+  Ptr S(new Stmt());
+  S->TheKind = Kind::Assert;
+  S->TheAssertKind = AssertKind::Interval;
+  S->Value = std::move(Target);
+  S->Lo = std::move(Lo);
+  S->Hi = std::move(Hi);
+  return S;
+}
+
 Stmt::Ptr Stmt::makeBlock(std::vector<Ptr> Stmts) {
   Ptr S(new Stmt());
   S->TheKind = Kind::Block;
@@ -430,6 +464,22 @@ std::string lang::toString(const Stmt &S, const Program &P, unsigned Indent) {
     return Pad + "observe(" + toString(S.observed(), P) + ");\n";
   case Stmt::Kind::Reward:
     return Pad + "reward(" + S.reward().toString() + ");\n";
+  case Stmt::Kind::Assert:
+    switch (S.assertKind()) {
+    case AssertKind::Prob:
+      return Pad + "assert_prob(" + toString(S.assertCond(), P) + ") " +
+             cmpOpSpelling(S.assertOp()) + " " + S.assertBound().toString() +
+             ";\n";
+    case AssertKind::Reward:
+      return Pad + "assert_reward " + cmpOpSpelling(S.assertOp()) + " " +
+             S.assertBound().toString() + ";\n";
+    case AssertKind::Interval:
+      return Pad + "assert_interval(" + toString(S.assertTarget(), P) +
+             ", " + S.assertLo().toString() + ", " + S.assertHi().toString() +
+             ");\n";
+    }
+    assert(false && "unknown assertion kind");
+    return "";
   case Stmt::Kind::Block: {
     std::string Out;
     for (const Stmt::Ptr &Child : S.stmts())

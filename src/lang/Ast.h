@@ -203,6 +203,14 @@ struct Guard {
   Guard clone() const;
 };
 
+/// The property class of an `assert_*` statement (checks/Checker.h turns
+/// the solver fixpoint at the assertion's node into a verdict for it).
+enum class AssertKind {
+  Prob,     ///< assert_prob(phi) >= p / <= p — post-distribution mass.
+  Reward,   ///< assert_reward >= r / <= r — expected reward to exit.
+  Interval  ///< assert_interval(e, lo, hi) — expected value of e.
+};
+
 /// A statement.
 class Stmt {
 public:
@@ -212,6 +220,7 @@ public:
     Sample,   ///< x ~ D
     Observe,  ///< observe(phi)
     Reward,   ///< reward(r)   (Defn 5.3 MDP reward action)
+    Assert,   ///< assert_prob / assert_reward / assert_interval
     Block,    ///< { s1; ...; sn }
     If,       ///< if <guard> {..} else {..}
     While,    ///< while <guard> {..}
@@ -228,6 +237,9 @@ public:
   static Ptr makeSample(unsigned VarIndex, Dist D);
   static Ptr makeObserve(Cond::Ptr Phi);
   static Ptr makeReward(Rational Amount);
+  static Ptr makeAssertProb(Cond::Ptr Phi, CmpOp Op, Rational Bound);
+  static Ptr makeAssertReward(CmpOp Op, Rational Bound);
+  static Ptr makeAssertInterval(Expr::Ptr Target, Rational Lo, Rational Hi);
   static Ptr makeBlock(std::vector<Ptr> Stmts);
   static Ptr makeIf(Guard G, Ptr Then, Ptr Else);
   static Ptr makeWhile(Guard G, Ptr Body);
@@ -258,6 +270,44 @@ public:
   const Rational &reward() const {
     assert(TheKind == Kind::Reward && "not a reward statement");
     return Amount;
+  }
+  AssertKind assertKind() const {
+    assert(TheKind == Kind::Assert && "not an assert statement");
+    return TheAssertKind;
+  }
+  /// The predicate of an `assert_prob` assertion.
+  const Cond &assertCond() const {
+    assert(TheKind == Kind::Assert && TheAssertKind == AssertKind::Prob &&
+           "not a probability assertion");
+    return *Phi;
+  }
+  /// The comparison (Le or Ge only) of a prob/reward assertion.
+  CmpOp assertOp() const {
+    assert(TheKind == Kind::Assert && TheAssertKind != AssertKind::Interval &&
+           "assertion has no comparison operator");
+    return AssertOp;
+  }
+  /// The bound of a prob/reward assertion.
+  const Rational &assertBound() const {
+    assert(TheKind == Kind::Assert && TheAssertKind != AssertKind::Interval &&
+           "assertion has no scalar bound");
+    return Amount;
+  }
+  /// The asserted expression of an `assert_interval` assertion.
+  const Expr &assertTarget() const {
+    assert(TheKind == Kind::Assert && TheAssertKind == AssertKind::Interval &&
+           "not an interval assertion");
+    return *Value;
+  }
+  const Rational &assertLo() const {
+    assert(TheKind == Kind::Assert && TheAssertKind == AssertKind::Interval &&
+           "not an interval assertion");
+    return Lo;
+  }
+  const Rational &assertHi() const {
+    assert(TheKind == Kind::Assert && TheAssertKind == AssertKind::Interval &&
+           "not an interval assertion");
+    return Hi;
   }
   const std::vector<Ptr> &stmts() const {
     assert(TheKind == Kind::Block && "not a block");
@@ -308,6 +358,9 @@ private:
   Dist TheDist;
   Cond::Ptr Phi;
   Rational Amount;
+  AssertKind TheAssertKind = AssertKind::Prob;
+  CmpOp AssertOp = CmpOp::Ge;
+  Rational Lo, Hi;
   std::vector<Ptr> Stmts;
   Guard TheGuard;
   Ptr Then, Else;

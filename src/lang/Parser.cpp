@@ -288,6 +288,72 @@ private:
       }
       return Stmt::makeReward(std::move(*Amount));
     }
+    if (matchKeyword("assert_prob")) {
+      if (!expect(Token::Kind::LParen, "'('"))
+        return nullptr;
+      Cond::Ptr Phi = parseCond();
+      if (!Phi || !expect(Token::Kind::RParen, "')'"))
+        return nullptr;
+      SourceLoc OpLoc = here();
+      std::optional<CmpOp> Op = matchCmpOp();
+      if (!Op || (*Op != CmpOp::Ge && *Op != CmpOp::Le)) {
+        failAt(OpLoc, "parse-error",
+               "expected '>=' or '<=' after assert_prob(...)");
+        return nullptr;
+      }
+      SourceLoc BoundLoc = here();
+      std::optional<Rational> Bound = parseConstant();
+      if (!Bound || !expect(Token::Kind::Semi, "';'"))
+        return nullptr;
+      if (Bound->sign() < 0 || *Bound > Rational(1)) {
+        failAt(BoundLoc, "prob-range",
+               "asserted probability must lie in [0, 1]");
+        return nullptr;
+      }
+      return Stmt::makeAssertProb(std::move(Phi), *Op, std::move(*Bound));
+    }
+    if (matchKeyword("assert_reward")) {
+      SourceLoc OpLoc = here();
+      std::optional<CmpOp> Op = matchCmpOp();
+      if (!Op || (*Op != CmpOp::Ge && *Op != CmpOp::Le)) {
+        failAt(OpLoc, "parse-error",
+               "expected '>=' or '<=' after assert_reward");
+        return nullptr;
+      }
+      SourceLoc BoundLoc = here();
+      std::optional<Rational> Bound = parseConstant();
+      if (!Bound || !expect(Token::Kind::Semi, "';'"))
+        return nullptr;
+      if (Bound->sign() < 0) {
+        failAt(BoundLoc, "reward-range",
+               "asserted reward bound must be nonnegative");
+        return nullptr;
+      }
+      return Stmt::makeAssertReward(*Op, std::move(*Bound));
+    }
+    if (matchKeyword("assert_interval")) {
+      if (!expect(Token::Kind::LParen, "'('"))
+        return nullptr;
+      Expr::Ptr Target = parseExpr();
+      if (!Target || !expect(Token::Kind::Comma, "','"))
+        return nullptr;
+      std::optional<Rational> Lo = parseConstant();
+      if (!Lo || !expect(Token::Kind::Comma, "','"))
+        return nullptr;
+      SourceLoc HiLoc = here();
+      std::optional<Rational> Hi = parseConstant();
+      if (!Hi || !expect(Token::Kind::RParen, "')'") ||
+          !expect(Token::Kind::Semi, "';'"))
+        return nullptr;
+      if (*Hi < *Lo) {
+        failAt(HiLoc, "interval-range",
+               "asserted interval is empty: upper bound " + Hi->toString() +
+                   " is below lower bound " + Lo->toString());
+        return nullptr;
+      }
+      return Stmt::makeAssertInterval(std::move(Target), std::move(*Lo),
+                                      std::move(*Hi));
+    }
     if (matchKeyword("if"))
       return parseIf();
     if (matchKeyword("while")) {
@@ -457,9 +523,17 @@ private:
       for (unsigned I = 0; I != Arity; ++I) {
         if (I && !expect(Token::Kind::Comma, "','"))
           return std::nullopt;
+        SourceLoc ParamLoc = here();
         Expr::Ptr Param = parseExpr();
         if (!Param)
           return std::nullopt;
+        // Fold constant parameters (e.g. `bernoulli(3/4)`) to Number nodes:
+        // the abstract domains require literal constants here, and a folded
+        // fraction is semantically identical to its decimal spelling.
+        if (std::optional<Rational> Folded = evalConstant(*Param)) {
+          Param = Expr::makeNumber(std::move(*Folded));
+          Param->setLoc(ParamLoc);
+        }
         D.Params.push_back(std::move(Param));
       }
     }

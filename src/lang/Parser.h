@@ -18,6 +18,9 @@
 ///             | "skip" ";" | "break" ";" | "continue" ";" | "return" ";"
 ///             | "observe" "(" cond ")" ";"
 ///             | "reward" "(" constexpr ")" ";"
+///             | "assert_prob" "(" cond ")" (">=" | "<=") constexpr ";"
+///             | "assert_reward" (">=" | "<=") constexpr ";"
+///             | "assert_interval" "(" expr "," constexpr "," constexpr ")" ";"
 ///             | "if" guard block ("else" (block | ifstmt))?
 ///             | "while" guard block
 ///   guard    := "(" cond ")" | "prob" "(" constexpr ")" | "star"
@@ -54,8 +57,8 @@ struct ParseResult {
   /// notes); meaningful only when Prog is null. Codes: "parse-error" for
   /// syntax errors, and "undefined-variable", "undefined-procedure",
   /// "redeclared-variable", "redefined-procedure", "misplaced-jump",
-  /// "prob-range", "no-procedures" for the semantic checks the parser
-  /// performs itself.
+  /// "prob-range", "reward-range", "interval-range", "no-procedures" for
+  /// the semantic checks the parser performs itself.
   Diagnostic Diag;
 
   explicit operator bool() const { return Prog != nullptr; }

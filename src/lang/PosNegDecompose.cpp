@@ -336,6 +336,24 @@ private:
     }
     case Stmt::Kind::Observe:
       return Stmt::makeObserve(substCond(S.observed()));
+    case Stmt::Kind::Assert: {
+      Stmt::Ptr Out;
+      switch (S.assertKind()) {
+      case AssertKind::Prob:
+        Out = Stmt::makeAssertProb(substCond(S.assertCond()), S.assertOp(),
+                                   S.assertBound());
+        break;
+      case AssertKind::Reward:
+        Out = Stmt::makeAssertReward(S.assertOp(), S.assertBound());
+        break;
+      case AssertKind::Interval:
+        Out = Stmt::makeAssertInterval(substExpr(S.assertTarget()),
+                                       S.assertLo(), S.assertHi());
+        break;
+      }
+      Out->setLoc(S.loc());
+      return Out;
+    }
     case Stmt::Kind::Assign: {
       std::vector<Stmt::Ptr> Out;
       rewriteAssign(Out, S);

@@ -1,4 +1,10 @@
 //===- tests/ConcreteTest.cpp - Monte-Carlo interpreter tests -------------===//
+//
+// Every interpreter is seeded through Interpreter::seedFromEnv, so setting
+// PMAF_SEED=<n> replays a sampling experiment (e.g. a soundness-fuzz
+// failure) under a chosen seed without recompiling.
+//
+//===----------------------------------------------------------------------===//
 
 #include "concrete/Interpreter.h"
 #include "lang/Parser.h"
@@ -15,7 +21,7 @@ TEST(InterpreterTest, DeterministicArithmetic) {
     real x, y;
     proc main() { x := 3; y := (x + 1) * 2 - 1; x := y / 7; }
   )");
-  Interpreter Interp(*Prog, 1);
+  Interpreter Interp(*Prog, Interpreter::seedFromEnv(1));
   auto R = Interp.run(0, {});
   ASSERT_TRUE(R.terminated());
   EXPECT_DOUBLE_EQ(R.State[1], 7.0);
@@ -31,7 +37,7 @@ TEST(InterpreterTest, ConditionalsAndLoops) {
       if (sum == 45) { sum := 1; } else { sum := 0; }
     }
   )");
-  Interpreter Interp(*Prog, 1);
+  Interpreter Interp(*Prog, Interpreter::seedFromEnv(1));
   auto R = Interp.run(0, {});
   ASSERT_TRUE(R.terminated());
   EXPECT_DOUBLE_EQ(R.State[1], 1.0);
@@ -52,7 +58,7 @@ TEST(InterpreterTest, BreakContinueReturn) {
       hits := 99;
     }
   )");
-  Interpreter Interp(*Prog, 1);
+  Interpreter Interp(*Prog, Interpreter::seedFromEnv(1));
   auto R = Interp.run(0, {});
   ASSERT_TRUE(R.terminated());
   EXPECT_DOUBLE_EQ(R.State[0], 10.0);
@@ -65,7 +71,7 @@ TEST(InterpreterTest, CallsShareGlobalState) {
     proc bump() { x := x + 1; return; }
     proc main() { bump(); bump(); bump(); }
   )");
-  Interpreter Interp(*Prog, 1);
+  Interpreter Interp(*Prog, Interpreter::seedFromEnv(1));
   auto R = Interp.run(Prog->findProc("main"), {});
   ASSERT_TRUE(R.terminated());
   EXPECT_DOUBLE_EQ(R.State[0], 3.0);
@@ -77,7 +83,7 @@ TEST(InterpreterTest, ReturnInsideCalleeDoesNotExitCaller) {
     proc early() { return; x := 100; }
     proc main() { early(); x := x + 1; }
   )");
-  Interpreter Interp(*Prog, 1);
+  Interpreter Interp(*Prog, Interpreter::seedFromEnv(1));
   auto R = Interp.run(Prog->findProc("main"), {});
   ASSERT_TRUE(R.terminated());
   EXPECT_DOUBLE_EQ(R.State[0], 1.0);
@@ -88,7 +94,7 @@ TEST(InterpreterTest, ObserveRejects) {
     bool b;
     proc main() { b ~ bernoulli(0.5); observe(b); }
   )");
-  Interpreter Interp(*Prog, 17);
+  Interpreter Interp(*Prog, Interpreter::seedFromEnv(17));
   int Accepted = 0, Rejected = 0;
   for (int I = 0; I != 10000; ++I) {
     auto R = Interp.run(0, {});
@@ -106,7 +112,7 @@ TEST(InterpreterTest, OutOfFuelOnDivergence) {
   auto Prog = lang::parseProgramOrDie(R"(
     proc main() { while (true) { skip; } }
   )");
-  Interpreter Interp(*Prog, 1);
+  Interpreter Interp(*Prog, Interpreter::seedFromEnv(1));
   auto R = Interp.run(0, {}, 1000);
   EXPECT_EQ(R.TheStatus, ExecResult::Status::OutOfFuel);
 }
@@ -115,7 +121,7 @@ TEST(InterpreterTest, RewardAccumulates) {
   auto Prog = lang::parseProgramOrDie(R"(
     proc main() { reward(1); reward(2.5); }
   )");
-  Interpreter Interp(*Prog, 1);
+  Interpreter Interp(*Prog, Interpreter::seedFromEnv(1));
   auto R = Interp.run(0, {});
   EXPECT_DOUBLE_EQ(R.Reward, 3.5);
 }
@@ -125,7 +131,7 @@ TEST(InterpreterTest, UniformMoments) {
     real z;
     proc main() { z ~ uniform(0, 2); }
   )");
-  Interpreter Interp(*Prog, 33);
+  Interpreter Interp(*Prog, Interpreter::seedFromEnv(33));
   double Sum = 0, Min = 1e9, Max = -1e9;
   const int N = 50000;
   for (int I = 0; I != N; ++I) {
@@ -144,7 +150,7 @@ TEST(InterpreterTest, GaussianMoments) {
     real g;
     proc main() { g ~ gaussian(5, 2); }
   )");
-  Interpreter Interp(*Prog, 7);
+  Interpreter Interp(*Prog, Interpreter::seedFromEnv(7));
   double Sum = 0, SumSq = 0;
   const int N = 50000;
   for (int I = 0; I != N; ++I) {
@@ -163,7 +169,7 @@ TEST(InterpreterTest, DiscreteDie) {
     real d;
     proc main() { d ~ discrete(1: 1/6, 2: 1/6, 3: 1/6, 4: 1/6, 5: 1/6, 6: 1/6); }
   )");
-  Interpreter Interp(*Prog, 11);
+  Interpreter Interp(*Prog, Interpreter::seedFromEnv(11));
   std::vector<int> Counts(7, 0);
   const int N = 60000;
   for (int I = 0; I != N; ++I) {
@@ -179,7 +185,7 @@ TEST(InterpreterTest, NdetPolicyIsConsulted) {
     real x;
     proc main() { if star { x := 1; } else { x := 2; } }
   )");
-  Interpreter Interp(*Prog, 1);
+  Interpreter Interp(*Prog, Interpreter::seedFromEnv(1));
   auto TakeThen = [](const std::vector<double> &) { return true; };
   auto TakeElse = [](const std::vector<double> &) { return false; };
   EXPECT_DOUBLE_EQ(Interp.run(0, {}, 1000, TakeThen).State[0], 1.0);
@@ -199,7 +205,7 @@ TEST(InterpreterTest, Example34TruncatedGeometric) {
       }
     }
   )");
-  Interpreter Interp(*Prog, 314159);
+  Interpreter Interp(*Prog, Interpreter::seedFromEnv(314159));
   const int N = 400000;
   std::vector<double> Counts(11, 0.0);
   for (int I = 0; I != N; ++I) {
@@ -226,7 +232,7 @@ TEST(InterpreterTest, Figure1bExpectedRewards) {
       }
     }
   )");
-  Interpreter Interp(*Prog, 271828);
+  Interpreter Interp(*Prog, Interpreter::seedFromEnv(271828));
   const int N = 100000;
   for (int Mode = 0; Mode != 3; ++Mode) {
     NdetPolicy Policy = nullptr;

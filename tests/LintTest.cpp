@@ -139,6 +139,13 @@ TEST(LintFixtureTest, SignedVarUnderLeia) {
                      TargetDomain::Leia);
 }
 
+TEST(LintFixtureTest, AssertionFixturesLintClean) {
+  // The defects in the assertion fixtures are checker-level properties
+  // (ChecksTest pins their verdicts); the lint must not flag them.
+  expectFixtureDiags("violated_assert_prob.pp", {}, TargetDomain::Bi);
+  expectFixtureDiags("unprovable_assert_reward.pp", {}, TargetDomain::Mdp);
+}
+
 //===----------------------------------------------------------------------===//
 // Additional check coverage on inline sources
 //===----------------------------------------------------------------------===//

@@ -44,6 +44,10 @@ Stmt::Ptr resolveStmt(const Stmt &S, const std::vector<bool> &Choices,
     return Stmt::makeObserve(S.observed().clone());
   case Stmt::Kind::Reward:
     return Stmt::makeReward(S.reward());
+  case Stmt::Kind::Assert:
+    // Assertions are the identity kernel; scheduler enumeration can drop
+    // them.
+    return Stmt::makeSkip();
   case Stmt::Kind::Break:
     return Stmt::makeBreak();
   case Stmt::Kind::Continue:

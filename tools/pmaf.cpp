@@ -10,6 +10,11 @@
 //                  [--widening-delay=<n>] [--max-updates=<n>] [--jobs=<n>]
 //   pmaf check <file.pp>... [--domain=leia|bi|mdp|termination]
 //                  [--decompose] [--werror] [--diag-format=text|json]
+//   pmaf verify-corpus <dir|file.pp>... [--jobs=<n>] [--seed=<n>]
+//                  [--runs=<n>] [--max-updates=<n>] [--out=<file>]
+//                  [--werror]
+//   pmaf gen-corpus <dir> [--count=<n>] [--seed=<n>]
+//                  [--family=bi|mdp|leia|mixed]
 //
 // With --domain=leia (default) prints the expectation invariants of every
 // procedure summary; bi prints the posterior from the all-false prior;
@@ -45,14 +50,34 @@
 // count the solve actually used, the peak number of SCCs in flight, and
 // the intra-component batch traffic.
 //
-// Exit codes: 0 analysis converged; 1 lint/parse errors; 2 usage errors;
-// 3 the update budget (--max-updates) ran out before the fixpoint — the
-// printed values are a mid-iteration snapshot, not the analysis answer.
+// Every solve is followed by the checker layer (checks/Checker.h): each
+// `assert_prob` / `assert_reward` / `assert_interval` statement is judged
+// against the fixpoint annotation at its node and reported as a structured
+// diagnostic with a stable code (assert-*-safe / -unproved / -violated /
+// assert-skipped). A violated assertion exits 1; --werror additionally
+// fails unproved and skipped assertions.
+//
+// `pmaf verify-corpus` fans a directory of programs across the shared
+// thread pool: per file it parses, lints, auto-detects the domain (real
+// variables -> leia, rewards -> mdp, else bi), solves sequentially, runs
+// the checker, and — for programs whose main starts with a planted
+// assertion — spot-checks the verdict against a Monte-Carlo estimate of
+// the ground truth (checks/Fuzz.h). Verdicts merge into one ChecksDb whose
+// JSON summary goes to --out or stdout; any parse failure or soundness
+// violation exits 1. `pmaf gen-corpus` writes such a corpus of random
+// programs with planted assertions (deterministic in --seed).
+//
+// Exit codes: 0 analysis converged; 1 lint/parse errors or failed checks;
+// 2 usage errors; 3 the update budget (--max-updates) ran out before the
+// fixpoint — the printed values are a mid-iteration snapshot, not the
+// analysis answer.
 //
 //===----------------------------------------------------------------------===//
 
 #include "analysis/Lint.h"
 #include "cfg/HyperGraph.h"
+#include "checks/Checker.h"
+#include "checks/Fuzz.h"
 #include "core/Instrumentation.h"
 #include "core/Schedule.h"
 #include "core/Solver.h"
@@ -63,13 +88,19 @@
 #include "lang/PosNegDecompose.h"
 #include "support/ThreadPool.h"
 
+// The corpus generator reuses the test suite's seeded program generators
+// so `gen-corpus` and the differential tests draw from one distribution.
+#include "RandomProgramGen.h"
+
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <mutex>
 #include <optional>
 #include <iostream>
 #include <sstream>
@@ -129,8 +160,13 @@ int usage(const char *Argv0) {
                " [--widening-delay=<n>] [--max-updates=<n>] [--jobs=<n>]\n"
                "       %s check <file.pp>..."
                " [--domain=leia|bi|mdp|termination] [--decompose]"
-               " [--werror] [--diag-format=text|json]\n",
-               Argv0, Argv0);
+               " [--werror] [--diag-format=text|json]\n"
+               "       %s verify-corpus <dir|file.pp>... [--jobs=<n>]"
+               " [--seed=<n>] [--runs=<n>] [--max-updates=<n>]"
+               " [--out=<file>] [--werror]\n"
+               "       %s gen-corpus <dir> [--count=<n>] [--seed=<n>]"
+               " [--family=bi|mdp|leia|mixed]\n",
+               Argv0, Argv0, Argv0, Argv0);
   return 2;
 }
 
@@ -289,16 +325,393 @@ int runCheck(const std::vector<std::string> &Files,
   return AnyErrors ? 1 : 0;
 }
 
+//===----------------------------------------------------------------------===//
+// The checker layer
+//===----------------------------------------------------------------------===//
+
+/// Reports check verdicts as diagnostics on stdout plus a one-line
+/// summary. \returns 1 when the verdicts fail the run (any violated
+/// assertion, or unproved/skipped ones under --werror), 0 otherwise.
+int reportCheckResults(const checks::ChecksDb &Db, const std::string &Path,
+                       const std::string &Source, bool Werror, bool Json) {
+  if (Db.total() == 0)
+    return 0;
+  DiagnosticEngine Diags;
+  Diags.setSource(Path, Source);
+  Diags.setWarningsAsErrors(Werror);
+  checks::reportChecks(Db, Diags);
+  Diags.sortByLocation();
+  if (Json) {
+    // Match the lint path: machine-readable diagnostics go to stderr so
+    // stdout stays the (parseable-by-humans) analysis report.
+    std::fprintf(stderr, "%s\n", Diags.renderJson().c_str());
+  } else {
+    std::printf("%s", Diags.renderAll().c_str());
+    std::printf("checks: %s\n", Db.summary().c_str());
+  }
+  return Diags.hasErrors() ? 1 : 0;
+}
+
+//===----------------------------------------------------------------------===//
+// verify-corpus / gen-corpus
+//===----------------------------------------------------------------------===//
+
+bool stmtContainsKind(const lang::Stmt &S, lang::Stmt::Kind K) {
+  if (S.kind() == K)
+    return true;
+  switch (S.kind()) {
+  case lang::Stmt::Kind::Block:
+    for (const lang::Stmt::Ptr &Child : S.stmts())
+      if (stmtContainsKind(*Child, K))
+        return true;
+    return false;
+  case lang::Stmt::Kind::If:
+    return stmtContainsKind(S.thenStmt(), K) ||
+           (S.elseStmt() && stmtContainsKind(*S.elseStmt(), K));
+  case lang::Stmt::Kind::While:
+    return stmtContainsKind(S.body(), K);
+  default:
+    return false;
+  }
+}
+
+/// Domain auto-detection for corpus files: real variables -> leia, reward
+/// statements or reward assertions -> mdp, else bi.
+std::string detectDomain(const lang::Program &Prog) {
+  for (const lang::VarInfo &V : Prog.Vars)
+    if (V.IsReal)
+      return "leia";
+  for (const lang::Procedure &P : Prog.Procs)
+    if (P.Body && stmtContainsKind(*P.Body, lang::Stmt::Kind::Reward))
+      return "mdp";
+  return "bi";
+}
+
+/// The planted assertion of a fuzz-shaped program: the first statement of
+/// main when it is an assert, else null (the soundness spot-check only
+/// applies to that shape — the all-zero initial state of the concrete runs
+/// is then one of the quantified pre-states).
+const lang::Stmt *plantedAssertion(const lang::Program &Prog) {
+  unsigned Main = Prog.findProc("main");
+  if (Main == ~0u)
+    Main = 0;
+  if (Prog.Procs.empty() || !Prog.Procs[Main].Body)
+    return nullptr;
+  const lang::Stmt *Body = Prog.Procs[Main].Body.get();
+  while (Body->kind() == lang::Stmt::Kind::Block && !Body->stmts().empty())
+    Body = Body->stmts().front().get();
+  return Body->kind() == lang::Stmt::Kind::Assert ? Body : nullptr;
+}
+
+/// Sampling tolerance for the soundness oracle: a few standard errors at
+/// the scale of the asserted quantity, plus a floor for float drift.
+double soundnessTol(const lang::Stmt &A, unsigned Runs) {
+  double Base = 4.0 / std::sqrt(static_cast<double>(Runs ? Runs : 1));
+  switch (A.assertKind()) {
+  case lang::AssertKind::Prob:
+    return 0.5 * Base + 0.01;
+  case lang::AssertKind::Reward:
+    return Base * (1.0 + std::fabs(A.assertBound().toDouble())) + 0.05;
+  case lang::AssertKind::Interval: {
+    double Scale = std::max(std::fabs(A.assertLo().toDouble()),
+                            std::fabs(A.assertHi().toDouble()));
+    return Base * (1.0 + Scale) + 0.05;
+  }
+  }
+  return 0.05;
+}
+
+struct CorpusOptions {
+  unsigned Jobs = 4;
+  uint64_t Seed = 1;
+  /// Monte-Carlo runs per soundness spot-check; 0 disables the oracle.
+  unsigned Runs = 2000;
+  uint64_t MaxUpdates = 200000;
+  std::string OutPath;
+  bool Werror = false;
+};
+
+struct CorpusFileOutcome {
+  bool Ok = true;         ///< Parsed, linted, and solved without failure.
+  bool Converged = true;  ///< Solver reached the fixpoint.
+  checks::ChecksDb Db;
+  std::string SoundnessViolation; ///< Nonempty = the oracle fired.
+  std::string Error;              ///< Failure description when !Ok.
+};
+
+CorpusFileOutcome processCorpusFile(const std::string &Path,
+                                    const CorpusOptions &Opts,
+                                    uint64_t FileSeed) {
+  CorpusFileOutcome Out;
+  std::string Source;
+  if (!readSource(Path, Source)) {
+    Out.Ok = false;
+    Out.Error = "cannot open file";
+    return Out;
+  }
+  DiagnosticEngine Diags;
+  Diags.setSource(Path, Source);
+  lang::ParseResult Parsed = lang::parseProgram(Source, Diags);
+  if (!Parsed) {
+    Out.Ok = false;
+    Out.Error = "parse failed";
+    return Out;
+  }
+  std::unique_ptr<lang::Program> Prog = std::move(Parsed.Prog);
+  std::string Domain = detectDomain(*Prog);
+  analysis::LintOptions LOpts;
+  LOpts.Domain = domainFromName(Domain);
+  analysis::lintProgram(*Prog, Diags, LOpts);
+  if (Diags.hasErrors()) {
+    Out.Ok = false;
+    Out.Error = "lint errors (domain " + Domain + ")";
+    return Out;
+  }
+  if (Domain == "bi") {
+    unsigned Bools = 0;
+    for (const lang::VarInfo &V : Prog->Vars)
+      Bools += V.IsReal ? 0 : 1;
+    if (Bools > 16) {
+      Out.Ok = false;
+      Out.Error = "too many Boolean variables for the dense BI domain";
+      return Out;
+    }
+  }
+
+  cfg::ProgramGraph Graph = cfg::ProgramGraph::build(*Prog);
+  SolverInstrumentation Counters;
+  checks::CheckerOptions COpts;
+  // Per-file solves are sequential; verify-corpus parallelizes across
+  // files instead.
+  if (Domain == "bi") {
+    BoolStateSpace Space(*Prog);
+    BiDomain Dom(Space);
+    SolverOptions SOpts;
+    SOpts.UseWidening = false;
+    SOpts.Jobs = 1;
+    SOpts.MaxUpdates = Opts.MaxUpdates;
+    auto Result = solve(Graph, Dom, SOpts, &Counters);
+    Out.Converged = Result.Stats.Converged;
+    COpts.Converged = Result.Stats.Converged;
+    Out.Db = checks::checkBiSummaries(
+        Space, Graph, [&](unsigned N) { return Result.Values[N]; }, COpts);
+  } else if (Domain == "mdp") {
+    MdpDomain Dom;
+    SolverOptions SOpts;
+    SOpts.WideningDelay = 10000;
+    SOpts.Jobs = 1;
+    SOpts.MaxUpdates = Opts.MaxUpdates;
+    auto Result = solve(Graph, Dom, SOpts, &Counters);
+    Out.Converged = Result.Stats.Converged;
+    COpts.Converged = Result.Stats.Converged;
+    Out.Db = checks::checkMdp(Graph, Result.Values, COpts);
+  } else {
+    // Zones, not the ladder: a rare random loop program can drive the
+    // ladder's polyhedra escalation into multi-minute joins, and corpus
+    // verification needs bounded per-file cost. Zones stays relational
+    // (it keeps the exit identity x' = x that boxes lose) at polynomial
+    // cost, and the checker verdict logic is backend-independent.
+    LeiaDomainT<poly::Zones> Dom(*Prog);
+    SolverOptions SOpts;
+    SOpts.Jobs = 1;
+    SOpts.MaxUpdates = Opts.MaxUpdates;
+    auto Result = solve(Graph, Dom, SOpts, &Counters);
+    Out.Converged = Result.Stats.Converged;
+    COpts.Converged = Result.Stats.Converged;
+    Out.Db = checks::checkLeia(Dom, Graph, Result.Values, COpts);
+  }
+
+  // Soundness spot-check for fuzz-shaped programs. Checker records are in
+  // collectAssertions order, so the planted assertion's verdict is at the
+  // matching index.
+  const lang::Stmt *Planted = plantedAssertion(*Prog);
+  if (Planted && Opts.Runs && Out.Converged) {
+    auto Asserts = checks::collectAssertions(Graph);
+    for (size_t I = 0; I != Asserts.size(); ++I) {
+      if (Asserts[I].second != Planted)
+        continue;
+      checks::fuzz::GroundTruth GT = checks::fuzz::estimateGroundTruth(
+          *Prog, *Planted, FileSeed, Opts.Runs);
+      Out.SoundnessViolation = checks::fuzz::soundnessViolation(
+          *Planted, Out.Db.records()[I].TheVerdict, GT,
+          soundnessTol(*Planted, Opts.Runs));
+      break;
+    }
+  }
+  return Out;
+}
+
+int runVerifyCorpus(const std::vector<std::string> &Paths,
+                    const CorpusOptions &Opts) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> Files;
+  for (const std::string &P : Paths) {
+    std::error_code Ec;
+    if (fs::is_directory(P, Ec)) {
+      for (const fs::directory_entry &E : fs::directory_iterator(P, Ec))
+        if (E.path().extension() == ".pp")
+          Files.push_back(E.path().string());
+    } else {
+      Files.push_back(P);
+    }
+  }
+  std::sort(Files.begin(), Files.end());
+  if (Files.empty()) {
+    std::fprintf(stderr,
+                 "error: verify-corpus found no .pp files to check\n");
+    return 2;
+  }
+
+  support::ThreadPool Pool(Opts.Jobs
+                               ? Opts.Jobs
+                               : support::ThreadPool::hardwareConcurrency());
+  std::mutex Mu;
+  checks::ChecksDb Global;
+  unsigned Failed = 0, NotConverged = 0;
+  std::vector<std::string> Violations, Failures;
+  Pool.parallelFor(size_t(0), Files.size(), [&](size_t I) {
+    CorpusFileOutcome Out;
+    try {
+      Out = processCorpusFile(Files[I], Opts,
+                              Opts.Seed + I * 0x9e3779b97f4a7c15ull);
+    } catch (const std::exception &E) {
+      Out.Ok = false;
+      Out.Error = std::string("exception: ") + E.what();
+    }
+    Out.Db.tagFile(Files[I]);
+    std::lock_guard<std::mutex> Lock(Mu);
+    Global.merge(Out.Db);
+    if (!Out.Ok) {
+      ++Failed;
+      Failures.push_back(Files[I] + ": " + Out.Error);
+    }
+    if (!Out.Converged)
+      ++NotConverged;
+    if (!Out.SoundnessViolation.empty())
+      Violations.push_back(Files[I] + ": " + Out.SoundnessViolation);
+  });
+
+  std::sort(Violations.begin(), Violations.end());
+  std::sort(Failures.begin(), Failures.end());
+  std::string Json = "{\"files\": " + std::to_string(Files.size());
+  Json += ", \"failed\": " + std::to_string(Failed);
+  Json += ", \"not_converged\": " + std::to_string(NotConverged);
+  Json += ", \"soundness_violations\": [";
+  for (size_t I = 0; I != Violations.size(); ++I) {
+    if (I)
+      Json += ", ";
+    Json += "\"";
+    for (char C : Violations[I])
+      C == '"' || C == '\\' ? (Json += '\\', Json += C) : (Json += C);
+    Json += "\"";
+  }
+  Json += "], \"checks\": " + Global.toJson() + "}";
+  if (!Opts.OutPath.empty()) {
+    std::ofstream OutFile(Opts.OutPath);
+    if (!OutFile) {
+      std::fprintf(stderr, "error: cannot write %s\n", Opts.OutPath.c_str());
+      return 1;
+    }
+    OutFile << Json << "\n";
+  } else {
+    std::printf("%s\n", Json.c_str());
+  }
+
+  for (const std::string &F : Failures)
+    std::fprintf(stderr, "error: %s\n", F.c_str());
+  for (const std::string &V : Violations)
+    std::fprintf(stderr, "error: SOUNDNESS VIOLATION: %s\n", V.c_str());
+  std::fprintf(stderr,
+               "verify-corpus: %zu files, %u failed, %u not converged, "
+               "%zu soundness violations; checks: %s\n",
+               Files.size(), Failed, NotConverged, Violations.size(),
+               Global.summary().c_str());
+  bool WerrorFail =
+      Opts.Werror && (Global.count(checks::Verdict::Warning) != 0 ||
+                      Global.count(checks::Verdict::Skipped) != 0);
+  return (Failed || !Violations.empty() || WerrorFail) ? 1 : 0;
+}
+
+int runGenCorpus(const std::string &Dir, unsigned Count, uint64_t Seed,
+                 const std::string &Family) {
+  namespace fs = std::filesystem;
+  std::error_code Ec;
+  fs::create_directories(Dir, Ec);
+  if (Ec) {
+    std::fprintf(stderr, "error: cannot create directory %s\n", Dir.c_str());
+    return 1;
+  }
+  for (unsigned I = 0; I != Count; ++I) {
+    Rng R(Seed + I * 0x9e3779b97f4a7c15ull + 1);
+    std::string Kind = Family;
+    if (Kind == "mixed")
+      Kind = I % 3 == 0 ? "bi" : I % 3 == 1 ? "mdp" : "leia";
+    std::unique_ptr<lang::Program> Prog;
+    lang::Stmt::Ptr Assertion;
+    if (Kind == "leia") {
+      Prog = testgen::randomRealProgram(
+          R, 2 + static_cast<unsigned>(R.below(2)),
+          3 + static_cast<unsigned>(R.below(2)));
+      Assertion = checks::fuzz::randomIntervalAssertion(R, *Prog);
+    } else {
+      testgen::BoolGenConfig C;
+      C.NumVars = 2 + static_cast<unsigned>(R.below(2));
+      C.NumStmts = 3 + static_cast<unsigned>(R.below(3));
+      if (R.below(3) == 0) {
+        C.HelperProcs = 2;
+        C.CallWeight = 2;
+      }
+      if (Kind == "mdp") {
+        // The MDP domain treats observe as the identity while the concrete
+        // semantics rejects the run; keep the fuzz distribution inside the
+        // fragment both readings agree on.
+        C.ObserveWeight = 0;
+        Prog = testgen::randomBoolProgram(R, C);
+        checks::fuzz::sprinkleRewards(R, *Prog,
+                                      1 + static_cast<unsigned>(R.below(3)));
+        Assertion = checks::fuzz::randomRewardAssertion(R);
+      } else {
+        Prog = testgen::randomBoolProgram(R, C);
+        Assertion = checks::fuzz::randomProbAssertion(R, *Prog);
+      }
+    }
+    // Half the corpus gets the decisive shape (assertion, then a constant
+    // prologue collapsing all pre-state rows); the other half keeps the
+    // raw pre-state dependence, exercising the for-all-pre-states
+    // warnings.
+    std::vector<lang::Stmt::Ptr> Prologue;
+    if (R.below(2) == 0)
+      Prologue = checks::fuzz::randomInitPrologue(R, *Prog);
+    checks::fuzz::plantAssertion(*Prog, std::move(Assertion),
+                                 std::move(Prologue));
+    char Name[32];
+    std::snprintf(Name, sizeof(Name), "prog_%05u.pp", I);
+    std::ofstream OutFile(fs::path(Dir) / Name);
+    if (!OutFile) {
+      std::fprintf(stderr, "error: cannot write %s/%s\n", Dir.c_str(), Name);
+      return 1;
+    }
+    OutFile << lang::toString(*Prog);
+  }
+  std::printf("gen-corpus: wrote %u programs to %s\n", Count, Dir.c_str());
+  return 0;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
   bool CheckMode = argc > 1 && std::strcmp(argv[1], "check") == 0;
+  bool CorpusMode = argc > 1 && std::strcmp(argv[1], "verify-corpus") == 0;
+  bool GenMode = argc > 1 && std::strcmp(argv[1], "gen-corpus") == 0;
   std::vector<std::string> Paths;
   std::string Domain = "leia";
   bool DomainExplicit = false;
   bool Decompose = false, EmitDot = false, Werror = false, Json = false;
+  uint64_t Seed = 1;
+  unsigned Count = 100, Runs = 2000;
+  std::string OutPath, Family = "mixed";
   CliSolverConfig Config;
-  for (int I = CheckMode ? 2 : 1; I < argc; ++I) {
+  for (int I = (CheckMode || CorpusMode || GenMode) ? 2 : 1; I < argc; ++I) {
     std::string Arg = argv[I];
     if (Arg.rfind("--domain=", 0) == 0) {
       Domain = Arg.substr(9);
@@ -339,7 +752,22 @@ int main(int argc, char **argv) {
     else if (Arg.rfind("--jobs=", 0) == 0)
       Config.Jobs =
           static_cast<unsigned>(std::strtoul(Arg.c_str() + 7, nullptr, 10));
-    else if (Arg[0] == '-' && Arg != "-")
+    else if (Arg.rfind("--seed=", 0) == 0)
+      Seed = std::strtoull(Arg.c_str() + 7, nullptr, 10);
+    else if (Arg.rfind("--runs=", 0) == 0)
+      Runs =
+          static_cast<unsigned>(std::strtoul(Arg.c_str() + 7, nullptr, 10));
+    else if (Arg.rfind("--count=", 0) == 0)
+      Count =
+          static_cast<unsigned>(std::strtoul(Arg.c_str() + 8, nullptr, 10));
+    else if (Arg.rfind("--out=", 0) == 0)
+      OutPath = Arg.substr(6);
+    else if (Arg.rfind("--family=", 0) == 0) {
+      Family = Arg.substr(9);
+      if (Family != "bi" && Family != "mdp" && Family != "leia" &&
+          Family != "mixed")
+        return usage(argv[0]);
+    } else if (Arg[0] == '-' && Arg != "-")
       return usage(argv[0]);
     else
       Paths.push_back(Arg);
@@ -348,6 +776,22 @@ int main(int argc, char **argv) {
   if (CheckMode)
     return runCheck(Paths, DomainExplicit ? Domain : std::string(),
                     Decompose, Werror, Json);
+  if (CorpusMode) {
+    CorpusOptions COpts;
+    COpts.Jobs = Config.Jobs.value_or(4);
+    COpts.Seed = Seed;
+    COpts.Runs = Runs;
+    if (Config.MaxUpdates)
+      COpts.MaxUpdates = *Config.MaxUpdates;
+    COpts.OutPath = OutPath;
+    COpts.Werror = Werror;
+    return runVerifyCorpus(Paths, COpts);
+  }
+  if (GenMode) {
+    if (Paths.size() != 1)
+      return usage(argv[0]);
+    return runGenCorpus(Paths[0], Count, Seed, Family);
+  }
 
   // --jobs also turns on the process-wide pool the dense-matrix kernels
   // draw from (distinct from the solver's per-solve pool).
@@ -369,6 +813,18 @@ int main(int argc, char **argv) {
   // type errors, domain-precondition violations) stop the analysis.
   DiagnosticEngine Diags;
   Diags.setWarningsAsErrors(Werror);
+  // Flags that only affect the LEIA path are diagnosed, not silently
+  // dropped, when another domain was selected.
+  if (Config.Numeric && Domain != "leia")
+    Diags.report(Severity::Warning, {}, "option-ignored",
+                 "--numeric selects the LEIA numeric backend and has no "
+                 "effect with --domain=" +
+                     Domain);
+  if (Decompose && Domain != "leia")
+    Diags.report(Severity::Warning, {}, "option-ignored",
+                 "--decompose targets signed variables of LEIA runs; with "
+                 "--domain=" +
+                     Domain + " it does not change the analysis");
   std::unique_ptr<lang::Program> Prog =
       parseAndLint(Path, Source, Diags, Domain, Decompose);
   if (!Diags.empty()) {
@@ -402,7 +858,13 @@ int main(int argc, char **argv) {
         for (const std::string &Inv : Invariants)
           std::printf("  %s\n", Inv.c_str());
       }
-      return Config.finish(Counters, Opts, Result.Stats);
+      checks::CheckerOptions COpts;
+      COpts.Converged = Result.Stats.Converged;
+      int CheckExit = reportCheckResults(
+          checks::checkLeia(Dom, Graph, Result.Values, COpts), Path, Source,
+          Werror, Json);
+      int Exit = Config.finish(Counters, Opts, Result.Stats);
+      return CheckExit ? CheckExit : Exit;
     };
     switch (Opts.Numeric) {
     case NumericBackend::Poly:
@@ -439,7 +901,15 @@ int main(int argc, char **argv) {
       }
       std::printf("  terminating mass: %.6f\n", Mass);
     }
-    return Config.finish(Counters, Opts, Result.Stats);
+    checks::CheckerOptions COpts;
+    COpts.Converged = Result.Stats.Converged;
+    int CheckExit = reportCheckResults(
+        checks::checkBiSummaries(
+            Space, Graph, [&](unsigned N) { return Result.Values[N]; },
+            COpts),
+        Path, Source, Werror, Json);
+    int Exit = Config.finish(Counters, Opts, Result.Stats);
+    return CheckExit ? CheckExit : Exit;
   }
   if (Domain == "mdp") {
     MdpDomain Dom;
@@ -451,7 +921,13 @@ int main(int argc, char **argv) {
       std::printf("%s(): greatest expected reward = %g\n",
                   Prog->Procs[P].Name.c_str(),
                   Result.Values[Graph.proc(P).Entry]);
-    return Config.finish(Counters, Opts, Result.Stats);
+    checks::CheckerOptions COpts;
+    COpts.Converged = Result.Stats.Converged;
+    int CheckExit = reportCheckResults(
+        checks::checkMdp(Graph, Result.Values, COpts), Path, Source, Werror,
+        Json);
+    int Exit = Config.finish(Counters, Opts, Result.Stats);
+    return CheckExit ? CheckExit : Exit;
   }
   if (Domain == "termination") {
     TerminationDomain Dom;
@@ -462,7 +938,12 @@ int main(int argc, char **argv) {
       std::printf("%s(): P[termination] >= %.6f\n",
                   Prog->Procs[P].Name.c_str(),
                   Result.Values[Graph.proc(P).Entry]);
-    return Config.finish(Counters, Opts, Result.Stats);
+    int CheckExit = reportCheckResults(
+        checks::skipAllChecks(Graph, "the termination analysis has no "
+                                     "assertion checker"),
+        Path, Source, Werror, Json);
+    int Exit = Config.finish(Counters, Opts, Result.Stats);
+    return CheckExit ? CheckExit : Exit;
   }
   std::fprintf(stderr, "error: unknown domain %s\n", Domain.c_str());
   return usage(argv[0]);
