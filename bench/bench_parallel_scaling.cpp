@@ -20,7 +20,20 @@
 //       chains — under both parallel-scc (which sees one SCC and
 //       degenerates to ~1x) and parallel-intra
 //       (IterationStrategy::ParallelIntra), which runs the conflict-free
-//       arms of the loop body concurrently between barriers.
+//       arms of the loop body concurrently between barriers, and
+//  (v)  the ladder-retention family (LADDER): the hottest ladder-backed
+//       LEIA programs (coupon5, eg, eg-tail) under parallel-scc, scored
+//       as *retention* — Seconds[jobs=1] / Seconds[jobs=J] — and
+//       *asserted*: every jobs>=2 row must retain at least 0.8x of the
+//       jobs=1 wall time (equivalently, run within 1.25x of it), i.e. the
+//       ladder's sequential win must survive the move to the parallel
+//       schedulers. The component->worker affinity keeps the thread-local
+//       conversion memos hot, and the sharded L2 conversion cache catches
+//       the stolen components; a retention below the floor exits nonzero,
+//       so CI can smoke this family alone via `--family=ladder`.
+//
+// `--family=<bi|addbi|leia|wide|ladder>` restricts the run to one family
+// (default: all).
 //
 // Speedup is reported relative to the same configuration at one job.
 // Both schedules are deterministic — the parallel fixpoints are
@@ -43,7 +56,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <iterator>
+#include <string_view>
 
 using namespace pmaf;
 using namespace pmaf::core;
@@ -52,6 +67,16 @@ using namespace pmaf::domains;
 namespace {
 
 constexpr unsigned JobCounts[] = {1, 2, 4, 8};
+
+/// The LADDER family's floor: every jobs>=2 row must keep at least this
+/// fraction of the jobs=1 ladder wall time (0.8x retention == within
+/// 1.25x of the jobs=1 time per fixpoint).
+constexpr double MinLadderRetention = 0.8;
+
+/// The ladder-backed LEIA programs the LADDER retention family asserts
+/// on — the programs whose sequential ladder win motivated the
+/// locality-aware pool in the first place.
+constexpr const char *LadderFamilyPrograms[] = {"coupon5", "eg", "eg-tail"};
 
 struct ScalingRow {
   double Seconds[4] = {0, 0, 0, 0};
@@ -133,6 +158,18 @@ void printRow(const char *Family, const char *Name, const ScalingRow &Row,
 
 int main(int argc, char **argv) {
   std::string JsonPath = bench::extractJsonPath(argc, argv);
+  std::string Family = bench::extractStringFlag(argc, argv, "--family=");
+  auto Want = [&Family](const char *F) {
+    return Family.empty() || Family == F;
+  };
+  if (!Family.empty() && !Want("bi") && !Want("addbi") && !Want("leia") &&
+      !Want("wide") && !Want("ladder")) {
+    std::fprintf(stderr,
+                 "error: unknown --family=%s (expected bi, addbi, leia, "
+                 "wide, or ladder)\n",
+                 Family.c_str());
+    return 1;
+  }
   bench::JsonEmitter Json;
 
   std::printf("Parallel-engine scaling: analysis time vs --jobs "
@@ -147,53 +184,56 @@ int main(int argc, char **argv) {
 
   // (i) BI: precompilation and the dense kernels parallelize; the
   // WTO-recursive schedule itself stays sequential.
-  for (const auto &Bench : benchmarks::biPrograms()) {
-    auto Prog = lang::parseProgramOrDie(Bench.Source);
-    cfg::ProgramGraph Graph = cfg::ProgramGraph::build(*Prog);
-    BoolStateSpace Space(*Prog);
-    BiDomain Dom(Space);
-    ScalingRow Row = measure([&](unsigned Jobs) {
-      SolverOptions Opts;
-      Opts.UseWidening = false;
-      Opts.Jobs = Jobs;
-      BiDomain Copy = Dom;
-      return solve(Graph, Copy, Opts);
-    });
-    printRow("BI", Bench.Name, Row, Json);
-  }
+  if (Want("bi"))
+    for (const auto &Bench : benchmarks::biPrograms()) {
+      auto Prog = lang::parseProgramOrDie(Bench.Source);
+      cfg::ProgramGraph Graph = cfg::ProgramGraph::build(*Prog);
+      BoolStateSpace Space(*Prog);
+      BiDomain Dom(Space);
+      ScalingRow Row = measure([&](unsigned Jobs) {
+        SolverOptions Opts;
+        Opts.UseWidening = false;
+        Opts.Jobs = Jobs;
+        BiDomain Copy = Dom;
+        return solve(Graph, Copy, Opts);
+      });
+      printRow("BI", Bench.Name, Row, Json);
+    }
 
   // (ii) ADD-backed BI under the parallel per-SCC scheduler: each run
   // gets a fresh domain (and hence a fresh home manager), so the timing
   // includes the full import/export migration traffic of the arenas.
-  for (const auto &Bench : benchmarks::biPrograms()) {
-    auto Prog = lang::parseProgramOrDie(Bench.Source);
-    cfg::ProgramGraph Graph = cfg::ProgramGraph::build(*Prog);
-    BoolStateSpace Space(*Prog);
-    ScalingRow Row = measure([&](unsigned Jobs) {
-      AddBiDomain Dom(Space);
-      SolverOptions Opts;
-      Opts.UseWidening = false;
-      Opts.Strategy = IterationStrategy::ParallelScc;
-      Opts.Jobs = Jobs;
-      return solve(Graph, Dom, Opts);
-    });
-    printRow("ADDBI", Bench.Name, Row, Json);
-  }
+  if (Want("addbi"))
+    for (const auto &Bench : benchmarks::biPrograms()) {
+      auto Prog = lang::parseProgramOrDie(Bench.Source);
+      cfg::ProgramGraph Graph = cfg::ProgramGraph::build(*Prog);
+      BoolStateSpace Space(*Prog);
+      ScalingRow Row = measure([&](unsigned Jobs) {
+        AddBiDomain Dom(Space);
+        SolverOptions Opts;
+        Opts.UseWidening = false;
+        Opts.Strategy = IterationStrategy::ParallelScc;
+        Opts.Jobs = Jobs;
+        return solve(Graph, Dom, Opts);
+      });
+      printRow("ADDBI", Bench.Name, Row, Json);
+    }
 
   // (iii) LEIA under the parallel per-SCC scheduler: procedures and
   // independent loop nests stabilize concurrently.
-  for (const auto &Bench : benchmarks::leiaPrograms()) {
-    auto Prog = lang::parseProgramOrDie(Bench.Source);
-    cfg::ProgramGraph Graph = cfg::ProgramGraph::build(*Prog);
-    ScalingRow Row = measure([&](unsigned Jobs) {
-      LeiaDomain Dom(*Prog);
-      SolverOptions Opts;
-      Opts.Strategy = IterationStrategy::ParallelScc;
-      Opts.Jobs = Jobs;
-      return solve(Graph, Dom, Opts);
-    });
-    printRow("LEIA", Bench.Name, Row, Json);
-  }
+  if (Want("leia"))
+    for (const auto &Bench : benchmarks::leiaPrograms()) {
+      auto Prog = lang::parseProgramOrDie(Bench.Source);
+      cfg::ProgramGraph Graph = cfg::ProgramGraph::build(*Prog);
+      ScalingRow Row = measure([&](unsigned Jobs) {
+        LeiaDomain Dom(*Prog);
+        SolverOptions Opts;
+        Opts.Strategy = IterationStrategy::ParallelScc;
+        Opts.Jobs = Jobs;
+        return solve(Graph, Dom, Opts);
+      });
+      printRow("LEIA", Bench.Name, Row, Json);
+    }
 
   // (iv) The single-SCC-dominant wide loop: the whole program is one
   // loop nest, so the condensation offers parallel-scc nothing, while
@@ -203,7 +243,7 @@ int main(int argc, char **argv) {
   // at eight variables a single solve already dwarfs the whole rest of
   // the table — four keeps the family cheap while still giving the
   // intra-component planner multi-unit batches to fan out.
-  {
+  if (Want("wide")) {
     std::string Source = wideLoopSource(/*Arms=*/4, /*ChainLen=*/12);
     auto Prog = lang::parseProgramOrDie(Source);
     cfg::ProgramGraph Graph = cfg::ProgramGraph::build(*Prog);
@@ -224,6 +264,48 @@ int main(int argc, char **argv) {
     }
   }
 
+  // (v) The ladder-retention assertion: the same measurement as (iii) on
+  // the hottest ladder programs, but the "speedup" column — which for
+  // this family reads as retention, Seconds[jobs=1] / Seconds[J] — is a
+  // hard floor. Affinity keeps a component's conversions in its owning
+  // worker's thread-local memo, and the sharded L2 backstops steals, so
+  // multi-worker rows must stay within 1.25x of the jobs=1 wall time;
+  // a colder-than-0.8x row fails the binary.
+  unsigned RetentionFailures = 0;
+  if (Want("ladder"))
+    for (const auto &Bench : benchmarks::leiaPrograms()) {
+      if (std::none_of(std::begin(LadderFamilyPrograms),
+                       std::end(LadderFamilyPrograms),
+                       [&Bench](const char *Name) {
+                         return Bench.Name == std::string_view(Name);
+                       }))
+        continue;
+      auto Prog = lang::parseProgramOrDie(Bench.Source);
+      cfg::ProgramGraph Graph = cfg::ProgramGraph::build(*Prog);
+      ScalingRow Row = measure([&](unsigned Jobs) {
+        LeiaDomain Dom(*Prog);
+        SolverOptions Opts;
+        Opts.Strategy = IterationStrategy::ParallelScc;
+        Opts.Jobs = Jobs;
+        return solve(Graph, Dom, Opts);
+      });
+      printRow("LADDER", Bench.Name, Row, Json);
+      for (size_t J = 1; J != std::size(JobCounts); ++J) {
+        if (Row.Seconds[0] <= 0.0 || Row.Seconds[J] <= 0.0)
+          continue;
+        double Retention = Row.Seconds[0] / Row.Seconds[J];
+        if (Retention < MinLadderRetention) {
+          std::fprintf(stderr,
+                       "FAIL: LADDER/%s jobs=%u retains only %.2fx of the "
+                       "jobs=1 ladder wall time (floor %.2fx): %.4fs vs "
+                       "%.4fs\n",
+                       Bench.Name, JobCounts[J], Retention,
+                       MinLadderRetention, Row.Seconds[J], Row.Seconds[0]);
+          ++RetentionFailures;
+        }
+      }
+    }
+
   bench::printRule(100);
   std::printf("\n");
   if (!Json.writeTo(JsonPath))
@@ -231,5 +313,11 @@ int main(int argc, char **argv) {
 
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  if (RetentionFailures) {
+    std::fprintf(stderr,
+                 "%u LADDER row(s) below the %.2fx retention floor\n",
+                 RetentionFailures, MinLadderRetention);
+    return 1;
+  }
   return 0;
 }

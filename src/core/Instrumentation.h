@@ -49,6 +49,12 @@ struct NumericLayerStats {
   /// Constraint⇄generator conversion memo traffic inside Polyhedron.
   uint64_t ConversionCacheHits = 0;
   uint64_t ConversionCacheMisses = 0;
+  /// The subset of ConversionCacheHits served by the process-wide sharded
+  /// L2 (the thread-local L1 missed: a stolen component, a fresh pool
+  /// worker, or conversions inherited from an earlier solve).
+  uint64_t SharedCacheHits = 0;
+  /// Memo entries the bounded caches dropped at their caps.
+  uint64_t CacheEvictions = 0;
   /// Times a ladder block climbed a rung (box → zone → poly).
   uint64_t Escalations = 0;
   /// Widest intermediate generator matrix any minimization built.
@@ -125,6 +131,20 @@ public:
   virtual void onNumericLayer(const NumericLayerStats &Stats) {
     (void)Stats;
   }
+
+  /// The solve's pool queueing totals: \p TasksRun tasks executed across
+  /// the per-solve pool's workers, of which \p Steals were taken from
+  /// another worker's deque and \p AffinityHits were pinned tasks run by
+  /// their owner. One aggregate event per parallel solve, emitted from
+  /// the coordinating thread after the pool quiesces — deliberately not a
+  /// per-steal callback, which would put an observer virtual call on the
+  /// stealing fast path.
+  virtual void onPoolQueue(uint64_t TasksRun, uint64_t Steals,
+                           uint64_t AffinityHits) {
+    (void)TasksRun;
+    (void)Steals;
+    (void)AffinityHits;
+  }
 };
 
 /// The stock timing/counter observer: tallies every event and the
@@ -161,6 +181,11 @@ public:
   /// Numeric-layer counters summed over observed solves (peaks take the
   /// max); all-zero unless some solve's domain reports them.
   NumericLayerStats Numeric;
+  /// Pool queueing aggregates summed over parallel solves (onPoolQueue);
+  /// all-zero for sequential runs.
+  std::atomic<uint64_t> PoolTasksRun{0};
+  std::atomic<uint64_t> PoolSteals{0};
+  std::atomic<uint64_t> PoolAffinityHits{0};
 
   SolverInstrumentation() = default;
   /// Copyable despite the atomics (snapshot semantics) so harnesses can
@@ -221,11 +246,19 @@ public:
     Numeric.MinimizationCalls += Stats.MinimizationCalls;
     Numeric.ConversionCacheHits += Stats.ConversionCacheHits;
     Numeric.ConversionCacheMisses += Stats.ConversionCacheMisses;
+    Numeric.SharedCacheHits += Stats.SharedCacheHits;
+    Numeric.CacheEvictions += Stats.CacheEvictions;
     Numeric.Escalations += Stats.Escalations;
     if (Stats.PeakGeneratorRows > Numeric.PeakGeneratorRows)
       Numeric.PeakGeneratorRows = Stats.PeakGeneratorRows;
     if (Stats.MaxPackWidth > Numeric.MaxPackWidth)
       Numeric.MaxPackWidth = Stats.MaxPackWidth;
+  }
+  void onPoolQueue(uint64_t TasksRun, uint64_t Steals,
+                   uint64_t AffinityHits) override {
+    PoolTasksRun.fetch_add(TasksRun, std::memory_order_relaxed);
+    PoolSteals.fetch_add(Steals, std::memory_order_relaxed);
+    PoolAffinityHits.fetch_add(AffinityHits, std::memory_order_relaxed);
   }
 
   void reset() { *this = SolverInstrumentation(); }
@@ -272,16 +305,29 @@ public:
         }
       Out += '\n';
     }
+    if (uint64_t Tasks = PoolTasksRun.load()) {
+      std::snprintf(
+          Buffer, sizeof(Buffer),
+          "; pool queue: %llu tasks run, %llu steals, %llu affinity "
+          "hits\n",
+          static_cast<unsigned long long>(Tasks),
+          static_cast<unsigned long long>(PoolSteals.load()),
+          static_cast<unsigned long long>(PoolAffinityHits.load()));
+      Out += Buffer;
+    }
     if (Numeric.MinimizationCalls > 0 || Numeric.ConversionCacheHits > 0) {
       std::snprintf(
           Buffer, sizeof(Buffer),
           "; numeric layer: %llu Chernikova minimizations (peak %u "
-          "generator rows), conversion cache %llu hits / %llu misses\n"
+          "generator rows), conversion cache %llu hits / %llu misses "
+          "(%llu shared-L2 hits, %llu evictions)\n"
           "; ladder: %llu escalations, max pack width %u\n",
           static_cast<unsigned long long>(Numeric.MinimizationCalls),
           Numeric.PeakGeneratorRows,
           static_cast<unsigned long long>(Numeric.ConversionCacheHits),
           static_cast<unsigned long long>(Numeric.ConversionCacheMisses),
+          static_cast<unsigned long long>(Numeric.SharedCacheHits),
+          static_cast<unsigned long long>(Numeric.CacheEvictions),
           static_cast<unsigned long long>(Numeric.Escalations),
           Numeric.MaxPackWidth);
       Out += Buffer;
@@ -306,6 +352,9 @@ private:
     for (unsigned W = 0; W <= MaxWidthBucket; ++W)
       IntraWidthHistogram[W].store(Other.IntraWidthHistogram[W].load());
     IntraBarrierWaitNanos.store(Other.IntraBarrierWaitNanos.load());
+    PoolTasksRun.store(Other.PoolTasksRun.load());
+    PoolSteals.store(Other.PoolSteals.load());
+    PoolAffinityHits.store(Other.PoolAffinityHits.load());
     Numeric = Other.Numeric;
     Start = Other.Start;
   }

@@ -120,6 +120,16 @@ struct ScheduleContext {
   /// atomic. The facade sets this; schedulers must not parallelize
   /// without it.
   bool ParallelSafe = false;
+  /// Component→worker affinity (SolverOptions::Affinity): the parallel
+  /// schedulers pin an SCC's stabilization rounds / a body unit's batch
+  /// slot to a fixed pool worker (postTo / ParallelBatch::runSticky), so
+  /// that worker's thread-local conversion memos stay hot across outer
+  /// re-iterations. Pinned work is still stolen when the owner saturates,
+  /// and the fixpoint is unaffected either way (determinism comes from
+  /// the per-SCC single-writer discipline and the conflict-free batches,
+  /// not from which worker runs what). Off → the pre-affinity shared-FIFO
+  /// dispatch, kept for A/B measurement and the parity sweep.
+  bool Affinity = true;
   /// Optional out-param: the parallel scheduler CAS-maxes the number of
   /// simultaneously in-flight SCC stabilizations into it (the facade
   /// reports it as SolverStats::MaxParallelSccs). Ignored by sequential
@@ -290,6 +300,18 @@ public:
     std::mutex ExceptionMutex;
     std::exception_ptr FirstException;
 
+    // Dispatch an SCC to the pool. With affinity, SCC S is pinned to
+    // worker S mod pool-size — the same worker on every dispatch, so the
+    // conversion memos it populated for S's nodes in earlier rounds stay
+    // hot — and stolen only when that worker is saturated. Without it,
+    // the shared FIFO takes the task (the pre-affinity behaviour).
+    auto Dispatch = [&Ctx](unsigned S, std::function<void()> Fn) {
+      if (Ctx.Affinity)
+        Ctx.Pool->postTo(S, std::move(Fn));
+      else
+        Ctx.Pool->post(std::move(Fn));
+    };
+
     // One task = one SCC stabilized start to fixpoint on one worker.
     // Tasks release their dependents themselves, so the frontier advances
     // without a coordinator round-trip; acq_rel on the in-degree makes the
@@ -317,7 +339,7 @@ public:
           unsigned T = SccOf[V];
           if (T != S &&
               Pending[T].fetch_sub(1, std::memory_order_acq_rel) == 1)
-            Ctx.Pool->post([&RunScc, T] { RunScc(T); });
+            Dispatch(T, [&RunScc, T] { RunScc(T); });
         }
       if (Remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         std::lock_guard<std::mutex> Lock(DoneMutex);
@@ -327,7 +349,7 @@ public:
 
     for (unsigned S = 0; S != NumSccs; ++S)
       if (InDegree[S] == 0)
-        Ctx.Pool->post([&RunScc, S] { RunScc(S); });
+        Dispatch(S, [&RunScc, S] { RunScc(S); });
 
     std::unique_lock<std::mutex> Lock(DoneMutex);
     DoneCv.wait(Lock, [&Remaining] {
@@ -399,9 +421,16 @@ private:
           stabilizeBatched(Ctx, Element.Body[Units[0]], Batch);
           continue;
         }
-        double Waited = Batch.run(Units.size(), [&](size_t I) {
+        // With affinity, unit slot I is pinned to lane I mod (workers+1)
+        // on every pass (runSticky), so a unit's conversion memos live on
+        // one worker across the component's re-iterations; without it,
+        // any lane claims any unit from the shared cursor. Either way the
+        // batch is conflict-free, so the pass is extensionally identical.
+        auto Body = [&](size_t I) {
           stabilizeElement(Ctx, Element.Body[Units[I]]);
-        });
+        };
+        double Waited = Ctx.Affinity ? Batch.runSticky(Units.size(), Body)
+                                     : Batch.run(Units.size(), Body);
         if (Ctx.IntraBatchesRun)
           Ctx.IntraBatchesRun->fetch_add(1, std::memory_order_relaxed);
         if (Ctx.IntraBarrierWaitNanos)

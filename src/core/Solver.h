@@ -135,6 +135,14 @@ struct SolverOptions {
   /// precompiles transformers up front, just on the calling thread.
   unsigned Jobs = 1;
 
+  /// Component→worker affinity for the parallel schedulers: pin an SCC's
+  /// stabilization rounds (ParallelScc) and a body unit's batch slot
+  /// (ParallelIntra) to a fixed pool worker so its thread-local
+  /// conversion memos stay hot across re-iterations; the pool still
+  /// steals from a saturated owner. Fixpoints are identical either way —
+  /// the switch exists for A/B measurement and the parity sweep.
+  bool Affinity = true;
+
   /// Numeric backend for polyhedra-based domains. Consumed by the
   /// harnesses when they construct the domain (the solver template never
   /// reads it — the backend is baked into the domain type).
@@ -174,6 +182,17 @@ struct SolverStats {
   uint64_t IntraBatchesRun = 0;
   unsigned MaxIntraBatchWidth = 0;
   double IntraBarrierWaitSeconds = 0.0;
+  /// Pool queueing for the solve (all zero for sequential solves): tasks
+  /// executed across workers, tasks taken from another worker's deque,
+  /// and pinned tasks run by their owning worker. Steals low and
+  /// affinity hits high is the locality protocol working; steals high
+  /// means the SCC/batch structure is too imbalanced for pinning and the
+  /// pool is rebalancing instead.
+  uint64_t PoolTasksRun = 0;
+  uint64_t PoolSteals = 0;
+  uint64_t PoolAffinityHits = 0;
+  /// Per-worker breakdown of the same counters (index = worker).
+  std::vector<support::ThreadPool::WorkerQueueStats> PoolWorkers;
   /// Numeric-layer counters for domains that report them (all-zero
   /// otherwise): per-solve deltas of the monotone counters, current
   /// high-water marks for the peaks (reset via poly::resetNumericPeaks).
@@ -361,6 +380,7 @@ AnalysisResult<typename D::Value> solve(CompiledProgram<D> &Compiled,
   Ctx.Observer = Observer;
   Ctx.Pool = Pool.get();
   Ctx.ParallelSafe = ParallelSafe;
+  Ctx.Affinity = Opts.Affinity;
   Ctx.MaxParallelSccs = &MaxParallelSccs;
   if (Opts.Strategy == IterationStrategy::ParallelIntra) {
     Ctx.IntraPlans = &Compiled.intraPlans();
@@ -386,9 +406,20 @@ AnalysisResult<typename D::Value> solve(CompiledProgram<D> &Compiled,
       Compiled.interpretCalls() - InterpretCallsBefore;
   Result.Stats.InterpretCacheHits =
       Compiled.interpretCacheHits() - InterpretHitsBefore;
-  if (Pool)
+  if (Pool) {
     for (double Busy : Pool->workerBusySeconds())
       Result.Stats.ThreadBusySeconds += Busy;
+    // The pool is per-solve, so its lifetime totals are this solve's
+    // queueing story (precompilation fan-out included).
+    Result.Stats.PoolWorkers = Pool->workerQueueStats();
+    Result.Stats.PoolTasksRun = Pool->totalTasksRun();
+    Result.Stats.PoolSteals = Pool->totalSteals();
+    Result.Stats.PoolAffinityHits = Pool->totalAffinityHits();
+    if (Observer)
+      Observer->onPoolQueue(Result.Stats.PoolTasksRun,
+                            Result.Stats.PoolSteals,
+                            Result.Stats.PoolAffinityHits);
+  }
   if constexpr (ReportsNumericStats<D>) {
     NumericLayerStats Now = D::numericStats();
     Result.Stats.Numeric.MinimizationCalls =
@@ -397,6 +428,10 @@ AnalysisResult<typename D::Value> solve(CompiledProgram<D> &Compiled,
         Now.ConversionCacheHits - NumericBefore.ConversionCacheHits;
     Result.Stats.Numeric.ConversionCacheMisses =
         Now.ConversionCacheMisses - NumericBefore.ConversionCacheMisses;
+    Result.Stats.Numeric.SharedCacheHits =
+        Now.SharedCacheHits - NumericBefore.SharedCacheHits;
+    Result.Stats.Numeric.CacheEvictions =
+        Now.CacheEvictions - NumericBefore.CacheEvictions;
     Result.Stats.Numeric.Escalations =
         Now.Escalations - NumericBefore.Escalations;
     Result.Stats.Numeric.PeakGeneratorRows = Now.PeakGeneratorRows;

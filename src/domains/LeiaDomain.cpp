@@ -51,6 +51,8 @@ core::NumericLayerStats LeiaDomainT<NumV>::numericStats() {
       C.ConversionCacheHits.load(std::memory_order_relaxed);
   S.ConversionCacheMisses =
       C.ConversionCacheMisses.load(std::memory_order_relaxed);
+  S.SharedCacheHits = C.SharedCacheHits.load(std::memory_order_relaxed);
+  S.CacheEvictions = C.CacheEvictions.load(std::memory_order_relaxed);
   S.Escalations = C.LadderEscalations.load(std::memory_order_relaxed);
   S.PeakGeneratorRows =
       C.PeakGeneratorRows.load(std::memory_order_relaxed);

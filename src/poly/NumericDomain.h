@@ -109,6 +109,14 @@ struct NumericCounters {
   /// Conversions that missed the cache (equals MinimizationCalls modulo
   /// the re-minimization passes a single construction performs).
   std::atomic<uint64_t> ConversionCacheMisses{0};
+  /// The subset of ConversionCacheHits answered by the process-wide
+  /// sharded L2 cache (the thread-local L1 missed — typically a stolen
+  /// component, a fresh pool worker, or a new per-solve pool reusing
+  /// conversions an earlier solve computed).
+  std::atomic<uint64_t> SharedCacheHits{0};
+  /// Memo entries dropped by the bounded caches (L1 and L2 shards evict
+  /// about half their entries when they reach their cap).
+  std::atomic<uint64_t> CacheEvictions{0};
   /// Ladder blocks promoted to a more expensive rung because a constraint
   /// or image escaped the current fragment.
   std::atomic<uint64_t> LadderEscalations{0};

@@ -117,12 +117,87 @@ struct ConvKeyHash {
   }
 };
 
-/// Memoizes whole representation conversions. Thread-local so parallel
-/// solves need no locking (workers build private caches); bounded by a
-/// wholesale clear so a long random-program run cannot grow it without
-/// limit. Canonicalizing an unchanged system — e.g. after a no-op meet —
-/// is a hash lookup instead of a Chernikova run.
-constexpr size_t ConversionCacheCap = 4096;
+/// Memoizes whole representation conversions in two levels:
+///
+///  * **L1** — a per-thread map probed without any locking. Canonicalizing
+///    an unchanged system — e.g. after a no-op meet — is one hash lookup
+///    instead of a Chernikova run.
+///  * **L2** — a process-wide, lock-striped shard array keyed by the
+///    ConvKey hash. The L2 is what keeps the ladder's conversion reuse
+///    alive under parallelism: per-solve pool workers are born with cold
+///    L1s, and a component stolen (or reassigned) across workers would
+///    otherwise recompute every minimization its previous worker already
+///    paid for. A shard mutex is held only for lookup/insert — never
+///    across a Chernikova run — so two threads racing on the same missing
+///    key at worst both compute it (the duplicate insert is a no-op).
+///
+/// Both levels are bounded: at cap they evict about half their entries
+/// (every other element, in iteration order — effectively random for an
+/// unordered_map, and O(n) amortized over the n insertions that filled
+/// them), counted in NumericCounters::CacheEvictions so a long-lived
+/// process can see churn.
+constexpr size_t L1ConversionCacheCap = 2048;
+constexpr size_t L2ConversionShards = 16;
+constexpr size_t L2ConversionShardCap = 4096;
+
+using ConvMap = std::unordered_map<ConvKey, Polyhedron, ConvKeyHash>;
+
+void evictHalf(ConvMap &Map) {
+  uint64_t Dropped = 0;
+  for (auto It = Map.begin(); It != Map.end();) {
+    It = Map.erase(It);
+    if (It != Map.end())
+      ++It; // Keep every other entry.
+    ++Dropped;
+  }
+  numericCounters().CacheEvictions.fetch_add(Dropped,
+                                             std::memory_order_relaxed);
+}
+
+struct ConvShard {
+  std::mutex Mutex;
+  ConvMap Map;
+};
+
+ConvShard &shardFor(size_t Hash) {
+  static ConvShard Shards[L2ConversionShards];
+  return Shards[Hash % L2ConversionShards];
+}
+
+/// The shared conversion-cache protocol: L1 probe, then L2 probe, then
+/// compute (outside all locks) and publish to both levels. \p Compute
+/// receives the canonicalized key and must be pure in it.
+template <typename ComputeFn>
+Polyhedron cachedConversion(ConvKey Key, ComputeFn &&Compute) {
+  NumericCounters &Counters = numericCounters();
+  thread_local ConvMap L1;
+  if (auto It = L1.find(Key); It != L1.end()) {
+    Counters.ConversionCacheHits.fetch_add(1, std::memory_order_relaxed);
+    return It->second;
+  }
+  const size_t Hash = ConvKeyHash{}(Key);
+  ConvShard &Shard = shardFor(Hash);
+  std::optional<Polyhedron> P;
+  {
+    std::lock_guard<std::mutex> Lock(Shard.Mutex);
+    if (auto It = Shard.Map.find(Key); It != Shard.Map.end())
+      P = It->second; // Deep copy under the lock; BigInt is a value type.
+  }
+  if (P) {
+    Counters.ConversionCacheHits.fetch_add(1, std::memory_order_relaxed);
+    Counters.SharedCacheHits.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    Counters.ConversionCacheMisses.fetch_add(1, std::memory_order_relaxed);
+    P = Compute(static_cast<const ConvKey &>(Key));
+    std::lock_guard<std::mutex> Lock(Shard.Mutex);
+    if (Shard.Map.size() >= L2ConversionShardCap)
+      evictHalf(Shard.Map);
+    Shard.Map.emplace(Key, *P); // No-op if another thread raced us here.
+  }
+  if (L1.size() >= L1ConversionCacheCap)
+    evictHalf(L1);
+  return L1.emplace(std::move(Key), std::move(*P)).first->second;
+}
 
 } // namespace
 
@@ -311,39 +386,29 @@ Polyhedron Polyhedron::fromConstraintRows(unsigned Dim,
   Rows.push_back(positivityRow(Dim));
   sortAndDedup(Rows);
 
-  thread_local std::unordered_map<ConvKey, Polyhedron, ConvKeyHash> Cache;
   ConvKey Key{/*FromGenerators=*/false, Dim, std::move(Rows)};
-  if (auto It = Cache.find(Key); It != Cache.end()) {
-    numericCounters().ConversionCacheHits.fetch_add(
-        1, std::memory_order_relaxed);
-    return It->second;
-  }
-  numericCounters().ConversionCacheMisses.fetch_add(
-      1, std::memory_order_relaxed);
-
-  Polyhedron P;
-  P.Dim = Dim;
-  P.Gens = dualize(Key.Rows, Dim + 1);
-  P.Empty = std::none_of(P.Gens.begin(), P.Gens.end(),
-                         [](const ConeRow &G) {
-                           return !G.IsLinearity && G.Coeffs[0].sign() > 0;
-                         });
-  if (P.Empty) {
-    P.Gens.clear();
-  } else {
-    P.Cons = dualize(P.Gens, Dim + 1);
-    P.Cons.erase(std::remove_if(P.Cons.begin(), P.Cons.end(),
-                                isTrivialConstraint),
-                 P.Cons.end());
-    // Re-minimize the generator side against the minimal constraints.
-    std::vector<ConeRow> MinimalCons = P.Cons;
-    MinimalCons.push_back(positivityRow(Dim));
-    P.Gens = dualize(MinimalCons, Dim + 1);
-  }
-  if (Cache.size() >= ConversionCacheCap)
-    Cache.clear();
-  Cache.emplace(std::move(Key), P);
-  return P;
+  return cachedConversion(std::move(Key), [Dim](const ConvKey &K) {
+    Polyhedron P;
+    P.Dim = Dim;
+    P.Gens = dualize(K.Rows, Dim + 1);
+    P.Empty = std::none_of(P.Gens.begin(), P.Gens.end(),
+                           [](const ConeRow &G) {
+                             return !G.IsLinearity && G.Coeffs[0].sign() > 0;
+                           });
+    if (P.Empty) {
+      P.Gens.clear();
+    } else {
+      P.Cons = dualize(P.Gens, Dim + 1);
+      P.Cons.erase(std::remove_if(P.Cons.begin(), P.Cons.end(),
+                                  isTrivialConstraint),
+                   P.Cons.end());
+      // Re-minimize the generator side against the minimal constraints.
+      std::vector<ConeRow> MinimalCons = P.Cons;
+      MinimalCons.push_back(positivityRow(Dim));
+      P.Gens = dualize(MinimalCons, Dim + 1);
+    }
+    return P;
+  });
 }
 
 Polyhedron Polyhedron::fromGeneratorRows(unsigned Dim,
@@ -366,24 +431,15 @@ Polyhedron Polyhedron::fromGeneratorRows(unsigned Dim,
     return empty(Dim);
   sortAndDedup(Rows);
 
-  thread_local std::unordered_map<ConvKey, Polyhedron, ConvKeyHash> Cache;
   ConvKey Key{/*FromGenerators=*/true, Dim, std::move(Rows)};
-  if (auto It = Cache.find(Key); It != Cache.end()) {
-    numericCounters().ConversionCacheHits.fetch_add(
-        1, std::memory_order_relaxed);
-    return It->second;
-  }
-  numericCounters().ConversionCacheMisses.fetch_add(
-      1, std::memory_order_relaxed);
-
-  std::vector<ConeRow> Cons = dualize(Key.Rows, Dim + 1);
-  Cons.erase(std::remove_if(Cons.begin(), Cons.end(), isTrivialConstraint),
-             Cons.end());
-  Polyhedron P = fromConstraintRows(Dim, std::move(Cons));
-  if (Cache.size() >= ConversionCacheCap)
-    Cache.clear();
-  Cache.emplace(std::move(Key), P);
-  return P;
+  return cachedConversion(std::move(Key), [Dim](const ConvKey &K) {
+    std::vector<ConeRow> Cons = dualize(K.Rows, Dim + 1);
+    Cons.erase(std::remove_if(Cons.begin(), Cons.end(), isTrivialConstraint),
+               Cons.end());
+    // Delegates to fromConstraintRows — a nested cachedConversion call;
+    // safe because no shard lock is held while computing.
+    return fromConstraintRows(Dim, std::move(Cons));
+  });
 }
 
 Polyhedron Polyhedron::universe(unsigned Dim) {

@@ -1,14 +1,32 @@
-//===- support/ThreadPool.h - Fixed-size worker pool ------------*- C++ -*-===//
+//===- support/ThreadPool.h - Locality-aware work-stealing pool -*- C++ -*-===//
 //
 // Part of the PMAF reproduction. MIT license.
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A small fixed-size thread pool for the parallel analysis engine: task
-/// submission with futures, and a deadlock-free `parallelFor`.
+/// A fixed-size work-stealing thread pool for the parallel analysis
+/// engine: task submission with futures, a deadlock-free `parallelFor`,
+/// and — the locality layer — per-worker deques with component→worker
+/// affinity so schedulers can keep a worker's thread-local caches (the
+/// Polyhedron conversion memos, the ADD arenas) hot across resubmissions.
 ///
-/// Design constraints, in order:
+/// Queueing model (Chase–Lev-style discipline over mutex-guarded deques):
+///
+///  * every worker owns a bounded deque; the owner pops from the *front*
+///    (submission order), thieves steal from the *back*;
+///  * `post`/`submit` go to a shared injection queue any worker may take
+///    from — the classic FIFO path `parallelFor`, `ParallelBatch::run`,
+///    and anonymous tasks use;
+///  * `postTo(W, Fn)`/`submitTo(W, Fn)` pin a task to worker W's deque.
+///    Pinned (sticky) tasks are skipped by thieves until the owning
+///    worker is *saturated* (its deque holds >= SaturationDepth tasks) —
+///    a lone pinned task waits for its owner, a backlog spills to idle
+///    workers. During shutdown draining, everything is stealable.
+///  * a worker with an empty deque takes from the injection queue, then
+///    scans the other deques for stealable work, then sleeps.
+///
+/// Design constraints, in order (unchanged from the single-queue pool):
 ///
 ///  * **No waiting inside workers.** Pool tasks (per-SCC stabilization,
 ///    transformer precompilation, matrix row blocks) never block on other
@@ -20,12 +38,13 @@
 ///    thread). A pool of size N therefore provides N-way parallelism with
 ///    the caller counted in, and a loop submitted to a busy or size-1 pool
 ///    degrades gracefully to sequential execution on the caller.
-///  * **Exception transparency.** `submit` transports exceptions through
-///    the returned future; `parallelFor` rethrows the first exception a
-///    chunk raised after the loop has quiesced.
+///  * **Exception transparency.** `submit`/`submitTo` transport exceptions
+///    through the returned future; `parallelFor` rethrows the first
+///    exception a chunk raised after the loop has quiesced.
 ///
-/// Per-worker busy time is tallied so the solver can report thread
-/// utilization (core::SolverStats::ThreadBusySeconds).
+/// Per-worker accounting (busy time, tasks run, steals, affinity hits) is
+/// tallied so the solver can report thread utilization and queueing
+/// behaviour (core::SolverStats::ThreadBusySeconds / PoolQueue).
 ///
 /// A process-wide pool (`sharedPool`/`setSharedParallelism`) serves
 /// libraries that cannot thread a pool handle through their interface —
@@ -63,22 +82,38 @@
 namespace pmaf {
 namespace support {
 
-/// A fixed-size pool of worker threads with a shared FIFO task queue.
+/// A fixed-size pool of worker threads with per-worker stealing deques
+/// plus a shared injection queue.
 class ThreadPool {
 public:
+  /// Sentinel "not a worker of this pool" index (currentWorker()) and
+  /// "no owner" task tag.
+  static constexpr unsigned NoWorker = ~0u;
+
+  /// Pinned tasks become stealable once their owner's deque holds at
+  /// least this many tasks (the owner is saturated: it is busy and has a
+  /// backlog another worker can shorten).
+  static constexpr size_t SaturationDepth = 2;
+
+  /// Per-worker deques are bounded; a `postTo` beyond the bound spills to
+  /// the shared injection queue (keeping its owner tag, so the owner
+  /// running it still counts as an affinity hit).
+  static constexpr size_t DequeBound = 1024;
+
   /// Spawns \p Threads workers (clamped to at least 1). Workers idle on a
   /// condition variable until tasks arrive.
   explicit ThreadPool(unsigned Threads);
 
-  /// Drains nothing: outstanding tasks finish, queued tasks still run, then
-  /// the workers join.
+  /// Drains nothing: outstanding tasks finish, queued tasks still run
+  /// (pinned tasks become stealable while draining), then the workers
+  /// join.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool &) = delete;
   ThreadPool &operator=(const ThreadPool &) = delete;
 
   /// Number of worker threads.
-  unsigned size() const { return static_cast<unsigned>(Workers.size()); }
+  unsigned size() const { return NumLanes; }
 
   /// `std::thread::hardware_concurrency`, clamped to at least 1.
   static unsigned hardwareConcurrency() {
@@ -86,21 +121,48 @@ public:
     return N ? N : 1;
   }
 
-  /// Enqueues \p Fn; the future transports its result or exception. Safe to
-  /// call from within a pool task (the queue never blocks submitters).
+  /// Index of the calling thread within this pool, or NoWorker when the
+  /// caller is not one of this pool's workers (e.g. the solve
+  /// coordinator, or a worker of a different pool).
+  unsigned currentWorker() const;
+
+  /// Enqueues \p Fn on the shared injection queue; the future transports
+  /// its result or exception. Safe to call from within a pool task (the
+  /// queues never block submitters).
   template <typename F>
   std::future<std::invoke_result_t<F>> submit(F &&Fn) {
     using R = std::invoke_result_t<F>;
     auto Task =
         std::make_shared<std::packaged_task<R()>>(std::forward<F>(Fn));
     std::future<R> Result = Task->get_future();
-    enqueue([Task] { (*Task)(); });
+    post([Task] { (*Task)(); });
     return Result;
   }
 
-  /// Fire-and-forget submission (the parallel scheduler tracks completion
-  /// itself through atomics; skipping the future skips an allocation).
-  void post(std::function<void()> Fn) { enqueue(std::move(Fn)); }
+  /// submit() with worker affinity: the task lands on worker
+  /// `Worker % size()`'s deque and is preferentially run there.
+  template <typename F>
+  std::future<std::invoke_result_t<F>> submitTo(unsigned Worker, F &&Fn) {
+    using R = std::invoke_result_t<F>;
+    auto Task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(Fn));
+    std::future<R> Result = Task->get_future();
+    postTo(Worker, [Task] { (*Task)(); });
+    return Result;
+  }
+
+  /// Fire-and-forget submission to the shared injection queue (the
+  /// parallel scheduler tracks completion itself through atomics;
+  /// skipping the future skips an allocation).
+  void post(std::function<void()> Fn);
+
+  /// Fire-and-forget submission pinned to worker `Worker % size()`: the
+  /// task goes to the back of that worker's deque, the owner pops it in
+  /// submission order from the front, and thieves may take it from the
+  /// back only once the owner is saturated (SaturationDepth) — the
+  /// affinity primitive the per-SCC and intra-component schedulers use to
+  /// keep per-thread conversion memos hot.
+  void postTo(unsigned Worker, std::function<void()> Fn);
 
   /// Runs Fn(I) for every I in [Begin, End) across the workers and the
   /// calling thread; every index executes exactly once. Returns when all
@@ -151,7 +213,7 @@ public:
       }
     };
     for (unsigned H = 0; H != Helpers; ++H)
-      enqueue([State, Drain] {
+      post([State, Drain] {
         Drain();
         if (State->Pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
           std::lock_guard<std::mutex> Lock(State->DoneMutex);
@@ -168,6 +230,26 @@ public:
     if (State->FirstException)
       std::rethrow_exception(State->FirstException);
   }
+
+  /// Per-worker queueing counters (index = worker number). Approximate:
+  /// read without synchronizing against in-flight tasks.
+  struct WorkerQueueStats {
+    /// Tasks this worker executed (own deque + injection + stolen).
+    uint64_t TasksRun = 0;
+    /// Tasks this worker took from another worker's deque.
+    uint64_t Steals = 0;
+    /// Pinned tasks this worker ran as their owner — the affinity
+    /// protocol working as intended.
+    uint64_t AffinityHits = 0;
+    /// Seconds spent executing tasks since construction.
+    double BusySeconds = 0.0;
+  };
+  std::vector<WorkerQueueStats> workerQueueStats() const;
+
+  /// Pool-wide totals of the per-worker counters.
+  uint64_t totalTasksRun() const;
+  uint64_t totalSteals() const;
+  uint64_t totalAffinityHits() const;
 
   /// Seconds each worker has spent executing tasks since construction
   /// (index = worker number). Approximate: read without synchronizing
@@ -201,19 +283,56 @@ private:
     }
   };
 
-  void enqueue(std::function<void()> Fn);
-  void workerMain(unsigned Index);
-
-  mutable std::mutex QueueMutex;
-  std::condition_variable QueueCv;
-  std::deque<std::function<void()>> Queue;
-  bool Stopping = false;
-  std::vector<std::thread> Workers;
-  /// Busy-nanosecond tally per worker, padded out of false sharing range.
-  struct alignas(64) BusyCounter {
-    std::atomic<uint64_t> Nanos{0};
+  /// A queued task: Owner != NoWorker marks it pinned (sticky) to that
+  /// worker's deque.
+  struct Task {
+    std::function<void()> Fn;
+    unsigned Owner = NoWorker;
   };
-  std::unique_ptr<BusyCounter[]> Busy;
+
+  /// One worker's deque plus its counters, padded out of false sharing
+  /// range of its neighbours.
+  struct alignas(64) Lane {
+    mutable std::mutex Mutex;
+    std::deque<Task> Deque;
+    /// This worker's parking spot, plus whether it is parked. Both are
+    /// guarded by the pool-wide SleepMutex (NOT by Lane::Mutex): wakeups
+    /// are targeted per lane, so an enqueue wakes only the workers that
+    /// can actually run the new task instead of thundering the whole
+    /// pool awake — on an oversubscribed machine the futile
+    /// wake→scan→sleep round trips would otherwise dominate small
+    /// solves.
+    std::condition_variable SleepCv;
+    bool Asleep = false;
+    std::atomic<uint64_t> BusyNanos{0};
+    std::atomic<uint64_t> TasksRun{0};
+    std::atomic<uint64_t> Steals{0};
+    std::atomic<uint64_t> AffinityHits{0};
+  };
+
+  /// Takes the next task for worker \p Self: own deque front, then the
+  /// injection queue, then a steal from the back of another lane.
+  bool findTask(unsigned Self, Task &Out, bool &Stolen);
+  void execute(unsigned Self, Task T, bool Stolen);
+  void workerMain(unsigned Index);
+  /// Wakes worker \p Worker if it is parked (a pinned task landed on its
+  /// deque — only the owner may run it while unsaturated).
+  void wakeWorker(unsigned Worker);
+  /// Wakes one parked worker, any of them (an injected task landed, or a
+  /// deque crossed the saturation threshold and became stealable).
+  void wakeOneSleeper();
+
+  unsigned NumLanes = 0;
+  std::unique_ptr<Lane[]> Lanes;
+  /// Sleep coordination: workers re-scan under SleepMutex before waiting,
+  /// and every enqueue acquires it before notifying, so wakeups cannot be
+  /// lost. Stopping flips under the same mutex. The per-lane SleepCv /
+  /// Asleep fields are guarded by this mutex too.
+  std::mutex SleepMutex;
+  std::atomic<bool> Stopping{false};
+  mutable std::mutex InjectedMutex;
+  std::deque<Task> Injected;
+  std::vector<std::thread> Threads;
   /// Enqueued-but-unfinished task count (see inFlightTasks()).
   std::atomic<uint64_t> InFlight{0};
 };
@@ -225,16 +344,27 @@ private:
 /// conflict-free batches. One instance may be reused across many runs
 /// (the synchronization state is recycled; no allocation per run).
 ///
+/// Two dispatch modes:
+///  * `run` — anonymous: helpers drain a shared atomic cursor, any lane
+///    may claim any index (maximum balance, no locality);
+///  * `runSticky` — affinity: index I is pinned to lane I % (workers+1),
+///    the last lane being the caller, and posted to the owning worker's
+///    deque. Because the pinning is a pure function of the index, the
+///    same unit lands on the same worker on every pass — the per-thread
+///    conversion memos stay hot across outer WTO re-iterations — while
+///    the pool's saturation stealing still rebalances a backlogged
+///    worker.
+///
 /// Deadlock discipline: only the *caller* ever waits at the barrier;
-/// helpers posted to the pool drain the shared index cursor and leave.
-/// `run` must therefore not be called from inside a pool task of the
-/// same pool (a worker waiting at the barrier could starve the very
-/// helpers it waits for). The analysis engine calls it from the solve
-/// coordinator only.
+/// helpers posted to the pool drain their work and leave. `run` must
+/// therefore not be called from inside a pool task of the same pool (a
+/// worker waiting at the barrier could starve the very helpers it waits
+/// for). The analysis engine calls it from the solve coordinator only.
 ///
 /// Exceptions: the first exception an index raises is rethrown from
-/// `run` after the batch has quiesced; the cursor is poisoned so other
-/// lanes stop claiming work.
+/// `run`/`runSticky` after the batch has quiesced; `run` poisons the
+/// cursor so other lanes stop claiming work (`runSticky` units are
+/// pre-assigned, so the remaining units still execute).
 class ParallelBatch {
 public:
   explicit ParallelBatch(ThreadPool &Pool) : Pool(Pool) {}
@@ -277,6 +407,64 @@ public:
         }
       });
     Drain(); // The caller is a lane too.
+    return waitAndRethrow();
+  }
+
+  /// The affinity variant: unit I runs on lane I % (workers + 1) — lane
+  /// `workers` being the caller — with worker units posted sticky via
+  /// postTo. Same barrier and exception contract as run(); singleton or
+  /// empty batches run inline.
+  template <typename F> double runSticky(size_t Count, F &&Fn) {
+    const unsigned Workers = Pool.size();
+    if (Count <= 1 || Workers == 0) {
+      for (size_t I = 0; I != Count; ++I)
+        Fn(I);
+      return 0.0;
+    }
+    const unsigned LaneCount = Workers + 1;
+    FirstException = nullptr;
+    // Worker units: all I with I % LaneCount != Workers (lane `Workers`
+    // is the caller's).
+    unsigned WorkerUnits = 0;
+    for (size_t I = 0; I != Count; ++I)
+      WorkerUnits += (I % LaneCount) != Workers;
+    Pending.store(WorkerUnits, std::memory_order_release);
+    for (size_t I = 0; I != Count; ++I) {
+      const unsigned Lane = static_cast<unsigned>(I % LaneCount);
+      if (Lane == Workers)
+        continue; // The caller's units run below, after the fan-out.
+      Pool.postTo(Lane, [this, I, &Fn] {
+        try {
+          Fn(I);
+        } catch (...) {
+          recordException(std::current_exception());
+        }
+        if (Pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          std::lock_guard<std::mutex> Lock(DoneMutex);
+          DoneCv.notify_all();
+        }
+      });
+    }
+    for (size_t I = Workers; I < Count; I += LaneCount) {
+      try {
+        Fn(I);
+      } catch (...) {
+        recordException(std::current_exception());
+      }
+    }
+    return waitAndRethrow();
+  }
+
+private:
+  void recordException(std::exception_ptr E) {
+    std::lock_guard<std::mutex> Lock(ExceptionMutex);
+    if (!FirstException)
+      FirstException = E;
+  }
+
+  /// Waits for the helper lanes, rethrows the first captured exception,
+  /// and returns the seconds spent waiting.
+  double waitAndRethrow() {
     auto WaitStart = std::chrono::steady_clock::now();
     {
       std::unique_lock<std::mutex> Lock(DoneMutex);
@@ -290,13 +478,6 @@ public:
     if (FirstException)
       std::rethrow_exception(FirstException);
     return Waited;
-  }
-
-private:
-  void recordException(std::exception_ptr E) {
-    std::lock_guard<std::mutex> Lock(ExceptionMutex);
-    if (!FirstException)
-      FirstException = E;
   }
 
   ThreadPool &Pool;

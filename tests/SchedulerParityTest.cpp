@@ -17,8 +17,10 @@
 // to the sequential sweep (parallel-intra), and cross-SCC reads only see
 // finalized upstream components, their fixpoints are *bit-identical* to
 // the WTO-recursive one. The BitIdentical* tests pin that down with exact
-// comparisons (no tolerance) across both parallel strategies and jobs in
-// {1, 2, 8}: Matrix::operator== for BI, double == for MDP, exact rational
+// comparisons (no tolerance) across both parallel strategies, jobs in
+// {1, 2, 8}, and component->worker affinity both on and off (the
+// work-stealing pool's placement and stealing decisions must never leak
+// into the fixpoint): Matrix::operator== for BI, double == for MDP, exact rational
 // toString for LEIA, and NodeRef identity (shared hash-consing home
 // manager) for ADD-BI — the latter running truly multi-threaded: workers
 // compute in thread-local arena managers and publish through canonical
@@ -138,20 +140,23 @@ void expectBitIdentical(const char *Name, const cfg::ProgramGraph &Graph,
   ASSERT_TRUE(Sequential.Stats.Converged) << Name;
 
   for (IterationStrategy Strategy : ParallelStrategies)
-    for (unsigned Jobs : ParallelJobCounts) {
-      decltype(auto) ParDom = MakeDomain();
-      Opts.Strategy = Strategy;
-      Opts.Jobs = Jobs;
-      auto Parallel = solve(Graph, ParDom, Opts);
-      ASSERT_TRUE(Parallel.Stats.Converged)
-          << Name << " under " << toString(Strategy) << " jobs=" << Jobs;
-      ASSERT_EQ(Sequential.Values.size(), Parallel.Values.size());
-      for (unsigned V = 0; V != Sequential.Values.size(); ++V)
-        EXPECT_TRUE(Identical(Sequential.Values[V], Parallel.Values[V]))
+    for (unsigned Jobs : ParallelJobCounts)
+      for (bool Affinity : {true, false}) {
+        decltype(auto) ParDom = MakeDomain();
+        Opts.Strategy = Strategy;
+        Opts.Jobs = Jobs;
+        Opts.Affinity = Affinity;
+        auto Parallel = solve(Graph, ParDom, Opts);
+        ASSERT_TRUE(Parallel.Stats.Converged)
             << Name << " under " << toString(Strategy) << " jobs=" << Jobs
-            << ": node " << V
-            << " is not bit-identical to the sequential fixpoint";
-    }
+            << " affinity=" << (Affinity ? "on" : "off");
+        ASSERT_EQ(Sequential.Values.size(), Parallel.Values.size());
+        for (unsigned V = 0; V != Sequential.Values.size(); ++V)
+          EXPECT_TRUE(Identical(Sequential.Values[V], Parallel.Values[V]))
+              << Name << " under " << toString(Strategy) << " jobs=" << Jobs
+              << " affinity=" << (Affinity ? "on" : "off") << ": node " << V
+              << " is not bit-identical to the sequential fixpoint";
+      }
 }
 
 } // namespace

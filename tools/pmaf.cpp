@@ -8,6 +8,7 @@
 //                              parallel-intra]
 //                  [--numeric=poly|ladder|zones|intervals]
 //                  [--widening-delay=<n>] [--max-updates=<n>] [--jobs=<n>]
+//                  [--affinity=on|off]
 //   pmaf check <file.pp>... [--domain=leia|bi|mdp|termination]
 //                  [--decompose] [--werror] [--diag-format=text|json]
 //   pmaf verify-corpus <dir|file.pp>... [--jobs=<n>] [--seed=<n>]
@@ -44,10 +45,15 @@
 // concurrently, the dense-matrix kernels block-parallelize,
 // --strategy=parallel-scc stabilizes independent SCCs concurrently, and
 // --strategy=parallel-intra additionally fans conflict-free batches of a
-// single component body across the workers.
+// single component body across the workers. --affinity=on|off (default
+// on) toggles component->worker pinning inside the parallel schedulers:
+// pinned work keeps the per-thread conversion memos hot, and the pool
+// steals it back only from a saturated owner; fixpoints are identical
+// either way.
 // --stats prints the instrumentation counters (core/Instrumentation.h),
 // including the interpret-cache traffic, precompile timing, the worker
-// count the solve actually used, the peak number of SCCs in flight, and
+// count the solve actually used, the peak number of SCCs in flight,
+// per-worker queueing (tasks run / steals / affinity hits), and
 // the intra-component batch traffic.
 //
 // Every solve is followed by the checker layer (checks/Checker.h): each
@@ -157,7 +163,8 @@ int usage(const char *Argv0) {
                " [--strategy=wto|round-robin|worklist|parallel-scc|"
                "parallel-intra]"
                " [--numeric=poly|ladder|zones|intervals]"
-               " [--widening-delay=<n>] [--max-updates=<n>] [--jobs=<n>]\n"
+               " [--widening-delay=<n>] [--max-updates=<n>] [--jobs=<n>]"
+               " [--affinity=on|off]\n"
                "       %s check <file.pp>..."
                " [--domain=leia|bi|mdp|termination] [--decompose]"
                " [--werror] [--diag-format=text|json]\n"
@@ -178,6 +185,7 @@ struct CliSolverConfig {
   std::optional<uint64_t> MaxUpdates;
   std::optional<unsigned> Jobs;
   std::optional<NumericBackend> Numeric;
+  std::optional<bool> Affinity;
   bool Stats = false;
 
   void apply(SolverOptions &Opts) const {
@@ -191,6 +199,8 @@ struct CliSolverConfig {
       Opts.Jobs = *Jobs;
     if (Numeric)
       Opts.Numeric = *Numeric;
+    if (Affinity)
+      Opts.Affinity = *Affinity;
   }
 
   void printReport(const SolverInstrumentation &Counters,
@@ -203,8 +213,19 @@ struct CliSolverConfig {
                 core::toString(Opts.Strategy), Opts.WideningDelay,
                 static_cast<unsigned long long>(Opts.MaxUpdates),
                 Opts.Jobs, core::toString(Opts.Numeric));
-    std::printf("; parallel: %u workers used, %u SCCs in flight at peak\n",
-                SolveStats.JobsUsed, SolveStats.MaxParallelSccs);
+    std::printf("; parallel: %u workers used, %u SCCs in flight at peak, "
+                "affinity %s\n",
+                SolveStats.JobsUsed, SolveStats.MaxParallelSccs,
+                Opts.Affinity ? "on" : "off");
+    for (size_t W = 0; W != SolveStats.PoolWorkers.size(); ++W) {
+      const auto &Q = SolveStats.PoolWorkers[W];
+      std::printf("; worker %zu: %llu tasks run, %llu steals, %llu "
+                  "affinity hits, %.6f s busy\n",
+                  W, static_cast<unsigned long long>(Q.TasksRun),
+                  static_cast<unsigned long long>(Q.Steals),
+                  static_cast<unsigned long long>(Q.AffinityHits),
+                  Q.BusySeconds);
+    }
     if (SolveStats.IntraBatchesRun)
       std::printf("; intra-scc: %llu batches fanned out, widest %u, "
                   "%.6f s at barriers\n",
@@ -752,6 +773,18 @@ int main(int argc, char **argv) {
     else if (Arg.rfind("--jobs=", 0) == 0)
       Config.Jobs =
           static_cast<unsigned>(std::strtoul(Arg.c_str() + 7, nullptr, 10));
+    else if (Arg.rfind("--affinity=", 0) == 0) {
+      std::string Mode = Arg.substr(11);
+      if (Mode == "on")
+        Config.Affinity = true;
+      else if (Mode == "off")
+        Config.Affinity = false;
+      else {
+        std::fprintf(stderr, "error: --affinity takes on|off, got %s\n",
+                     Mode.c_str());
+        return usage(argv[0]);
+      }
+    }
     else if (Arg.rfind("--seed=", 0) == 0)
       Seed = std::strtoull(Arg.c_str() + 7, nullptr, 10);
     else if (Arg.rfind("--runs=", 0) == 0)
