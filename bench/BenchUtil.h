@@ -19,6 +19,7 @@
 #ifndef PMAF_BENCH_BENCHUTIL_H
 #define PMAF_BENCH_BENCHUTIL_H
 
+#include "support/NumParse.h"
 #include "support/ThreadPool.h"
 
 #include <algorithm>
@@ -27,6 +28,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -122,10 +124,23 @@ inline unsigned extractJobs(int &Argc, char **Argv, unsigned Default = 1) {
   unsigned Jobs = Default;
   int Out = 1;
   for (int I = 1; I < Argc; ++I) {
-    if (std::strncmp(Argv[I], "--jobs=", 7) == 0)
-      Jobs = static_cast<unsigned>(std::strtoul(Argv[I] + 7, nullptr, 10));
-    else
+    if (std::strncmp(Argv[I], "--jobs=", 7) == 0) {
+      // Strict full-string parse: a malformed job count is a usage error
+      // (exit 2), never a silent fallback to 0 workers — a benchmark run
+      // at the wrong parallelism would record a wrong trajectory point.
+      std::optional<unsigned> Parsed =
+          support::parseUnsigned32(Argv[I] + 7);
+      if (!Parsed) {
+        std::fprintf(stderr,
+                     "error: --jobs expects an unsigned integer, got '%s' "
+                     "[invalid-flag-value]\n",
+                     Argv[I] + 7);
+        std::exit(2);
+      }
+      Jobs = *Parsed;
+    } else {
       Argv[Out++] = Argv[I];
+    }
   }
   Argc = Out;
   return Jobs;

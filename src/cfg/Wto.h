@@ -56,6 +56,47 @@ struct Wto {
   std::string toString() const;
 };
 
+/// Flattens \p Element into \p Nodes (the head followed by every body
+/// node, recursively). Helper for invalidation bookkeeping that needs a
+/// component's member set (the incremental server's dirty-SCC accounting).
+inline void collectElementNodes(const WtoElement &Element,
+                                std::vector<unsigned> &Nodes) {
+  Nodes.push_back(Element.Node);
+  for (const WtoElement &Child : Element.Body)
+    collectElementNodes(Child, Nodes);
+}
+
+/// Forward closure of \p Seeds in the graph given by successor lists:
+/// Reached[v] != 0 iff v is a seed or reachable from one. Over the
+/// dependence graph (dependents(u) = readers of u) this is exactly the
+/// set of nodes whose equation can observe a change at any seed — the
+/// invalidation frontier of an incremental re-solve: everything outside
+/// it keeps its prior fixpoint value (its right-hand side reads only
+/// unreached nodes, whose equations and values are unchanged).
+inline std::vector<char>
+reachableFrom(const std::vector<std::vector<unsigned>> &Successors,
+              const std::vector<unsigned> &Seeds) {
+  std::vector<char> Reached(Successors.size(), 0);
+  std::vector<unsigned> Work;
+  for (unsigned S : Seeds) {
+    if (S < Reached.size() && !Reached[S]) {
+      Reached[S] = 1;
+      Work.push_back(S);
+    }
+  }
+  while (!Work.empty()) {
+    unsigned V = Work.back();
+    Work.pop_back();
+    for (unsigned W : Successors[V]) {
+      if (!Reached[W]) {
+        Reached[W] = 1;
+        Work.push_back(W);
+      }
+    }
+  }
+  return Reached;
+}
+
 /// Conflict-free batching of one WTO component's body, the schedule of
 /// the intra-component parallel strategy. Each *unit* is one top-level
 /// body element of the component (a plain vertex or a whole nested

@@ -2,8 +2,11 @@
 
 #include "concrete/Interpreter.h"
 
+#include "support/NumParse.h"
+
 #include <cassert>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <string>
 
@@ -15,13 +18,25 @@ Interpreter::Interpreter(const Program &Prog, uint64_t Seed)
     : Prog(Prog), TheRng(Seed) {}
 
 uint64_t Interpreter::seedFromEnv(uint64_t Fallback) {
-  if (const char *Env = std::getenv("PMAF_SEED")) {
-    char *End = nullptr;
-    unsigned long long Parsed = std::strtoull(Env, &End, 10);
-    if (End && End != Env && *End == '\0')
-      return Parsed;
-  }
-  return Fallback;
+  const char *Env = std::getenv("PMAF_SEED");
+  if (!Env)
+    return Fallback;
+  // Strict full-string parse: PMAF_SEED=banana used to silently run with
+  // the fallback while the user believed they were replaying a fuzz
+  // failure. Malformed values now warn, and the *effective* seed is
+  // always printed so every run is replayable either way.
+  uint64_t Seed = Fallback;
+  std::optional<uint64_t> Parsed = support::parseUnsigned(Env);
+  if (Parsed)
+    Seed = *Parsed;
+  else
+    std::fprintf(stderr,
+                 "pmaf: warning: PMAF_SEED='%s' is not an unsigned "
+                 "integer; using fallback seed %llu [invalid-env-seed]\n",
+                 Env, static_cast<unsigned long long>(Fallback));
+  std::fprintf(stderr, "pmaf: concrete interpreter seed = %llu\n",
+               static_cast<unsigned long long>(Seed));
+  return Seed;
 }
 
 double Interpreter::evalExpr(const Expr &E,

@@ -162,6 +162,46 @@ public:
     return *S.Stored;
   }
 
+  /// Adopts an already-computed transformer for `seq` edge \p EdgeIndex
+  /// without calling Dom.interpret — the incremental-server hook: after an
+  /// edit rebuilds the graph, transformers of edges in *unchanged*
+  /// procedures are copied over from the previous CompiledProgram (they
+  /// are pure functions of the edge's data action and the variable table,
+  /// both unchanged). Goes through the slot's once_flag, so it composes
+  /// with concurrent transformer()/precompile() calls and is a no-op when
+  /// the slot is already filled. \returns true when this call filled the
+  /// slot.
+  bool seedTransformer(unsigned EdgeIndex, Value V) {
+    Slot &S = Transformers[EdgeIndex];
+    bool Seeded = false;
+    std::call_once(S.Once, [&] {
+      assert(Graph.edges()[EdgeIndex].Ctrl.TheKind ==
+                 cfg::ControlAction::Kind::Seq &&
+             "only seq edges carry transformers");
+      S.Stored.emplace(std::move(V));
+      Seeded = true;
+    });
+    if (Seeded)
+      SeededTransformerCount.fetch_add(1, std::memory_order_relaxed);
+    return Seeded;
+  }
+
+  /// The cached transformer of \p EdgeIndex when its slot is filled,
+  /// nullptr otherwise. Read-only: never triggers an interpret and never
+  /// counts as cache traffic. Callers must not race this against a
+  /// concurrent first fill of the same slot (the server's session lock
+  /// serializes edits against solves).
+  const Value *peekTransformer(unsigned EdgeIndex) const {
+    const Slot &S = Transformers[EdgeIndex];
+    return S.Stored ? &*S.Stored : nullptr;
+  }
+
+  /// Transformer slots filled by seedTransformer (adopted from a prior
+  /// compiled program) rather than by Dom.interpret.
+  uint64_t seededTransformers() const {
+    return SeededTransformerCount.load(std::memory_order_relaxed);
+  }
+
   /// Fills the transformer cache for every `seq` edge up front, in
   /// parallel over \p Pool when the domain declares ThreadSafeInterpret
   /// (sequentially otherwise, or when \p Pool is null). Idempotent — edges
@@ -314,6 +354,7 @@ private:
   std::vector<cfg::IntraComponentPlan> IntraPlans;
   std::atomic<uint64_t> InterpretCallCount{0};
   std::atomic<uint64_t> InterpretCacheHitCount{0};
+  std::atomic<uint64_t> SeededTransformerCount{0};
 };
 
 } // namespace core

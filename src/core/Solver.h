@@ -149,6 +149,28 @@ struct SolverOptions {
   NumericBackend Numeric = NumericBackend::Ladder;
 };
 
+/// A prior fixpoint to warm-start an incremental re-solve from. Nodes
+/// with Dirty[v] == 0 are *frozen*: the solver keeps Values[v] verbatim
+/// and never evaluates their right-hand side. Soundness requires the
+/// dirty set to be closed under the dependence relation — every node
+/// whose equation (transitively) reads a changed node must be dirty
+/// (cfg::reachableFrom over CompiledProgram::dependents() computes
+/// exactly that closure). Then each clean node's right-hand side reads
+/// only clean nodes whose equations are unchanged, so the prior values
+/// remain the least solution there, and dirty nodes restart from bottom
+/// with fresh widening counts — the same iteration history a from-scratch
+/// solve would give them once their (identical) clean inputs stabilized.
+/// Under the stabilization discipline every scheduler follows, the warm
+/// fixpoint is therefore bit-identical to the cold one.
+template <typename ValueT> struct WarmStart {
+  /// Prior per-node values, indexed by the *current* graph's node ids
+  /// (the caller maps old ids to new ones). Dirty slots may hold
+  /// anything — the solver resets them to bottom.
+  std::vector<ValueT> Values;
+  /// Dirty[v] != 0: re-solve v from bottom. Must be dependence-closed.
+  std::vector<char> Dirty;
+};
+
 /// Counters reported by the solver (a built-in summary; richer event
 /// streams go through the SolverObserver passed to solve()).
 struct SolverStats {
@@ -197,6 +219,14 @@ struct SolverStats {
   /// otherwise): per-solve deltas of the monotone counters, current
   /// high-water marks for the peaks (reset via poly::resetNumericPeaks).
   NumericLayerStats Numeric;
+  /// Warm-start accounting (zero on cold solves). NodesReused counts the
+  /// frozen nodes whose prior values were kept verbatim; SccsSkipped /
+  /// SccsResolved partition the WTO's components (at every nesting depth)
+  /// into all-clean ones — stabilized in one trivial pass without a
+  /// single domain operation — and ones containing dirty nodes.
+  uint64_t NodesReused = 0;
+  uint64_t SccsSkipped = 0;
+  uint64_t SccsResolved = 0;
   /// False iff the update budget (MaxUpdates) ran out first, in which
   /// case Values is a mid-iteration snapshot, not a post-fixpoint —
   /// callers must not report it as the analysis answer.
@@ -214,10 +244,14 @@ template <typename ValueT> struct AnalysisResult {
 /// compiled program's transformer cache survives the call, so repeated
 /// solves (e.g. timed re-analyses) interpret each `seq` edge exactly once
 /// overall. \p Observer, when non-null, receives every solver event.
+/// \p Warm, when non-null and sized for the graph, warm-starts the solve
+/// from a prior fixpoint: clean nodes keep their values untouched, only
+/// the dirty (dependence-closed) region iterates — see WarmStart.
 template <PreMarkovAlgebra D>
-AnalysisResult<typename D::Value> solve(CompiledProgram<D> &Compiled,
-                                        const SolverOptions &Opts = {},
-                                        SolverObserver *Observer = nullptr) {
+AnalysisResult<typename D::Value>
+solve(CompiledProgram<D> &Compiled, const SolverOptions &Opts = {},
+      SolverObserver *Observer = nullptr,
+      const WarmStart<typename D::Value> *Warm = nullptr) {
   using Value = typename D::Value;
 
   const cfg::ProgramGraph &Graph = Compiled.graph();
@@ -234,7 +268,20 @@ AnalysisResult<typename D::Value> solve(CompiledProgram<D> &Compiled,
     Observer->onSolveBegin(NumNodes);
 
   AnalysisResult<Value> Result;
-  Result.Values.assign(NumNodes, Dom.bottom());
+  // Warm start: adopt the prior fixpoint wholesale, then reset the dirty
+  // region to bottom so it re-iterates exactly as a cold solve would.
+  // Clean nodes are frozen — Update() below never touches them.
+  const std::vector<char> *DirtyMask = nullptr;
+  if (Warm && Warm->Values.size() == NumNodes &&
+      Warm->Dirty.size() == NumNodes) {
+    DirtyMask = &Warm->Dirty;
+    Result.Values = Warm->Values;
+    for (unsigned V = 0; V != NumNodes; ++V)
+      if ((*DirtyMask)[V])
+        Result.Values[V] = Dom.bottom();
+  } else {
+    Result.Values.assign(NumNodes, Dom.bottom());
+  }
 
   // Exit nodes hold the constant 1 (line 6 of the system in §4.3).
   for (unsigned P = 0; P != Graph.numProcs(); ++P)
@@ -299,6 +346,12 @@ AnalysisResult<typename D::Value> solve(CompiledProgram<D> &Compiled,
   // concurrently for nodes in different SCCs: per-node state (Values,
   // UpdateCount) is only ever touched by the worker that owns V's SCC.
   auto Update = [&](unsigned V) -> bool {
+    // Frozen under warm start: the prior fixpoint value stands, no
+    // domain operation and no budget charge. Clean SCCs thus stabilize
+    // in one trivial pass under every scheduler (the full WTO is kept —
+    // filtering it would corrupt the parallel schedulers' SCC indexing).
+    if (DirtyMask && !(*DirtyMask)[V])
+      return false;
     if (!Graph.outgoing(V))
       return false; // Exit nodes are pinned at 1.
     if (NodeUpdates.fetch_add(1, std::memory_order_relaxed) + 1 >
@@ -402,6 +455,24 @@ AnalysisResult<typename D::Value> solve(CompiledProgram<D> &Compiled,
   Result.Stats.WideningApplications =
       WideningApplications.load(std::memory_order_relaxed);
   Result.Stats.Converged = Converged.load(std::memory_order_relaxed);
+  // Warm-start reuse accounting: frozen nodes, and the component-level
+  // split of the WTO into all-clean (skipped) and dirty (re-resolved)
+  // SCCs. A cold solve resolves every component and reuses nothing.
+  {
+    if (DirtyMask)
+      for (unsigned V = 0; V != NumNodes; ++V)
+        Result.Stats.NodesReused += (*DirtyMask)[V] ? 0 : 1;
+    auto Visit = [&](auto &&Self, const cfg::WtoElement &E) -> bool {
+      bool AllClean = !DirtyMask || !(*DirtyMask)[E.Node];
+      for (const cfg::WtoElement &Child : E.Body)
+        AllClean &= Self(Self, Child);
+      if (E.IsComponent)
+        ++(AllClean ? Result.Stats.SccsSkipped : Result.Stats.SccsResolved);
+      return AllClean;
+    };
+    for (const cfg::WtoElement &E : Order.Elements)
+      Visit(Visit, E);
+  }
   Result.Stats.InterpretCalls =
       Compiled.interpretCalls() - InterpretCallsBefore;
   Result.Stats.InterpretCacheHits =

@@ -1,0 +1,462 @@
+//===- server/Daemon.cpp - The pmafd analysis daemon ----------------------===//
+//
+// Part of the PMAF reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Daemon.h"
+
+#include "core/Schedule.h"
+#include "server/Protocol.h"
+#include "support/ThreadPool.h"
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace pmaf;
+using namespace pmaf::server;
+
+namespace {
+
+Json errorReply(const char *Code, std::string Message) {
+  Json R = Json::object();
+  R.set("ok", Json::boolean(false));
+  R.set("code", Json::string(Code));
+  R.set("error", Json::string(std::move(Message)));
+  return R;
+}
+
+std::string getString(const Json &Req, const char *Key,
+                      const char *Default) {
+  const Json *J = Req.get(Key);
+  return J && J->isString() ? J->asString() : std::string(Default);
+}
+
+bool getBool(const Json &Req, const char *Key, bool Default) {
+  const Json *J = Req.get(Key);
+  return J ? J->asBool(Default) : Default;
+}
+
+/// Strictly reads an optional unsigned field; distinguishes "absent"
+/// (Ok, no value) from "present but not an unsigned integer" (!Ok).
+struct OptUnsigned {
+  bool Ok = true;
+  std::optional<uint64_t> Value;
+};
+
+OptUnsigned getUnsigned(const Json &Req, const char *Key) {
+  OptUnsigned Out;
+  const Json *J = Req.get(Key);
+  if (!J)
+    return Out;
+  Out.Value = J->asUnsigned();
+  Out.Ok = Out.Value.has_value();
+  return Out;
+}
+
+Json reuseToJson(const IncrementalReuse &Reuse) {
+  Json R = Json::object();
+  R.set("incremental", Json::boolean(Reuse.Incremental));
+  R.set("transformers_reused", Json::number(Reuse.TransformersReused));
+  R.set("transformers_total", Json::number(Reuse.TransformersTotal));
+  R.set("sccs_skipped", Json::number(Reuse.SccsSkipped));
+  R.set("sccs_resolved", Json::number(Reuse.SccsResolved));
+  R.set("nodes_reused", Json::number(Reuse.NodesReused));
+  R.set("nodes_total", Json::number(Reuse.NodesTotal));
+  return R;
+}
+
+Json statsToJson(const core::SolverStats &S) {
+  Json R = Json::object();
+  R.set("node_updates", Json::number(S.NodeUpdates));
+  R.set("widenings", Json::number(S.WideningApplications));
+  R.set("interpret_calls", Json::number(S.InterpretCalls));
+  R.set("interpret_cache_hits", Json::number(S.InterpretCacheHits));
+  R.set("precompiled_transformers", Json::number(S.PrecompiledTransformers));
+  R.set("jobs_used", Json::number(uint64_t(S.JobsUsed)));
+  R.set("max_parallel_sccs", Json::number(uint64_t(S.MaxParallelSccs)));
+  R.set("pool_tasks_run", Json::number(S.PoolTasksRun));
+  R.set("pool_steals", Json::number(S.PoolSteals));
+  R.set("pool_affinity_hits", Json::number(S.PoolAffinityHits));
+  R.set("thread_busy_seconds", Json::number(S.ThreadBusySeconds));
+  Json Numeric = Json::object();
+  Numeric.set("minimization_calls", Json::number(S.Numeric.MinimizationCalls));
+  Numeric.set("conversion_cache_hits",
+              Json::number(S.Numeric.ConversionCacheHits));
+  Numeric.set("conversion_cache_misses",
+              Json::number(S.Numeric.ConversionCacheMisses));
+  Numeric.set("escalations", Json::number(S.Numeric.Escalations));
+  R.set("numeric", Numeric);
+  return R;
+}
+
+} // namespace
+
+Daemon::Daemon(DaemonOptions InitOpts) : Opts(InitOpts) {}
+
+Daemon::~Daemon() {
+  requestStop();
+  wait();
+}
+
+bool Daemon::start(std::string &Error) {
+  // A client that disconnects mid-reply must not kill the daemon.
+  std::signal(SIGPIPE, SIG_IGN);
+  ListenFd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (ListenFd < 0) {
+    Error = std::strerror(errno);
+    return false;
+  }
+  int One = 1;
+  ::setsockopt(ListenFd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof One);
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = htons(Opts.Port);
+  if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr), sizeof Addr) < 0 ||
+      ::listen(ListenFd, 64) < 0) {
+    Error = std::strerror(errno);
+    ::close(ListenFd);
+    ListenFd = -1;
+    return false;
+  }
+  socklen_t Len = sizeof Addr;
+  if (::getsockname(ListenFd, reinterpret_cast<sockaddr *>(&Addr), &Len) < 0) {
+    Error = std::strerror(errno);
+    ::close(ListenFd);
+    ListenFd = -1;
+    return false;
+  }
+  BoundPort = ntohs(Addr.sin_port);
+  Acceptor = std::thread([this] { acceptLoop(); });
+  return true;
+}
+
+void Daemon::acceptLoop() {
+  for (;;) {
+    int Client = ::accept(ListenFd, nullptr, nullptr);
+    if (Client < 0) {
+      if (errno == EINTR)
+        continue;
+      return; // Listener closed (shutdown) or fatal: stop accepting.
+    }
+    if (Stopping.load(std::memory_order_relaxed)) {
+      ::close(Client);
+      return;
+    }
+    std::lock_guard<std::mutex> Lock(ConnMu);
+    ActiveFds.push_back(Client);
+    Connections.emplace_back([this, Client] { serveConnection(Client); });
+  }
+}
+
+void Daemon::serveConnection(int ClientFd) {
+  std::string Payload;
+  for (;;) {
+    std::string Error;
+    if (!readFrame(ClientFd, Payload, Error))
+      break; // Clean EOF or framing error either way ends the connection.
+    bool Shutdown = false;
+    const std::string Reply = handle(Payload, Shutdown);
+    const bool Wrote = writeFrame(ClientFd, Reply);
+    if (Shutdown) {
+      requestStop();
+      break;
+    }
+    if (!Wrote)
+      break;
+  }
+  ::close(ClientFd);
+  std::lock_guard<std::mutex> Lock(ConnMu);
+  for (size_t I = 0; I != ActiveFds.size(); ++I)
+    if (ActiveFds[I] == ClientFd) {
+      ActiveFds.erase(ActiveFds.begin() + I);
+      break;
+    }
+}
+
+void Daemon::requestStop() {
+  bool Expected = false;
+  if (!Stopping.compare_exchange_strong(Expected, true))
+    return;
+  // Closing the listener unblocks accept(); shutting active sockets down
+  // unblocks any connection thread parked in readFrame.
+  if (ListenFd >= 0)
+    ::shutdown(ListenFd, SHUT_RDWR);
+  {
+    std::lock_guard<std::mutex> Lock(ConnMu);
+    for (int Fd : ActiveFds)
+      ::shutdown(Fd, SHUT_RDWR);
+  }
+  StopCv.notify_all();
+}
+
+void Daemon::wait() {
+  {
+    std::unique_lock<std::mutex> Lock(StopMu);
+    StopCv.wait(Lock, [this] {
+      return Stopping.load(std::memory_order_relaxed);
+    });
+  }
+  if (Acceptor.joinable())
+    Acceptor.join();
+  for (;;) {
+    std::thread Conn;
+    {
+      std::lock_guard<std::mutex> Lock(ConnMu);
+      if (Connections.empty())
+        break;
+      Conn = std::move(Connections.back());
+      Connections.pop_back();
+    }
+    if (Conn.joinable())
+      Conn.join();
+  }
+  if (ListenFd >= 0) {
+    ::close(ListenFd);
+    ListenFd = -1;
+  }
+}
+
+std::shared_ptr<Session> Daemon::sessionFor(const std::string &Name,
+                                            bool Create) {
+  std::lock_guard<std::mutex> Lock(SessionsMu);
+  auto It = Sessions.find(Name);
+  if (It != Sessions.end())
+    return It->second;
+  if (!Create)
+    return nullptr;
+  auto S = std::make_shared<Session>();
+  Sessions.emplace(Name, S);
+  return S;
+}
+
+std::string Daemon::handle(const std::string &Payload, bool &Shutdown) {
+  Requests.fetch_add(1, std::memory_order_relaxed);
+  std::string ParseError;
+  std::optional<Json> Req = Json::parse(Payload, &ParseError);
+  if (!Req || !Req->isObject())
+    return errorReply("protocol-error",
+                      "request is not a JSON object: " + ParseError)
+        .dump();
+  const Json *Cmd = Req->get("cmd");
+  if (!Cmd || !Cmd->isString())
+    return errorReply("protocol-error", "request has no string \"cmd\" field")
+        .dump();
+  const std::string &Name = Cmd->asString();
+  const std::string SessionName = getString(*Req, "session", "default");
+
+  if (Name == "shutdown") {
+    Shutdown = true;
+    Json R = Json::object();
+    R.set("ok", Json::boolean(true));
+    R.set("stopping", Json::boolean(true));
+    return R.dump();
+  }
+
+  if (Name == "configure") {
+    OptUnsigned Jobs = getUnsigned(*Req, "jobs");
+    if (!Jobs.Ok || !Jobs.Value || *Jobs.Value > 65536)
+      return errorReply("invalid-flag-value",
+                        "configure requires \"jobs\", an unsigned integer")
+          .dump();
+    std::string Why;
+    if (!support::setSharedParallelism(static_cast<unsigned>(*Jobs.Value),
+                                       &Why))
+      return errorReply("pool-busy", Why).dump();
+    Json R = Json::object();
+    R.set("ok", Json::boolean(true));
+    R.set("jobs", Json::number(uint64_t(support::sharedParallelism())));
+    return R.dump();
+  }
+
+  if (Name == "load") {
+    const Json *Source = Req->get("source");
+    if (!Source || !Source->isString())
+      return errorReply("protocol-error",
+                        "load requires a string \"source\" field")
+          .dump();
+    const std::string DomainName = getString(*Req, "domain", "auto");
+    const std::string NumericName = getString(*Req, "numeric", "ladder");
+    std::optional<core::NumericBackend> Backend =
+        core::parseNumericBackend(NumericName);
+    if (!Backend)
+      return errorReply("invalid-flag-value",
+                        "unknown numeric backend '" + NumericName + "'")
+          .dump();
+    std::shared_ptr<Session> S = sessionFor(SessionName, /*Create=*/true);
+    LoadReply LR = S->load(Source->asString(), DomainName, *Backend);
+    Json R = Json::object();
+    R.set("ok", Json::boolean(LR.Ok));
+    if (!LR.Ok) {
+      R.set("code", Json::string(LR.ErrorCode));
+      R.set("error", Json::string(LR.Error));
+    } else {
+      R.set("session", Json::string(SessionName));
+      R.set("domain", Json::string(LR.Domain));
+      R.set("procs", Json::number(uint64_t(LR.Procs)));
+      R.set("nodes", Json::number(uint64_t(LR.Nodes)));
+    }
+    if (!LR.DiagnosticsJson.empty())
+      R.set("diagnostics", Json::raw(LR.DiagnosticsJson));
+    return R.dump();
+  }
+
+  if (Name == "analyze" || Name == "edit" || Name == "stats") {
+    std::shared_ptr<Session> S = sessionFor(SessionName, /*Create=*/false);
+    if (!S)
+      return errorReply("unknown-session",
+                        "no session named '" + SessionName +
+                            "' (load a program first)")
+          .dump();
+
+    if (Name == "edit") {
+      const Json *Source = Req->get("source");
+      if (!Source || !Source->isString())
+        return errorReply("protocol-error",
+                          "edit requires a string \"source\" field")
+            .dump();
+      EditReply ER = S->edit(Source->asString());
+      Json R = Json::object();
+      R.set("ok", Json::boolean(ER.Ok));
+      if (!ER.Ok) {
+        R.set("code", Json::string(ER.ErrorCode));
+        R.set("error", Json::string(ER.Error));
+        return R.dump();
+      }
+      R.set("full_rebuild", Json::boolean(ER.FullRebuild));
+      Json Procs = Json::array();
+      for (const std::string &P : ER.ChangedProcs)
+        Procs.push(Json::string(P));
+      R.set("changed_procs", Procs);
+      R.set("dirty_nodes", Json::number(ER.DirtyNodes));
+      R.set("total_nodes", Json::number(ER.TotalNodes));
+      return R.dump();
+    }
+
+    if (Name == "stats") {
+      Session::Counters C = S->counters();
+      Json R = Json::object();
+      R.set("ok", Json::boolean(true));
+      R.set("session", Json::string(SessionName));
+      R.set("domain", Json::string(S->domainName()));
+      R.set("loads", Json::number(C.Loads));
+      R.set("edits", Json::number(C.Edits));
+      R.set("full_rebuilds", Json::number(C.FullRebuilds));
+      R.set("solves", Json::number(C.Solves));
+      R.set("incremental_solves", Json::number(C.IncrementalSolves));
+      {
+        std::lock_guard<std::mutex> Lock(SessionsMu);
+        R.set("sessions", Json::number(uint64_t(Sessions.size())));
+      }
+      R.set("requests",
+            Json::number(Requests.load(std::memory_order_relaxed)));
+      Json Pool = Json::object();
+      Pool.set("parallelism",
+               Json::number(uint64_t(support::sharedParallelism())));
+      if (const support::ThreadPool *P = support::sharedPool()) {
+        Pool.set("tasks_run", Json::number(P->totalTasksRun()));
+        Pool.set("steals", Json::number(P->totalSteals()));
+        Pool.set("affinity_hits", Json::number(P->totalAffinityHits()));
+      }
+      R.set("pool", Pool);
+      return R.dump();
+    }
+
+    // analyze
+    AnalyzeRequest AReq;
+    AReq.Affinity = Opts.Affinity;
+    AReq.Cold = getBool(*Req, "cold", false);
+    AReq.Werror = getBool(*Req, "werror", false);
+    if (const Json *J = Req->get("affinity"))
+      AReq.Affinity = J->asBool(Opts.Affinity);
+    if (const Json *J = Req->get("strategy")) {
+      std::optional<core::IterationStrategy> Strategy =
+          J->isString() ? core::parseIterationStrategy(J->asString())
+                        : std::nullopt;
+      if (!Strategy)
+        return errorReply("invalid-flag-value",
+                          "unknown iteration strategy" +
+                              (J->isString() ? " '" + J->asString() + "'"
+                                             : std::string(" (not a string)")))
+            .dump();
+      AReq.Strategy = Strategy;
+    }
+    OptUnsigned Jobs = getUnsigned(*Req, "jobs");
+    OptUnsigned Delay = getUnsigned(*Req, "widening_delay");
+    OptUnsigned MaxUpdates = getUnsigned(*Req, "max_updates");
+    if (!Jobs.Ok || (Jobs.Value && *Jobs.Value > 65536))
+      return errorReply("invalid-flag-value",
+                        "\"jobs\" must be an unsigned integer")
+          .dump();
+    if (!Delay.Ok || (Delay.Value && *Delay.Value > 0xffffffffull))
+      return errorReply("invalid-flag-value",
+                        "\"widening_delay\" must be an unsigned integer")
+          .dump();
+    if (!MaxUpdates.Ok)
+      return errorReply("invalid-flag-value",
+                        "\"max_updates\" must be an unsigned integer")
+          .dump();
+    if (Jobs.Value)
+      AReq.Jobs = static_cast<unsigned>(*Jobs.Value);
+    if (Delay.Value)
+      AReq.WideningDelay = static_cast<unsigned>(*Delay.Value);
+    if (MaxUpdates.Value)
+      AReq.MaxUpdates = *MaxUpdates.Value;
+
+    AnalyzeReply AR = S->analyze(AReq);
+    Json R = Json::object();
+    R.set("ok", Json::boolean(AR.Ok));
+    if (!AR.Ok) {
+      R.set("code", Json::string(AR.ErrorCode));
+      R.set("error", Json::string(AR.Error));
+      return R.dump();
+    }
+    R.set("session", Json::string(SessionName));
+    R.set("domain", Json::string(AR.Domain));
+    R.set("exit", Json::number(uint64_t(AR.Exit)));
+    R.set("converged", Json::boolean(AR.Converged));
+    R.set("fingerprint", Json::string(AR.Fingerprint));
+    R.set("solve_seconds", Json::number(AR.SolveSeconds));
+    R.set("reuse", reuseToJson(AR.Reuse));
+    R.set("stats", statsToJson(AR.Stats));
+    if (!AR.ChecksJson.empty())
+      R.set("checks", Json::raw(AR.ChecksJson));
+    if (!AR.DiagnosticsJson.empty())
+      R.set("diagnostics", Json::raw(AR.DiagnosticsJson));
+    return R.dump();
+  }
+
+  return errorReply("unknown-command", "unknown command '" + Name + "'")
+      .dump();
+}
+
+int pmaf::server::runDaemon(const DaemonOptions &Opts) {
+  if (Opts.Jobs != 1) {
+    std::string Why;
+    if (!support::setSharedParallelism(Opts.Jobs, &Why))
+      std::fprintf(stderr,
+                   "warning: --jobs=%u not applied to the shared pool: %s "
+                   "[pool-busy]\n",
+                   Opts.Jobs, Why.c_str());
+  }
+  Daemon D(Opts);
+  std::string Error;
+  if (!D.start(Error)) {
+    std::fprintf(stderr, "error: pmafd cannot listen on 127.0.0.1:%u: %s "
+                         "[bind-error]\n",
+                 Opts.Port, Error.c_str());
+    return 1;
+  }
+  std::printf("pmafd: listening on 127.0.0.1:%u\n", unsigned(D.port()));
+  std::fflush(stdout);
+  D.wait();
+  std::printf("pmafd: shutdown\n");
+  return 0;
+}

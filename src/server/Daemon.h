@@ -1,0 +1,114 @@
+//===- server/Daemon.h - The pmafd analysis daemon --------------*- C++ -*-===//
+//
+// Part of the PMAF reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The pmafd daemon: a loopback TCP listener speaking the length-prefixed
+/// JSON protocol of server/Protocol.h, one thread per connection, with a
+/// shared registry of named resident Sessions. Connections are
+/// independent — two clients analyzing two sessions solve concurrently,
+/// their heavy matrix kernels batching through the one process-wide
+/// work-stealing pool — while requests against the *same* session
+/// serialize on the session lock.
+///
+/// Solves run on the connection threads, never as shared-pool tasks:
+/// a solve *uses* the pool (parallelFor from inside a pool task would
+/// deadlock the workers on themselves).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PMAF_SERVER_DAEMON_H
+#define PMAF_SERVER_DAEMON_H
+
+#include "server/Session.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace pmaf {
+namespace server {
+
+struct DaemonOptions {
+  /// TCP port on 127.0.0.1; 0 binds an ephemeral port (read it back via
+  /// Daemon::port(), printed by runDaemon).
+  uint16_t Port = 0;
+  /// Shared-pool width to establish at startup (the CLI's --jobs);
+  /// 1 keeps solves sequential unless a request asks for more, 0 means
+  /// one worker per hardware thread.
+  unsigned Jobs = 1;
+  /// Default component->worker affinity for solves (requests may
+  /// override per analyze).
+  bool Affinity = true;
+};
+
+/// The daemon: bind/listen/accept plus the request dispatcher. Embeddable
+/// (ServerTest and the SERVED benchmarks run it in-process on an
+/// ephemeral port) as well as the heart of `pmafd` / `pmaf serve`.
+class Daemon {
+public:
+  explicit Daemon(DaemonOptions Opts = {});
+  ~Daemon();
+
+  Daemon(const Daemon &) = delete;
+  Daemon &operator=(const Daemon &) = delete;
+
+  /// Binds 127.0.0.1 and starts the acceptor thread. False + \p Error on
+  /// failure (port in use, out of fds, ...).
+  bool start(std::string &Error);
+
+  /// The bound port (valid after start()).
+  uint16_t port() const { return BoundPort; }
+
+  /// Initiates shutdown: stops accepting, unblocks every connection.
+  /// Returns immediately; pair with wait().
+  void requestStop();
+
+  /// Blocks until a `shutdown` request (or requestStop()) arrives, then
+  /// joins the acceptor and all connection threads.
+  void wait();
+
+private:
+  void acceptLoop();
+  void serveConnection(int ClientFd);
+  /// Dispatches one request payload to a reply payload; sets
+  /// \p Shutdown when the request was a `shutdown`.
+  std::string handle(const std::string &Payload, bool &Shutdown);
+
+  std::shared_ptr<Session> sessionFor(const std::string &Name, bool Create);
+
+  DaemonOptions Opts;
+  int ListenFd = -1;
+  uint16_t BoundPort = 0;
+  std::thread Acceptor;
+
+  std::mutex ConnMu;
+  std::vector<std::thread> Connections;
+  std::vector<int> ActiveFds;
+
+  std::mutex StopMu;
+  std::condition_variable StopCv;
+  std::atomic<bool> Stopping{false};
+
+  mutable std::mutex SessionsMu;
+  std::map<std::string, std::shared_ptr<Session>> Sessions;
+  std::atomic<uint64_t> Requests{0};
+};
+
+/// `pmafd` / `pmaf serve`: run a daemon in the foreground. Prints
+/// "pmafd: listening on 127.0.0.1:PORT" once ready; returns 0 after a
+/// clean `shutdown` request, 1 when the listener cannot start.
+int runDaemon(const DaemonOptions &Opts);
+
+} // namespace server
+} // namespace pmaf
+
+#endif // PMAF_SERVER_DAEMON_H

@@ -3,6 +3,7 @@
 #include "support/ThreadPool.h"
 
 #include <cstdio>
+#include <string>
 
 using namespace pmaf;
 using namespace pmaf::support;
@@ -264,6 +265,11 @@ ThreadPool *pmaf::support::sharedPool() { return SharedPool; }
 unsigned pmaf::support::sharedParallelism() { return SharedN; }
 
 bool pmaf::support::setSharedParallelism(unsigned N) {
+  return setSharedParallelism(N, nullptr);
+}
+
+bool pmaf::support::setSharedParallelism(unsigned N,
+                                         std::string *WhyRefused) {
   if (N == 0)
     N = ThreadPool::hardwareConcurrency();
   if (N == SharedN)
@@ -275,12 +281,15 @@ bool pmaf::support::setSharedParallelism(unsigned N) {
     for (int Tries = 0; Tries != 50 && !SharedPool->idle(); ++Tries)
       std::this_thread::sleep_for(std::chrono::milliseconds(1));
     if (!SharedPool->idle()) {
-      std::fprintf(stderr,
-                   "pmaf: setSharedParallelism(%u) refused: the shared "
-                   "pool has %llu task(s) in flight\n",
-                   N,
-                   static_cast<unsigned long long>(
-                       SharedPool->inFlightTasks()));
+      std::string Why =
+          "the shared pool has " +
+          std::to_string(SharedPool->inFlightTasks()) +
+          " task(s) in flight; retry when the pool is idle";
+      if (WhyRefused)
+        *WhyRefused = std::move(Why);
+      else
+        std::fprintf(stderr, "pmaf: setSharedParallelism(%u) refused: %s\n",
+                     N, Why.c_str());
       return false;
     }
   }

@@ -75,6 +75,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <type_traits>
 #include <vector>
@@ -596,7 +597,15 @@ ThreadPool *sharedPool();
 /// dangling pointer. Not otherwise thread-safe against concurrent
 /// sharedPool() users — call it at startup or between solves (the
 /// `--jobs` handlers do).
+///
+/// With \p WhyRefused non-null a refusal is *observable*: the reason is
+/// written there (and nothing is printed), so long-lived callers — the
+/// pmafd `configure` handler — can report a structured error instead of
+/// a success the stats then contradict. With WhyRefused null the refusal
+/// is logged to stderr, the historical CLI behavior. Between requests
+/// (pool idle) the resize always succeeds.
 bool setSharedParallelism(unsigned N);
+bool setSharedParallelism(unsigned N, std::string *WhyRefused);
 
 /// The currently configured shared parallelism (1 when disabled).
 unsigned sharedParallelism();

@@ -249,3 +249,43 @@ TEST(InterpreterTest, Figure1bExpectedRewards) {
     EXPECT_NEAR(Sum / N, 1.0 + 2.0 + 3.0, 0.1) << "scheduler " << Mode;
   }
 }
+
+// PMAF_SEED used to be parsed with atoll-style leniency: "banana" silently
+// became the fallback and "12abc" became 12, so replaying a fuzz failure
+// with a typo'd seed reproduced nothing. These pin the strict behavior:
+// malformed values warn with a stable code, and the effective seed is
+// always echoed so any run can be replayed.
+TEST(SeedFromEnvTest, AbsentVariableUsesFallbackSilently) {
+  ::unsetenv("PMAF_SEED");
+  ::testing::internal::CaptureStderr();
+  uint64_t Seed = Interpreter::seedFromEnv(7);
+  std::string Err = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(Seed, 7u);
+  EXPECT_TRUE(Err.empty()) << Err;
+}
+
+TEST(SeedFromEnvTest, WellFormedSeedOverridesFallback) {
+  ::setenv("PMAF_SEED", "123456789", 1);
+  ::testing::internal::CaptureStderr();
+  uint64_t Seed = Interpreter::seedFromEnv(7);
+  std::string Err = ::testing::internal::GetCapturedStderr();
+  ::unsetenv("PMAF_SEED");
+  EXPECT_EQ(Seed, 123456789u);
+  EXPECT_NE(Err.find("seed = 123456789"), std::string::npos) << Err;
+  EXPECT_EQ(Err.find("[invalid-env-seed]"), std::string::npos) << Err;
+}
+
+TEST(SeedFromEnvTest, MalformedSeedWarnsAndFallsBack) {
+  for (const char *Bad : {"banana", "12abc", "-3", "1.5", ""}) {
+    ::setenv("PMAF_SEED", Bad, 1);
+    ::testing::internal::CaptureStderr();
+    uint64_t Seed = Interpreter::seedFromEnv(42);
+    std::string Err = ::testing::internal::GetCapturedStderr();
+    EXPECT_EQ(Seed, 42u) << "PMAF_SEED='" << Bad << "'";
+    EXPECT_NE(Err.find("[invalid-env-seed]"), std::string::npos)
+        << "PMAF_SEED='" << Bad << "': " << Err;
+    EXPECT_NE(Err.find("seed = 42"), std::string::npos)
+        << "PMAF_SEED='" << Bad << "': " << Err;
+  }
+  ::unsetenv("PMAF_SEED");
+}

@@ -284,6 +284,53 @@ TEST(ThreadPoolTest, SharedPoolResizeRefusedWhileTasksInFlight) {
   EXPECT_EQ(support::sharedPool(), nullptr);
 }
 
+TEST(ThreadPoolTest, SharedPoolRefusalIsObservableThenIdleResizeSucceeds) {
+  ASSERT_TRUE(support::setSharedParallelism(4));
+  support::ThreadPool *Old = support::sharedPool();
+  ASSERT_NE(Old, nullptr);
+
+  std::mutex M;
+  std::condition_variable Cv;
+  bool Started = false, Release = false;
+  Old->post([&] {
+    std::unique_lock<std::mutex> Lock(M);
+    Started = true;
+    Cv.notify_all();
+    Cv.wait(Lock, [&] { return Release; });
+  });
+  {
+    std::unique_lock<std::mutex> Lock(M);
+    Cv.wait(Lock, [&] { return Started; });
+  }
+
+  // Resize under load: refused, and the refusal carries a reason a
+  // long-lived caller (the pmafd `configure` handler) can surface as a
+  // structured error instead of a silently wrong-sized pool.
+  std::string WhyRefused;
+  EXPECT_FALSE(support::setSharedParallelism(2, &WhyRefused));
+  EXPECT_NE(WhyRefused.find("in flight"), std::string::npos) << WhyRefused;
+  EXPECT_EQ(support::sharedPool(), Old);
+  EXPECT_EQ(support::sharedParallelism(), 4u);
+
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Release = true;
+  }
+  Cv.notify_all();
+  while (!Old->idle())
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+  // Resize at idle (the between-requests state of a daemon): reliably
+  // succeeds and leaves the reason untouched.
+  WhyRefused.clear();
+  EXPECT_TRUE(support::setSharedParallelism(2, &WhyRefused));
+  EXPECT_TRUE(WhyRefused.empty());
+  ASSERT_NE(support::sharedPool(), nullptr);
+  EXPECT_EQ(support::sharedPool()->size(), 2u);
+  EXPECT_TRUE(support::setSharedParallelism(1, &WhyRefused));
+  EXPECT_EQ(support::sharedPool(), nullptr);
+}
+
 TEST(ThreadPoolTest, WorkerBusySecondsAreTallied) {
   support::ThreadPool Pool(2);
   for (int I = 0; I != 8; ++I)

@@ -92,6 +92,8 @@
 #include "domains/MdpDomain.h"
 #include "lang/Parser.h"
 #include "lang/PosNegDecompose.h"
+#include "server/Daemon.h"
+#include "support/NumParse.h"
 #include "support/ThreadPool.h"
 
 // The corpus generator reuses the test suite's seeded program generators
@@ -155,6 +157,36 @@ public:
   static constexpr bool ThreadSafeInterpret = true;
 };
 
+/// Strict parse of one numeric flag payload; on failure prints the
+/// structured diagnostic (stable code `invalid-flag-value`) and returns
+/// nullopt — the caller exits 2, the usage-error code. `--jobs=abc`,
+/// `--jobs=-2`, and `--max-updates=1e9` used to silently become 0/garbage
+/// through strtoul; now they are hard usage errors.
+std::optional<uint64_t> parseFlagUnsigned(const char *Flag,
+                                          const std::string &Value) {
+  std::optional<uint64_t> Parsed = support::parseUnsigned(Value);
+  if (!Parsed)
+    std::fprintf(stderr,
+                 "error: %s expects an unsigned integer, got '%s' "
+                 "[invalid-flag-value]\n",
+                 Flag, Value.c_str());
+  return Parsed;
+}
+
+std::optional<unsigned> parseFlagUnsigned32(const char *Flag,
+                                            const std::string &Value) {
+  std::optional<uint64_t> Parsed = parseFlagUnsigned(Flag, Value);
+  if (!Parsed)
+    return std::nullopt;
+  if (*Parsed > 0xffffffffull) {
+    std::fprintf(stderr,
+                 "error: %s value %s is out of range [invalid-flag-value]\n",
+                 Flag, Value.c_str());
+    return std::nullopt;
+  }
+  return static_cast<unsigned>(*Parsed);
+}
+
 int usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s <file.pp | -> [--domain=leia|bi|mdp|termination]"
@@ -172,8 +204,10 @@ int usage(const char *Argv0) {
                " [--seed=<n>] [--runs=<n>] [--max-updates=<n>]"
                " [--out=<file>] [--werror]\n"
                "       %s gen-corpus <dir> [--count=<n>] [--seed=<n>]"
-               " [--family=bi|mdp|leia|mixed]\n",
-               Argv0, Argv0, Argv0, Argv0);
+               " [--family=bi|mdp|leia|mixed]\n"
+               "       %s serve [--port=<n>] [--jobs=<n>]"
+               " [--affinity=on|off]\n",
+               Argv0, Argv0, Argv0, Argv0, Argv0);
   return 2;
 }
 
@@ -568,6 +602,16 @@ int runVerifyCorpus(const std::vector<std::string> &Paths,
   std::vector<std::string> Files;
   for (const std::string &P : Paths) {
     std::error_code Ec;
+    // A path that does not exist is a usage error, not a corpus with one
+    // unreadable file: surface it with a stable code and exit 2 instead
+    // of burying "cannot open file" in the per-file failure list.
+    if (P != "-" && !fs::exists(P, Ec)) {
+      std::fprintf(stderr,
+                   "error: verify-corpus path does not exist: %s "
+                   "[corpus-path-missing]\n",
+                   P.c_str());
+      return 2;
+    }
     if (fs::is_directory(P, Ec)) {
       for (const fs::directory_entry &E : fs::directory_iterator(P, Ec))
         if (E.path().extension() == ".pp")
@@ -578,8 +622,8 @@ int runVerifyCorpus(const std::vector<std::string> &Paths,
   }
   std::sort(Files.begin(), Files.end());
   if (Files.empty()) {
-    std::fprintf(stderr,
-                 "error: verify-corpus found no .pp files to check\n");
+    std::fprintf(stderr, "error: verify-corpus found no .pp files to check "
+                         "[corpus-empty]\n");
     return 2;
   }
 
@@ -658,8 +702,11 @@ int runGenCorpus(const std::string &Dir, unsigned Count, uint64_t Seed,
   namespace fs = std::filesystem;
   std::error_code Ec;
   fs::create_directories(Dir, Ec);
-  if (Ec) {
-    std::fprintf(stderr, "error: cannot create directory %s\n", Dir.c_str());
+  if (Ec || !fs::is_directory(Dir, Ec)) {
+    std::fprintf(stderr,
+                 "error: cannot create corpus directory %s "
+                 "[corpus-dir-unwritable]\n",
+                 Dir.c_str());
     return 1;
   }
   for (unsigned I = 0; I != Count; ++I) {
@@ -724,15 +771,18 @@ int main(int argc, char **argv) {
   bool CheckMode = argc > 1 && std::strcmp(argv[1], "check") == 0;
   bool CorpusMode = argc > 1 && std::strcmp(argv[1], "verify-corpus") == 0;
   bool GenMode = argc > 1 && std::strcmp(argv[1], "gen-corpus") == 0;
+  bool ServeMode = argc > 1 && std::strcmp(argv[1], "serve") == 0;
   std::vector<std::string> Paths;
   std::string Domain = "leia";
   bool DomainExplicit = false;
   bool Decompose = false, EmitDot = false, Werror = false, Json = false;
   uint64_t Seed = 1;
   unsigned Count = 100, Runs = 2000;
+  uint16_t Port = 0;
   std::string OutPath, Family = "mixed";
   CliSolverConfig Config;
-  for (int I = (CheckMode || CorpusMode || GenMode) ? 2 : 1; I < argc; ++I) {
+  for (int I = (CheckMode || CorpusMode || GenMode || ServeMode) ? 2 : 1;
+       I < argc; ++I) {
     std::string Arg = argv[I];
     if (Arg.rfind("--domain=", 0) == 0) {
       Domain = Arg.substr(9);
@@ -765,15 +815,22 @@ int main(int argc, char **argv) {
                      Arg.substr(10).c_str());
         return usage(argv[0]);
       }
-    } else if (Arg.rfind("--widening-delay=", 0) == 0)
-      Config.WideningDelay =
-          static_cast<unsigned>(std::strtoul(Arg.c_str() + 17, nullptr, 10));
-    else if (Arg.rfind("--max-updates=", 0) == 0)
-      Config.MaxUpdates = std::strtoull(Arg.c_str() + 14, nullptr, 10);
-    else if (Arg.rfind("--jobs=", 0) == 0)
-      Config.Jobs =
-          static_cast<unsigned>(std::strtoul(Arg.c_str() + 7, nullptr, 10));
-    else if (Arg.rfind("--affinity=", 0) == 0) {
+    } else if (Arg.rfind("--widening-delay=", 0) == 0) {
+      auto V = parseFlagUnsigned32("--widening-delay", Arg.substr(17));
+      if (!V)
+        return 2;
+      Config.WideningDelay = *V;
+    } else if (Arg.rfind("--max-updates=", 0) == 0) {
+      auto V = parseFlagUnsigned("--max-updates", Arg.substr(14));
+      if (!V)
+        return 2;
+      Config.MaxUpdates = *V;
+    } else if (Arg.rfind("--jobs=", 0) == 0) {
+      auto V = parseFlagUnsigned32("--jobs", Arg.substr(7));
+      if (!V)
+        return 2;
+      Config.Jobs = *V;
+    } else if (Arg.rfind("--affinity=", 0) == 0) {
       std::string Mode = Arg.substr(11);
       if (Mode == "on")
         Config.Affinity = true;
@@ -785,15 +842,33 @@ int main(int argc, char **argv) {
         return usage(argv[0]);
       }
     }
-    else if (Arg.rfind("--seed=", 0) == 0)
-      Seed = std::strtoull(Arg.c_str() + 7, nullptr, 10);
-    else if (Arg.rfind("--runs=", 0) == 0)
-      Runs =
-          static_cast<unsigned>(std::strtoul(Arg.c_str() + 7, nullptr, 10));
-    else if (Arg.rfind("--count=", 0) == 0)
-      Count =
-          static_cast<unsigned>(std::strtoul(Arg.c_str() + 8, nullptr, 10));
-    else if (Arg.rfind("--out=", 0) == 0)
+    else if (Arg.rfind("--seed=", 0) == 0) {
+      auto V = parseFlagUnsigned("--seed", Arg.substr(7));
+      if (!V)
+        return 2;
+      Seed = *V;
+    } else if (Arg.rfind("--runs=", 0) == 0) {
+      auto V = parseFlagUnsigned32("--runs", Arg.substr(7));
+      if (!V)
+        return 2;
+      Runs = *V;
+    } else if (Arg.rfind("--count=", 0) == 0) {
+      auto V = parseFlagUnsigned32("--count", Arg.substr(8));
+      if (!V)
+        return 2;
+      Count = *V;
+    } else if (Arg.rfind("--port=", 0) == 0) {
+      auto V = parseFlagUnsigned32("--port", Arg.substr(7));
+      if (!V)
+        return 2;
+      if (*V > 65535) {
+        std::fprintf(stderr, "error: --port value %u is out of range "
+                             "[invalid-flag-value]\n",
+                     *V);
+        return 2;
+      }
+      Port = static_cast<uint16_t>(*V);
+    } else if (Arg.rfind("--out=", 0) == 0)
       OutPath = Arg.substr(6);
     else if (Arg.rfind("--family=", 0) == 0) {
       Family = Arg.substr(9);
@@ -825,12 +900,31 @@ int main(int argc, char **argv) {
       return usage(argv[0]);
     return runGenCorpus(Paths[0], Count, Seed, Family);
   }
+  if (ServeMode) {
+    // `pmaf serve` is the in-binary spelling of pmafd: same daemon, same
+    // protocol, handy when only the CLI is deployed.
+    server::DaemonOptions DOpts;
+    DOpts.Port = Port;
+    DOpts.Jobs = Config.Jobs.value_or(1);
+    if (Config.Affinity)
+      DOpts.Affinity = *Config.Affinity;
+    return server::runDaemon(DOpts);
+  }
 
   // --jobs also turns on the process-wide pool the dense-matrix kernels
   // draw from (distinct from the solver's per-solve pool).
   // setSharedParallelism resolves 0 to the hardware thread count itself.
-  if (Config.Jobs)
-    support::setSharedParallelism(*Config.Jobs);
+  // A refusal (tasks in flight — cannot happen this early in a fresh CLI
+  // process, but the call is shared with long-lived embedders) degrades
+  // to a structured warning rather than a silent wrong-sized pool.
+  if (Config.Jobs) {
+    std::string WhyRefused;
+    if (!support::setSharedParallelism(*Config.Jobs, &WhyRefused))
+      std::fprintf(stderr,
+                   "warning: --jobs=%u not applied to the shared pool: %s "
+                   "[pool-busy]\n",
+                   *Config.Jobs, WhyRefused.c_str());
+  }
 
   if (Paths.size() != 1)
     return usage(argv[0]);

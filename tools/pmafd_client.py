@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Minimal pmafd client: length-prefixed JSON over TCP.
+
+Each line of a driver script (or each --cmd argument) is one JSON request;
+replies are printed one per line. Doubles as the CI smoke driver:
+
+  pmafd --port=0 &            # prints "pmafd: listening on 127.0.0.1:PORT"
+  python3 tools/pmafd_client.py --port PORT \
+      --cmd '{"cmd":"load","source":"proc main() { skip }"}' \
+      --cmd '{"cmd":"analyze"}' \
+      --cmd '{"cmd":"shutdown"}'
+
+Exit status: 0 when every reply has "ok": true, 1 otherwise.
+"""
+
+import argparse
+import json
+import socket
+import struct
+import sys
+
+
+def send_frame(sock, payload: bytes) -> None:
+    sock.sendall(struct.pack(">I", len(payload)) + payload)
+
+
+def recv_frame(sock) -> bytes:
+    header = b""
+    while len(header) != 4:
+        chunk = sock.recv(4 - len(header))
+        if not chunk:
+            raise ConnectionError("pmafd closed the connection mid-frame")
+        header += chunk
+    (length,) = struct.unpack(">I", header)
+    payload = b""
+    while len(payload) != length:
+        chunk = sock.recv(length - len(payload))
+        if not chunk:
+            raise ConnectionError("pmafd closed the connection mid-frame")
+        payload += chunk
+    return payload
+
+
+def request(sock, obj) -> dict:
+    send_frame(sock, json.dumps(obj).encode("utf-8"))
+    return json.loads(recv_frame(sock).decode("utf-8"))
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument(
+        "--cmd",
+        action="append",
+        default=[],
+        help="a JSON request (repeatable, sent in order); when absent, "
+        "requests are read from stdin, one JSON object per line",
+    )
+    args = parser.parse_args()
+
+    commands = args.cmd
+    if not commands:
+        commands = [line for line in sys.stdin if line.strip()]
+
+    ok = True
+    with socket.create_connection((args.host, args.port)) as sock:
+        for raw in commands:
+            reply = request(sock, json.loads(raw))
+            print(json.dumps(reply))
+            if not reply.get("ok", False):
+                ok = False
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
